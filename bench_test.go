@@ -1,0 +1,224 @@
+// Package flowkv_test holds the figure-level benchmarks: one testing.B
+// benchmark per table/figure of the paper's evaluation (§6), built on the
+// same harness that cmd/flowbench uses. Each benchmark iteration executes
+// a complete scaled query run and reports events/sec (plus figure-specific
+// metrics such as prefetch hit ratio), so `go test -bench=.` regenerates
+// the comparisons and EXPERIMENTS.md records the paper-vs-measured shapes.
+//
+// Full-size runs (the numbers recorded in EXPERIMENTS.md) come from
+// `go run ./cmd/flowbench -all`; the benchmarks here default to a smaller
+// per-iteration dataset so the full suite stays minutes, not hours.
+package flowkv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"flowkv/internal/harness"
+	"flowkv/internal/metrics"
+	"flowkv/internal/nexmark"
+	"flowkv/internal/statebackend"
+)
+
+const benchEvents = 20_000
+
+func benchScale(b *testing.B) harness.Scale {
+	b.Helper()
+	sc := harness.QuickScale(b.TempDir())
+	sc.Events = benchEvents
+	return sc
+}
+
+func runOnce(b *testing.B, sc harness.Scale, query string, kind statebackend.Kind,
+	opts harness.Options, events []nexmark.Event) harness.RunOutcome {
+	b.Helper()
+	out := harness.RunQuery(sc, query, kind, opts, events)
+	if out.Failed {
+		b.Fatalf("%s on %s failed: %s", query, kind, out.FailReason)
+	}
+	return out
+}
+
+// BenchmarkFig04Breakdown reproduces Figure 4: execution time and store
+// share of the baseline stores on the pattern-representative queries.
+func BenchmarkFig04Breakdown(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, q := range []string{"Q7", "Q11-Median", "Q11"} {
+		for _, kind := range []statebackend.Kind{statebackend.KindRocksDB, statebackend.KindFaster} {
+			b.Run(fmt.Sprintf("%s/%s", q, kind), func(b *testing.B) {
+				sc := benchScale(b)
+				var storeFrac float64
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					out := runOnce(b, sc, q, kind, opts, events)
+					storeFrac = float64(out.Breakdown.StoreTotal()) / float64(out.Elapsed)
+					b.ReportMetric(out.ThroughputTPS, "events/s")
+				}
+				b.ReportMetric(storeFrac*100, "store-cpu-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig08Throughput reproduces Figure 8: throughput of every query
+// on every store (single window size here; the full 3-size sweep is
+// `flowbench -fig 8`).
+func BenchmarkFig08Throughput(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, q := range []string{"Q5", "Q5-Append", "Q7", "Q7-Session", "Q8", "Q11", "Q11-Median", "Q12"} {
+		for _, kind := range statebackend.Kinds() {
+			b.Run(fmt.Sprintf("%s/%s", q, kind), func(b *testing.B) {
+				sc := benchScale(b)
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					out := harness.RunQuery(sc, q, kind, opts, events)
+					if out.Failed {
+						b.Skipf("%s on %s: %s (expected for inmem at large state)", q, kind, out.FailReason)
+					}
+					b.ReportMetric(out.ThroughputTPS, "events/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig09Latency reproduces Figure 9: P95 latency at a fixed tuple
+// rate.
+func BenchmarkFig09Latency(b *testing.B) {
+	const rate = 10_000
+	for _, q := range []string{"Q7", "Q11-Median", "Q11"} {
+		for _, kind := range []statebackend.Kind{statebackend.KindFlowKV, statebackend.KindRocksDB} {
+			b.Run(fmt.Sprintf("%s/%s", q, kind), func(b *testing.B) {
+				sc := benchScale(b)
+				events := harness.TruncateEvents(harness.GenerateEvents(5_000), 5_000)
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					opts.RateEPS = rate
+					out := runOnce(b, sc, q, kind, opts, events)
+					b.ReportMetric(float64(out.P95.Microseconds()), "p95-µs")
+					b.ReportMetric(float64(out.P50.Microseconds()), "p50-µs")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10CPUBreakdown reproduces Figure 10: store CPU time split
+// into write / read+delete / compaction.
+func BenchmarkFig10CPUBreakdown(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, q := range []string{"Q7", "Q11-Median", "Q11"} {
+		for _, kind := range []statebackend.Kind{statebackend.KindFlowKV, statebackend.KindRocksDB, statebackend.KindFaster} {
+			b.Run(fmt.Sprintf("%s/%s", q, kind), func(b *testing.B) {
+				sc := benchScale(b)
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					out := runOnce(b, sc, q, kind, opts, events)
+					b.ReportMetric(out.Breakdown.Total(metrics.OpWrite).Seconds()*1000, "write-ms")
+					b.ReportMetric(out.Breakdown.Total(metrics.OpRead).Seconds()*1000, "read-ms")
+					b.ReportMetric(out.Breakdown.Total(metrics.OpCompact).Seconds()*1000, "compact-ms")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11ReadBatchRatio reproduces Figure 11: throughput and
+// prefetch hit ratio across read-batch ratios.
+func BenchmarkFig11ReadBatchRatio(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, q := range []string{"Q11-Median", "Q7-Session"} {
+		for _, ratio := range harness.Fig11Ratios() {
+			b.Run(fmt.Sprintf("%s/ratio=%v", q, ratio), func(b *testing.B) {
+				sc := benchScale(b)
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					opts.FlowKV.WriteBufferBytes = 64 << 10
+					if ratio == 0 {
+						opts.FlowKV.ReadBatchRatio = -1
+					} else {
+						opts.FlowKV.ReadBatchRatio = ratio
+					}
+					out := runOnce(b, sc, q, statebackend.KindFlowKV, opts, events)
+					b.ReportMetric(out.ThroughputTPS, "events/s")
+					b.ReportMetric(out.FlowKV.HitRatio(), "hit-ratio")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12MSA reproduces Figure 12: throughput across MSA
+// (compaction threshold) settings.
+func BenchmarkFig12MSA(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, q := range []string{"Q11-Median", "Q7-Session"} {
+		for _, msa := range harness.Fig12MSAs() {
+			b.Run(fmt.Sprintf("%s/msa=%v", q, msa), func(b *testing.B) {
+				sc := benchScale(b)
+				for i := 0; i < b.N; i++ {
+					opts := harness.ScaledStoreOptions()
+					opts.WindowMs = 5_000
+					opts.FlowKV.WriteBufferBytes = 64 << 10
+					opts.FlowKV.MaxSpaceAmplification = msa
+					out := runOnce(b, sc, q, statebackend.KindFlowKV, opts, events)
+					b.ReportMetric(out.ThroughputTPS, "events/s")
+					b.ReportMetric(float64(out.FlowKV.Compactions), "compactions")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Scalability reproduces Figure 13: Q11-Median throughput
+// over share-nothing worker counts.
+func BenchmarkFig13Scalability(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	for _, workers := range harness.Fig13Workers() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc := benchScale(b)
+			sc.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				opts := harness.ScaledStoreOptions()
+				opts.WindowMs = 5_000
+				out := runOnce(b, sc, "Q11-Median", statebackend.KindFlowKV, opts, events)
+				b.ReportMetric(out.ThroughputTPS, "events/s")
+			}
+		})
+	}
+}
+
+// BenchmarkStoresAsymmetry sanity-checks the structural asymmetries the
+// paper's argument rests on, at figure scale: the hash log beats the LSM
+// on RMW (Q11), the LSM beats the hash log on appends (Q7), and FlowKV
+// beats both on both.
+func BenchmarkStoresAsymmetry(b *testing.B) {
+	events := harness.GenerateEvents(benchEvents)
+	cases := []struct {
+		query string
+		kind  statebackend.Kind
+	}{
+		{"Q11", statebackend.KindFaster},
+		{"Q11", statebackend.KindRocksDB},
+		{"Q11", statebackend.KindFlowKV},
+		{"Q7", statebackend.KindRocksDB},
+		{"Q7", statebackend.KindFaster},
+		{"Q7", statebackend.KindFlowKV},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s/%s", c.query, c.kind), func(b *testing.B) {
+			sc := benchScale(b)
+			for i := 0; i < b.N; i++ {
+				opts := harness.ScaledStoreOptions()
+				opts.WindowMs = 5_000
+				out := runOnce(b, sc, c.query, c.kind, opts, events)
+				b.ReportMetric(out.ThroughputTPS, "events/s")
+			}
+		})
+	}
+}

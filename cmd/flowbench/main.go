@@ -1,0 +1,92 @@
+// Command flowbench regenerates the paper's evaluation figures against
+// the Go reproduction. Each figure prints the same rows/series the paper
+// plots; EXPERIMENTS.md records paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	flowbench -fig 8                 # one figure (4, 8, 9, 10, 11, 12, 13)
+//	flowbench -all                   # every figure
+//	flowbench -ablations             # design-choice ablations
+//	flowbench -events 300000 -fig 8  # bigger dataset
+//	flowbench -quick -all            # fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flowkv/internal/harness"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to run: 4, 8, 9, 10, 11, 12 or 13")
+		all       = flag.Bool("all", false, "run every figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		events    = flag.Int("events", 0, "dataset size in events (default 150000, quick 12000)")
+		par       = flag.Int("parallelism", 2, "workers per stage")
+		dir       = flag.String("dir", "", "state directory (default: a temp dir)")
+		quick     = flag.Bool("quick", false, "small smoke-test scale")
+	)
+	flag.Parse()
+
+	base := *dir
+	if base == "" {
+		var err error
+		base, err = os.MkdirTemp("", "flowbench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(base)
+	}
+	sc := harness.DefaultScale(base)
+	if *quick {
+		sc = harness.QuickScale(base)
+	}
+	if *events > 0 {
+		sc.Events = *events
+	}
+	if *par > 0 {
+		sc.Parallelism = *par
+	}
+
+	ran := false
+	if *ablations {
+		ran = true
+		if _, err := harness.Ablations(sc, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	want := map[string]bool{}
+	if *fig != "" {
+		for _, f := range strings.Split(*fig, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(f, "fig")))
+			if err != nil {
+				fatal(fmt.Errorf("bad -fig value %q", f))
+			}
+			want[fmt.Sprintf("fig%d", n)] = true
+		}
+	}
+	for _, f := range harness.Figures() {
+		if !*all && !want[f.ID] {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+		if err := f.Run(sc, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowbench:", err)
+	os.Exit(1)
+}

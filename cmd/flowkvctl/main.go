@@ -1,0 +1,202 @@
+// Command flowkvctl inspects on-disk FlowKV store state: it decodes AAR
+// per-window logs, AUR data/index logs, and RMW logs, printing entry
+// summaries and space accounting. Useful for debugging store behaviour
+// and for verifying what a checkpoint contains.
+//
+// Usage:
+//
+//	flowkvctl ls    <store-dir>        # list files with sizes and kinds
+//	flowkvctl index <index-log-file>   # decode an AUR index log
+//	flowkvctl data  <data-log-file>    # summarize an AUR data log
+//	flowkvctl aar   <win_*.log file>   # decode an AAR per-window log
+//	flowkvctl rmw   <rmw-*.log file>   # decode an RMW log
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/window"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	var err error
+	switch cmd {
+	case "ls":
+		err = cmdLs(path)
+	case "index":
+		err = cmdIndex(path)
+	case "data":
+		err = cmdData(path)
+	case "aar":
+		err = cmdAAR(path)
+	case "rmw":
+		err = cmdRMW(path)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowkvctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw} <path>")
+	os.Exit(2)
+}
+
+func cmdLs(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		kind := "unknown"
+		switch {
+		case strings.HasPrefix(d.Name(), "win_"):
+			kind = "aar-window-log"
+		case strings.HasPrefix(d.Name(), "data-"):
+			kind = "aur-data-log"
+		case strings.HasPrefix(d.Name(), "index-"):
+			kind = "aur-index-log"
+		case strings.HasPrefix(d.Name(), "rmw-"):
+			kind = "rmw-log"
+		case strings.HasSuffix(d.Name(), ".sst"):
+			kind = "sstable"
+		case strings.HasPrefix(d.Name(), "hlog-"):
+			kind = "hybrid-log"
+		case d.Name() == "stat.snap":
+			kind = "aur-stat-snapshot"
+		}
+		rel, _ := filepath.Rel(dir, path)
+		fmt.Printf("%-16s %10d  %s\n", kind, info.Size(), rel)
+		return nil
+	})
+}
+
+func scanRecords(path string, fn func(i int, off int64, payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := binio.NewRecordScanner(bufio.NewReaderSize(f, 1<<20), 0)
+	var i int
+	var off int64
+	for sc.Scan() {
+		if err := fn(i, off, sc.Record()); err != nil {
+			return err
+		}
+		off = sc.Offset()
+		i++
+	}
+	if sc.Truncated() {
+		fmt.Printf("(torn tail after offset %d)\n", sc.Offset())
+	}
+	return sc.Err()
+}
+
+func cmdIndex(path string) error {
+	fmt.Println("#   key                window                 data-off  data-len")
+	var total int64
+	err := scanRecords(path, func(i int, _ int64, payload []byte) error {
+		key, n, err := binio.Bytes(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		w, n, err := window.Decode(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		off, n, err := binio.Uvarint(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		ln, _, err := binio.Uvarint(payload)
+		if err != nil {
+			return err
+		}
+		total += int64(ln)
+		fmt.Printf("%-3d %-18s %-22s %9d %9d\n", i, key, w, off, ln)
+		return nil
+	})
+	fmt.Printf("total indexed data: %d bytes\n", total)
+	return err
+}
+
+func cmdData(path string) error {
+	fmt.Println("#   off        values  bytes")
+	var records, values int
+	err := scanRecords(path, func(i int, off int64, payload []byte) error {
+		count, _, err := binio.Uvarint(payload)
+		if err != nil {
+			return err
+		}
+		records++
+		values += int(count)
+		fmt.Printf("%-3d %-10d %6d %6d\n", i, off, count, len(payload))
+		return nil
+	})
+	fmt.Printf("%d records, %d values\n", records, values)
+	return err
+}
+
+func cmdAAR(path string) error {
+	fmt.Println("#   tuples  bytes   first-key")
+	var tuples int
+	err := scanRecords(path, func(i int, _ int64, payload []byte) error {
+		count, n, err := binio.Uvarint(payload)
+		if err != nil {
+			return err
+		}
+		firstKey := []byte("-")
+		if count > 0 {
+			if k, _, err := binio.Bytes(payload[n:]); err == nil {
+				firstKey = k
+			}
+		}
+		tuples += int(count)
+		fmt.Printf("%-3d %6d %6d   %s\n", i, count, len(payload), firstKey)
+		return nil
+	})
+	fmt.Printf("%d tuples total\n", tuples)
+	return err
+}
+
+func cmdRMW(path string) error {
+	fmt.Println("#   key                window                 agg-bytes")
+	err := scanRecords(path, func(i int, _ int64, payload []byte) error {
+		key, n, err := binio.Bytes(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		w, n, err := window.Decode(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[n:]
+		agg, _, err := binio.Bytes(payload)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-3d %-18s %-22s %9d\n", i, key, w, len(agg))
+		return nil
+	})
+	return err
+}

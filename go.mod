@@ -1,0 +1,3 @@
+module flowkv
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package binio provides the binary encoding primitives shared by every
+// persistent store in this repository: little-endian integers, unsigned
+// varints, length-prefixed byte frames, and CRC-checked records.
+//
+// All stores (FlowKV's AAR/AUR/RMW stores, the LSM baseline, and the
+// hash-log baseline) serialize through this package so that on-disk
+// corruption handling and framing behave identically across systems.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt reports a record whose checksum or framing failed to verify.
+var ErrCorrupt = errors.New("binio: corrupt record")
+
+// ErrShortBuffer reports a decode attempt against insufficient bytes.
+var ErrShortBuffer = errors.New("binio: short buffer")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C (Castagnoli) checksum of b, the same
+// polynomial RocksDB and many storage systems use for record integrity.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// PutUint32 appends v to dst in little-endian order.
+func PutUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// PutUint64 appends v to dst in little-endian order.
+func PutUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// Uint32 decodes a little-endian uint32 from the front of b.
+func Uint32(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// Uint64 decodes a little-endian uint64 from the front of b.
+func Uint64(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// PutUvarint appends v to dst as an unsigned varint.
+func PutUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint decodes an unsigned varint from the front of b, returning the
+// value and the number of bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, ErrShortBuffer
+	}
+	return v, n, nil
+}
+
+// PutVarint appends v to dst as a zig-zag signed varint.
+func PutVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// Varint decodes a signed varint from the front of b, returning the value
+// and the number of bytes consumed.
+func Varint(b []byte) (int64, int, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, 0, ErrShortBuffer
+	}
+	return v, n, nil
+}
+
+// PutBytes appends a length-prefixed copy of p to dst.
+func PutBytes(dst, p []byte) []byte {
+	dst = PutUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// Bytes decodes a length-prefixed byte slice from the front of b. The
+// returned slice aliases b; callers that retain it must copy.
+func Bytes(b []byte) ([]byte, int, error) {
+	n, sz, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(b)-sz) < n {
+		return nil, 0, ErrShortBuffer
+	}
+	return b[sz : sz+int(n)], sz + int(n), nil
+}
+
+// PutString appends a length-prefixed copy of s to dst.
+func PutString(dst []byte, s string) []byte {
+	dst = PutUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String decodes a length-prefixed string from the front of b.
+func String(b []byte) (string, int, error) {
+	p, n, err := Bytes(b)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(p), n, nil
+}
+
+// Record framing: every record written through AppendRecord is laid out as
+//
+//	crc32c(uint32) | length(uvarint) | payload
+//
+// which allows a reader to detect torn tails after a crash and stop at the
+// first bad record, the standard recovery discipline for append-only logs.
+
+// AppendRecord appends a framed, checksummed record holding payload to dst.
+func AppendRecord(dst, payload []byte) []byte {
+	dst = PutUint32(dst, Checksum(payload))
+	dst = PutUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// RecordOverhead returns the framing overhead in bytes for a payload of
+// length n.
+func RecordOverhead(n int) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return 4 + binary.PutUvarint(tmp[:], uint64(n))
+}
+
+// ReadRecord decodes one framed record from the front of b. It returns the
+// payload (aliasing b) and the total number of bytes consumed. A checksum
+// mismatch yields ErrCorrupt; a truncated frame yields ErrShortBuffer.
+func ReadRecord(b []byte) ([]byte, int, error) {
+	crc, err := Uint32(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, sz, err := Uvarint(b[4:])
+	if err != nil {
+		return nil, 0, err
+	}
+	head := 4 + sz
+	if uint64(len(b)-head) < n {
+		return nil, 0, ErrShortBuffer
+	}
+	payload := b[head : head+int(n)]
+	if Checksum(payload) != crc {
+		return nil, 0, ErrCorrupt
+	}
+	return payload, head + int(n), nil
+}
+
+// RecordWriter streams framed records to an io.Writer, tracking the byte
+// offset of each record so callers can build indexes while writing.
+type RecordWriter struct {
+	w   io.Writer
+	off int64
+	buf []byte
+}
+
+// NewRecordWriter returns a RecordWriter positioned at offset off of w.
+func NewRecordWriter(w io.Writer, off int64) *RecordWriter {
+	return &RecordWriter{w: w, off: off}
+}
+
+// Offset returns the file offset at which the next record will begin.
+func (rw *RecordWriter) Offset() int64 { return rw.off }
+
+// Write appends one framed record and returns the offset at which it was
+// written and its total on-disk length.
+func (rw *RecordWriter) Write(payload []byte) (off int64, n int, err error) {
+	rw.buf = AppendRecord(rw.buf[:0], payload)
+	off = rw.off
+	if _, err = rw.w.Write(rw.buf); err != nil {
+		return 0, 0, fmt.Errorf("binio: write record: %w", err)
+	}
+	rw.off += int64(len(rw.buf))
+	return off, len(rw.buf), nil
+}
+
+// RecordScanner iterates framed records from an io.Reader. It buffers
+// internally and stops cleanly at EOF or at the first corrupt/torn record.
+type RecordScanner struct {
+	r      io.Reader
+	buf    []byte
+	start  int
+	end    int
+	off    int64
+	err    error
+	record []byte
+}
+
+// NewRecordScanner returns a scanner reading framed records from r,
+// treating the first byte of r as file offset base.
+func NewRecordScanner(r io.Reader, base int64) *RecordScanner {
+	return &RecordScanner{r: r, buf: make([]byte, 64*1024), off: base}
+}
+
+// Scan advances to the next record, reporting false at EOF or error.
+func (s *RecordScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for {
+		payload, n, err := ReadRecord(s.buf[s.start:s.end])
+		if err == nil {
+			s.record = payload
+			s.start += n
+			s.off += int64(n)
+			return true
+		}
+		if err == ErrCorrupt {
+			s.err = ErrCorrupt
+			return false
+		}
+		// Short buffer: compact and refill.
+		if s.start > 0 {
+			copy(s.buf, s.buf[s.start:s.end])
+			s.end -= s.start
+			s.start = 0
+		}
+		if s.end == len(s.buf) {
+			grown := make([]byte, 2*len(s.buf))
+			copy(grown, s.buf[:s.end])
+			s.buf = grown
+		}
+		n, rerr := s.r.Read(s.buf[s.end:])
+		s.end += n
+		if n == 0 {
+			if rerr == io.EOF || rerr == nil {
+				if s.end > s.start {
+					// Torn tail after crash: ignore trailing garbage.
+					s.err = io.ErrUnexpectedEOF
+				}
+				return false
+			}
+			s.err = rerr
+			return false
+		}
+	}
+}
+
+// Record returns the payload of the record most recently scanned. The
+// slice is only valid until the next call to Scan.
+func (s *RecordScanner) Record() []byte { return s.record }
+
+// Offset returns the file offset one byte past the most recent record.
+func (s *RecordScanner) Offset() int64 { return s.off }
+
+// Err returns the first error encountered, excluding clean EOF. A torn
+// final record surfaces as io.ErrUnexpectedEOF, which log recovery treats
+// as a clean stop.
+func (s *RecordScanner) Err() error {
+	if s.err == io.ErrUnexpectedEOF {
+		return nil
+	}
+	return s.err
+}
+
+// Truncated reports whether the scanner stopped at a torn trailing record.
+func (s *RecordScanner) Truncated() bool { return s.err == io.ErrUnexpectedEOF }

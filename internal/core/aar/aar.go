@@ -1,0 +1,432 @@
+// Package aar implements FlowKV's Append and Aligned Read store (paper
+// §4.1), used for window operations whose aggregate function is holistic
+// (Append) and whose window function triggers all keys simultaneously
+// (fixed, sliding and global windows).
+//
+// The store exploits alignment with coarse-grained data organization: the
+// in-memory write buffer hashes tuples by *window boundary* rather than by
+// key, and the on-disk layout is one log file per window. Because every
+// tuple in a log file is read and dropped at the same moment (the window's
+// trigger), reads are a sequential scan of one file and cleanup is a
+// single unlink — no per-key search and no compaction at all.
+//
+// Reads use gradual state loading: GetWindow returns one bounded partition
+// per call so only one non-aggregated partition resides in memory.
+package aar
+
+import (
+	"errors"
+	"fmt"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/logfile"
+	"flowkv/internal/metrics"
+	"flowkv/internal/window"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("aar: store closed")
+
+// Options configures an AAR store instance.
+type Options struct {
+	// Dir is the directory holding the instance's per-window log files.
+	Dir string
+	// WriteBufferBytes caps the in-memory write buffer; exceeding it
+	// flushes all buckets to their per-window logs. Default 32 MiB.
+	WriteBufferBytes int64
+	// LoadPartitionBytes bounds the size of each partition returned by
+	// GetWindow (gradual state loading). Default 4 MiB.
+	LoadPartitionBytes int64
+	// FlushChunkBytes bounds the size of each on-disk record written at
+	// flush; larger chunks amortize framing. Default 64 KiB.
+	FlushChunkBytes int64
+	// FineGrained switches the write buffer and flush format to per-key
+	// organization (one record per key per flush), the naive layout the
+	// paper's coarse-grained design replaces. Ablation only.
+	FineGrained bool
+	// Breakdown receives per-operation CPU time and I/O accounting.
+	Breakdown *metrics.Breakdown
+}
+
+func (o *Options) fill() {
+	if o.WriteBufferBytes <= 0 {
+		o.WriteBufferBytes = 32 << 20
+	}
+	if o.LoadPartitionBytes <= 0 {
+		o.LoadPartitionBytes = 4 << 20
+	}
+	if o.FlushChunkBytes <= 0 {
+		o.FlushChunkBytes = 64 << 10
+	}
+}
+
+// KeyValues is one key with its appended values, the element type of the
+// iterable returned by GetWindow.
+type KeyValues struct {
+	Key    []byte
+	Values [][]byte
+}
+
+type kvPair struct {
+	k, v []byte
+}
+
+// bucket accumulates one window's tuples in arrival order.
+type bucket struct {
+	entries []kvPair
+	bytes   int64
+}
+
+type readState struct {
+	log *logfile.Log
+	sc  *logfile.Scanner
+}
+
+// Store is a single AAR store instance. A Store is owned by one worker
+// goroutine and performs no locking (§2.1: states are accessed by a
+// single-threaded worker).
+type Store struct {
+	opts     Options
+	dir      *logfile.Dir
+	bd       *metrics.Breakdown
+	buf      map[window.Window]*bucket
+	bufBytes int64
+	files    map[window.Window]*logfile.Log
+	reads    map[window.Window]*readState
+	closed   bool
+
+	// Stats counted for the evaluation harness.
+	appends  metrics.Counter
+	flushes  metrics.Counter
+	tuplesIn metrics.Counter
+}
+
+// Open creates an AAR store instance rooted at opts.Dir.
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		opts:  opts,
+		dir:   dir,
+		bd:    opts.Breakdown,
+		buf:   make(map[window.Window]*bucket),
+		files: make(map[window.Window]*logfile.Log),
+		reads: make(map[window.Window]*readState),
+	}, nil
+}
+
+// Append adds the KV tuple to window w (paper API: Append(K, V, W)). The
+// key and value are copied; callers may reuse their buffers.
+func (s *Store) Append(key, value []byte, w window.Window) error {
+	if s.closed {
+		return ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpWrite)
+	}
+	err := s.append(key, value, w)
+	if stop != nil {
+		stop()
+	}
+	return err
+}
+
+func (s *Store) append(key, value []byte, w window.Window) error {
+	b := s.buf[w]
+	if b == nil {
+		b = &bucket{}
+		s.buf[w] = b
+	}
+	kc := make([]byte, len(key))
+	copy(kc, key)
+	vc := make([]byte, len(value))
+	copy(vc, value)
+	b.entries = append(b.entries, kvPair{kc, vc})
+	sz := int64(len(key) + len(value) + 32)
+	b.bytes += sz
+	s.bufBytes += sz
+	s.appends.Inc()
+	s.tuplesIn.Inc()
+	if s.bufBytes > s.opts.WriteBufferBytes {
+		return s.flushAll()
+	}
+	return nil
+}
+
+// flushAll spills every buffered bucket to its window's log file.
+func (s *Store) flushAll() error {
+	for w, b := range s.buf {
+		if err := s.flushBucket(w, b); err != nil {
+			return err
+		}
+		delete(s.buf, w)
+	}
+	s.bufBytes = 0
+	s.flushes.Inc()
+	return nil
+}
+
+func (s *Store) flushBucket(w window.Window, b *bucket) error {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	l := s.files[w]
+	if l == nil {
+		var err error
+		l, err = s.dir.Create(windowFileName(w))
+		if err != nil {
+			return err
+		}
+		s.files[w] = l
+	}
+	if s.opts.FineGrained {
+		return flushFine(l, b.entries)
+	}
+	return flushCoarse(l, b.entries, s.opts.FlushChunkBytes)
+}
+
+// flushCoarse writes the bucket as chunked multi-tuple records — the
+// paper's coarse-grained layout: data organized by window, not by key.
+func flushCoarse(l *logfile.Log, entries []kvPair, chunkBytes int64) error {
+	payload := make([]byte, 0, chunkBytes+1024)
+	count := 0
+	var body []byte
+	emit := func() error {
+		if count == 0 {
+			return nil
+		}
+		payload = binio.PutUvarint(payload[:0], uint64(count))
+		payload = append(payload, body...)
+		_, _, err := l.Append(payload)
+		body = body[:0]
+		count = 0
+		return err
+	}
+	for _, e := range entries {
+		body = binio.PutBytes(body, e.k)
+		body = binio.PutBytes(body, e.v)
+		count++
+		if int64(len(body)) >= chunkBytes {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	return emit()
+}
+
+// flushFine writes one record per key (grouping the bucket by key first),
+// the naive fine-grained layout used by the ablation in §4.1.
+func flushFine(l *logfile.Log, entries []kvPair) error {
+	groups := make(map[string][][]byte)
+	var order []string
+	for _, e := range entries {
+		k := string(e.k)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e.v)
+	}
+	var payload []byte
+	for _, k := range order {
+		vs := groups[k]
+		// One single-key record per value group: count=len(vs) entries of
+		// the same key, preserving the record wire format.
+		payload = binio.PutUvarint(payload[:0], uint64(len(vs)))
+		for _, v := range vs {
+			payload = binio.PutBytes(payload, []byte(k))
+			payload = binio.PutBytes(payload, v)
+		}
+		if _, _, err := l.Append(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetWindow returns the next partition of window w's state, grouped by
+// key, or nil when the window is exhausted — at which point its on-disk
+// log has been unlinked (paper API: GetWindow(W), fetch & remove). The
+// same key may appear in multiple partitions; the consumer merges.
+func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpRead)
+	}
+	part, err := s.getWindow(w)
+	if stop != nil {
+		stop()
+	}
+	return part, err
+}
+
+func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
+	rs := s.reads[w]
+	if rs == nil {
+		// First call for this window: spill any buffered tuples so the
+		// read is a single sequential file scan.
+		if b := s.buf[w]; b != nil {
+			if err := s.flushBucket(w, b); err != nil {
+				return nil, err
+			}
+			s.bufBytes -= b.bytes
+			delete(s.buf, w)
+		}
+		l := s.files[w]
+		if l == nil {
+			return nil, nil // window has no state
+		}
+		sc, err := l.Scanner(0)
+		if err != nil {
+			return nil, err
+		}
+		rs = &readState{log: l, sc: sc}
+		s.reads[w] = rs
+	}
+
+	groups := make(map[string]int)
+	var part []KeyValues
+	var read int64
+	for read < s.opts.LoadPartitionBytes && rs.sc.Scan() {
+		rec := rs.sc.Record()
+		read += int64(len(rec))
+		n, used, err := binio.Uvarint(rec)
+		if err != nil {
+			return nil, fmt.Errorf("aar: window %v: %w", w, err)
+		}
+		rec = rec[used:]
+		for i := uint64(0); i < n; i++ {
+			k, kn, err := binio.Bytes(rec)
+			if err != nil {
+				return nil, fmt.Errorf("aar: window %v: %w", w, err)
+			}
+			rec = rec[kn:]
+			v, vn, err := binio.Bytes(rec)
+			if err != nil {
+				return nil, fmt.Errorf("aar: window %v: %w", w, err)
+			}
+			rec = rec[vn:]
+			vc := make([]byte, len(v))
+			copy(vc, v)
+			idx, seen := groups[string(k)]
+			if !seen {
+				kc := make([]byte, len(k))
+				copy(kc, k)
+				part = append(part, KeyValues{Key: kc})
+				idx = len(part) - 1
+				groups[string(k)] = idx
+			}
+			part[idx].Values = append(part[idx].Values, vc)
+		}
+	}
+	if err := rs.sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(part) == 0 {
+		// Exhausted: clean the per-window log from disk (step ④).
+		delete(s.reads, w)
+		delete(s.files, w)
+		return nil, rs.log.Remove()
+	}
+	return part, nil
+}
+
+// DropWindow discards all state of window w without reading it, used when
+// the SPE expires a window unseen (e.g. allowed-lateness cleanup).
+func (s *Store) DropWindow(w window.Window) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if b := s.buf[w]; b != nil {
+		s.bufBytes -= b.bytes
+		delete(s.buf, w)
+	}
+	delete(s.reads, w)
+	if l := s.files[w]; l != nil {
+		delete(s.files, w)
+		return l.Remove()
+	}
+	return nil
+}
+
+// BufferedBytes returns the current in-memory write buffer size.
+func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+
+// LiveWindows returns the number of windows with buffered or on-disk state.
+func (s *Store) LiveWindows() int {
+	live := make(map[window.Window]struct{}, len(s.buf)+len(s.files))
+	for w := range s.buf {
+		live[w] = struct{}{}
+	}
+	for w := range s.files {
+		live[w] = struct{}{}
+	}
+	return len(live)
+}
+
+// Appends returns the number of Append calls served.
+func (s *Store) Appends() int64 { return s.appends.Load() }
+
+// Flushes returns the number of full write-buffer flushes performed.
+func (s *Store) Flushes() int64 { return s.flushes.Load() }
+
+// DiskUsage returns the logical bytes of the instance's per-window logs,
+// including appends still in their write-through buffers.
+func (s *Store) DiskUsage() (int64, error) {
+	var total int64
+	for _, l := range s.files {
+		total += l.Size()
+	}
+	return total, nil
+}
+
+// Flush spills all buffered data to disk (checkpoint support, §8).
+func (s *Store) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushAll(); err != nil {
+		return err
+	}
+	for _, l := range s.files {
+		if err := l.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes all open log files, leaving state on disk.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, l := range s.files {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Destroy closes the store and deletes its directory.
+func (s *Store) Destroy() error {
+	err := s.Close()
+	if derr := s.dir.RemoveAll(); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+func windowFileName(w window.Window) string {
+	return fmt.Sprintf("win_%d_%d.log", w.Start, w.End)
+}

@@ -1,0 +1,876 @@
+// Package aur implements FlowKV's Append and Unaligned Read store (paper
+// §4.2), used for holistic window operations whose windows trigger at
+// per-key times (session, count, and custom windows).
+//
+// Layout. The in-memory write buffer hashes tuples by (key, initial
+// window boundary). Flushes append value batches to a single global data
+// log and append one location entry per batch — (key, window, offset,
+// length) — to an append-only *index log*, keeping per-window location
+// metadata on disk rather than in memory.
+//
+// Predictive batch read. An in-memory Stat table tracks each live
+// window's estimated trigger time (ETT), computed by a window-semantics
+// predictor from the statically-known window function and the maximum
+// tuple timestamp seen (for session windows: maxTS + gap, a guaranteed
+// lower bound on the trigger). When a Get misses the prefetch buffer, the
+// store scans the index log once, selects the N windows closest to their
+// ETT (N = read-batch ratio × live windows), and loads all of them with
+// coalesced range reads. Subsequent triggers hit in memory; the paper
+// observes ≈0.93 hit ratio at ratio 0.02, i.e. ≈1.08× read amplification
+// (Equation 1). A tuple arriving for a prefetched window proves the ETT
+// wrong and evicts that window's prefetched state.
+//
+// Integrated compaction. Consumed (fetched & removed) entries leave dead
+// bytes in the data log. When space amplification total/(total-dead)
+// exceeds the MSA threshold, compaction reuses the index scan already
+// performed for predictive batch read, transferring live byte runs to a
+// fresh data log with zero-copy file transfer and writing a fresh index
+// log. The SeparateCompactionScan option disables the integration for
+// ablation, issuing a dedicated scan instead.
+package aur
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/logfile"
+	"flowkv/internal/metrics"
+	"flowkv/internal/window"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("aur: store closed")
+
+// Options configures an AUR store instance.
+type Options struct {
+	// Dir is the directory holding the instance's data and index logs.
+	Dir string
+	// WriteBufferBytes caps the in-memory write buffer; exceeding it
+	// flushes every buffered batch. Default 32 MiB.
+	WriteBufferBytes int64
+	// ReadBatchRatio sets the fraction of live (key, window) states
+	// prefetched per predictive batch read. 0 disables prediction (every
+	// read with on-disk state scans the index log for that state alone).
+	// The paper's default is 0.02.
+	ReadBatchRatio float64
+	// MinBatchWindows floors the per-scan prefetch count when the ratio
+	// yields fewer (small live sets would otherwise trigger an index
+	// scan every few reads; at the paper's scale ratio × live windows is
+	// in the thousands and this floor is never reached). Default 64.
+	MinBatchWindows int
+	// MaxSpaceAmplification (MSA) triggers compaction when
+	// total/(total-dead) data-log bytes exceed it. Default 1.5.
+	MaxSpaceAmplification float64
+	// Predictor estimates window trigger times. nil disables prediction
+	// (the degraded mode FlowKV uses for count and custom windows).
+	Predictor window.Predictor
+	// SeparateCompactionScan runs compaction with its own index-log scan
+	// instead of piggybacking on predictive batch read (ablation).
+	SeparateCompactionScan bool
+	// CoalesceGapBytes is the maximum dead gap bridged when batching
+	// adjacent range reads. Default 32 KiB.
+	CoalesceGapBytes int64
+	// Breakdown receives per-operation CPU time and I/O accounting.
+	Breakdown *metrics.Breakdown
+}
+
+func (o *Options) fill() {
+	if o.WriteBufferBytes <= 0 {
+		o.WriteBufferBytes = 32 << 20
+	}
+	if o.MaxSpaceAmplification <= 0 {
+		o.MaxSpaceAmplification = 1.5
+	}
+	if o.CoalesceGapBytes <= 0 {
+		o.CoalesceGapBytes = 32 << 10
+	}
+	if o.MinBatchWindows <= 0 {
+		o.MinBatchWindows = 64
+	}
+}
+
+// id identifies one unit of state: a key plus the *initial* window
+// boundary, fixed at window creation even if the session later grows
+// (§4.2 "FlowKV leverages the initial window boundary").
+type id struct {
+	key string
+	w   window.Window
+}
+
+type bufEntry struct {
+	values [][]byte
+	bytes  int64
+}
+
+// statEntry is one row of the in-memory Stat table.
+type statEntry struct {
+	maxTS  int64
+	ett    int64
+	hasETT bool
+}
+
+// span locates one flushed value batch inside the data log.
+type span struct {
+	off int64
+	n   int
+}
+
+// Store is a single AUR store instance, owned by one worker goroutine.
+type Store struct {
+	opts Options
+	dir  *logfile.Dir
+	bd   *metrics.Breakdown
+
+	buf      map[id]*bufEntry
+	bufBytes int64
+
+	stat   map[id]*statEntry
+	onDisk map[id]int64 // bytes of flushed record data per live id
+	// consumed is keyed by the canonical (key, window) byte encoding —
+	// the same prefix every index entry starts with — so the index scan
+	// can test deadness without allocating an id per entry.
+	consumed map[string]struct{}
+
+	prefetch      map[id][][]byte
+	prefetchBytes int64
+
+	dataLog  *logfile.Log
+	indexLog *logfile.Log
+	gen      int
+	dead     int64 // dead bytes in the current data log
+
+	closed bool
+
+	// Evaluation metrics.
+	ratio       metrics.Ratio
+	evictions   metrics.Counter
+	compactions metrics.Counter
+	indexScans  metrics.Counter
+	batchReads  metrics.Counter
+}
+
+// Open creates an AUR store instance rooted at opts.Dir.
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:     opts,
+		dir:      dir,
+		bd:       opts.Breakdown,
+		buf:      make(map[id]*bufEntry),
+		stat:     make(map[id]*statEntry),
+		onDisk:   make(map[id]int64),
+		consumed: make(map[string]struct{}),
+		prefetch: make(map[id][][]byte),
+	}
+	if err := s.openGen(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) openGen(gen int) error {
+	data, err := s.dir.Create(fmt.Sprintf("data-%06d.log", gen))
+	if err != nil {
+		return err
+	}
+	index, err := s.dir.Create(fmt.Sprintf("index-%06d.log", gen))
+	if err != nil {
+		data.Close()
+		return err
+	}
+	s.dataLog, s.indexLog, s.gen = data, index, gen
+	return nil
+}
+
+// Append adds the KV tuple with its window and timestamp (paper API:
+// Append(K, V, W, T)). The timestamp feeds the window's ETT. Key and
+// value are copied.
+func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpWrite)
+	}
+	err := s.append(key, value, w, ts)
+	if stop != nil {
+		stop()
+	}
+	return err
+}
+
+func (s *Store) append(key, value []byte, w window.Window, ts int64) error {
+	ident := id{key: string(key), w: w}
+
+	// A new tuple for a prefetched window proves its ETT estimate wrong:
+	// evict the stale prefetched state (§4.2); it will be re-read when
+	// the window actually triggers.
+	if _, ok := s.prefetch[ident]; ok {
+		s.dropPrefetch(ident)
+		s.evictions.Inc()
+	}
+
+	e := s.buf[ident]
+	if e == nil {
+		e = &bufEntry{}
+		s.buf[ident] = e
+	}
+	vc := make([]byte, len(value))
+	copy(vc, value)
+	e.values = append(e.values, vc)
+	sz := int64(len(value) + 24)
+	e.bytes += sz
+	s.bufBytes += sz
+
+	// Update the Stat table (step ②).
+	st := s.stat[ident]
+	if st == nil {
+		st = &statEntry{maxTS: ts}
+		s.stat[ident] = st
+	} else if ts > st.maxTS {
+		st.maxTS = ts
+	}
+	if s.opts.Predictor != nil {
+		if ett, ok := s.opts.Predictor.ETT(w, st.maxTS); ok {
+			st.ett, st.hasETT = ett, true
+		}
+	}
+
+	if s.bufBytes > s.opts.WriteBufferBytes {
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if s.opts.SeparateCompactionScan {
+			return s.maybeCompactSeparate()
+		}
+	}
+	return nil
+}
+
+// flush spills the write buffer: one data record and one index entry per
+// buffered (key, window) batch (step ③).
+func (s *Store) flush() error {
+	var payload, idxPayload []byte
+	for ident, e := range s.buf {
+		payload = binio.PutUvarint(payload[:0], uint64(len(e.values)))
+		for _, v := range e.values {
+			payload = binio.PutBytes(payload, v)
+		}
+		off, n, err := s.dataLog.Append(payload)
+		if err != nil {
+			return err
+		}
+		idxPayload = encodeIndexEntry(idxPayload[:0], ident, span{off, n})
+		if _, _, err := s.indexLog.Append(idxPayload); err != nil {
+			return err
+		}
+		s.onDisk[ident] += int64(n)
+		delete(s.buf, ident)
+	}
+	s.bufBytes = 0
+	return nil
+}
+
+// identBytes returns the canonical byte encoding of an identity, equal
+// to the prefix of its index entries.
+func identBytes(ident id) []byte {
+	b := binio.PutBytes(nil, []byte(ident.key))
+	return ident.w.AppendTo(b)
+}
+
+// liveEntry groups one live identity's flushed spans during a scan.
+type liveEntry struct {
+	ident id
+	spans []span
+}
+
+func encodeIndexEntry(dst []byte, ident id, sp span) []byte {
+	dst = binio.PutBytes(dst, []byte(ident.key))
+	dst = ident.w.AppendTo(dst)
+	dst = binio.PutUvarint(dst, uint64(sp.off))
+	dst = binio.PutUvarint(dst, uint64(sp.n))
+	return dst
+}
+
+func decodeIndexEntry(b []byte) (ident id, sp span, err error) {
+	k, n, err := binio.Bytes(b)
+	if err != nil {
+		return id{}, span{}, err
+	}
+	b = b[n:]
+	w, n, err := window.Decode(b)
+	if err != nil {
+		return id{}, span{}, err
+	}
+	b = b[n:]
+	off, n, err := binio.Uvarint(b)
+	if err != nil {
+		return id{}, span{}, err
+	}
+	b = b[n:]
+	ln, _, err := binio.Uvarint(b)
+	if err != nil {
+		return id{}, span{}, err
+	}
+	return id{key: string(k), w: w}, span{off: int64(off), n: int(ln)}, nil
+}
+
+// Get fetches and removes the values of (key, window) (paper API:
+// Get(K, W)). Values are returned in append order. A nil slice means the
+// state does not exist.
+func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpRead)
+	}
+	vals, err := s.get(key, w)
+	if stop != nil {
+		stop()
+	}
+	return vals, err
+}
+
+func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
+	ident := id{key: string(key), w: w}
+	var diskVals [][]byte
+
+	if s.onDisk[ident] > 0 {
+		if pv, ok := s.prefetch[ident]; ok {
+			// Step ④: served from the prefetch buffer.
+			s.ratio.Hit()
+			diskVals = pv
+			s.dropPrefetch(ident)
+		} else {
+			// Miss: predictive batch read (steps ⑤–⑦).
+			s.ratio.Miss()
+			if err := s.batchRead(ident); err != nil {
+				return nil, err
+			}
+			diskVals = s.prefetch[ident]
+			s.dropPrefetch(ident)
+		}
+		s.dead += s.onDisk[ident]
+		delete(s.onDisk, ident)
+		s.consumed[string(identBytes(ident))] = struct{}{}
+	}
+
+	var bufVals [][]byte
+	if e, ok := s.buf[ident]; ok {
+		bufVals = e.values
+		s.bufBytes -= e.bytes
+		delete(s.buf, ident)
+	}
+	delete(s.stat, ident)
+
+	if diskVals == nil && bufVals == nil {
+		return nil, nil
+	}
+	return append(diskVals, bufVals...), nil
+}
+
+// Read returns the values of (key, window) without consuming them, in
+// append order. Unlike Get, the state stays live (and stays in the
+// prefetch buffer if a disk read was needed). This supports operators
+// that probe state repeatedly before discarding it wholesale — e.g.
+// interval joins (§8) — while preserving the AUR layout.
+func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpRead)
+	}
+	vals, err := s.read(key, w)
+	if stop != nil {
+		stop()
+	}
+	return vals, err
+}
+
+func (s *Store) read(key []byte, w window.Window) ([][]byte, error) {
+	ident := id{key: string(key), w: w}
+	var diskVals [][]byte
+	if s.onDisk[ident] > 0 {
+		if pv, ok := s.prefetch[ident]; ok {
+			s.ratio.Hit()
+			diskVals = pv
+		} else {
+			s.ratio.Miss()
+			if err := s.batchRead(ident); err != nil {
+				return nil, err
+			}
+			diskVals = s.prefetch[ident]
+		}
+	}
+	var bufVals [][]byte
+	if e, ok := s.buf[ident]; ok {
+		bufVals = e.values
+	}
+	if diskVals == nil && bufVals == nil {
+		return nil, nil
+	}
+	out := make([][]byte, 0, len(diskVals)+len(bufVals))
+	out = append(out, diskVals...)
+	return append(out, bufVals...), nil
+}
+
+// Peek returns the number of buffered, on-disk and prefetched bytes held
+// for (key, window) without consuming them. Diagnostic/testing hook.
+func (s *Store) Peek(key []byte, w window.Window) (buffered, onDisk int64, prefetched bool) {
+	ident := id{key: string(key), w: w}
+	if e, ok := s.buf[ident]; ok {
+		buffered = e.bytes
+	}
+	_, prefetched = s.prefetch[ident]
+	return buffered, s.onDisk[ident], prefetched
+}
+
+// Drop discards all state of (key, window) without reading it.
+func (s *Store) Drop(key []byte, w window.Window) error {
+	if s.closed {
+		return ErrClosed
+	}
+	ident := id{key: string(key), w: w}
+	if e, ok := s.buf[ident]; ok {
+		s.bufBytes -= e.bytes
+		delete(s.buf, ident)
+	}
+	s.dropPrefetch(ident)
+	if n := s.onDisk[ident]; n > 0 {
+		s.dead += n
+		delete(s.onDisk, ident)
+		s.consumed[string(identBytes(ident))] = struct{}{}
+	}
+	delete(s.stat, ident)
+	return nil
+}
+
+func (s *Store) dropPrefetch(ident id) {
+	if vs, ok := s.prefetch[ident]; ok {
+		for _, v := range vs {
+			s.prefetchBytes -= int64(len(v))
+		}
+		delete(s.prefetch, ident)
+	}
+}
+
+// batchRead performs one predictive batch read targeting ident: scan the
+// index log, select the target plus the N live windows nearest their ETT,
+// load them into the prefetch buffer with coalesced range reads, and — in
+// integrated mode — run compaction off the same scan if space
+// amplification exceeds MSA.
+func (s *Store) batchRead(target id) error {
+	// No flush here: the index only needs to cover flushed state — a
+	// Get serves still-buffered values straight from the write buffer,
+	// and onDisk bytes are by definition already indexed.
+	live, order, err := s.scanIndex()
+	if err != nil {
+		return err
+	}
+	s.batchReads.Inc()
+
+	// Select candidates: the target plus the N ids with the smallest
+	// time-to-ETT, N = ceil(ratio × live states) so any positive ratio
+	// prefetches at least one upcoming window. Ids without an ETT cannot
+	// be predicted and are only loaded on demand.
+	var selected []*liveEntry
+	if e := live[string(identBytes(target))]; e != nil {
+		selected = append(selected, e)
+	}
+	n := int(math.Ceil(s.opts.ReadBatchRatio * float64(len(s.stat))))
+	if s.opts.ReadBatchRatio > 0 && n < s.opts.MinBatchWindows {
+		n = s.opts.MinBatchWindows
+	}
+	if n > 0 {
+		type cand struct {
+			e   *liveEntry
+			ett int64
+		}
+		cands := make([]cand, 0, len(order))
+		for _, e := range order {
+			if e.ident == target {
+				continue
+			}
+			if _, already := s.prefetch[e.ident]; already {
+				continue
+			}
+			st := s.stat[e.ident]
+			if st == nil || !st.hasETT {
+				continue
+			}
+			cands = append(cands, cand{e, st.ett})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ett < cands[j].ett })
+		if len(cands) > n {
+			cands = cands[:n]
+		}
+		for _, c := range cands {
+			selected = append(selected, c.e)
+		}
+	}
+
+	if err := s.loadSpans(selected); err != nil {
+		return err
+	}
+
+	// Step ⑦: integrated compaction rides the scan we just did.
+	if !s.opts.SeparateCompactionScan && s.spaceAmp() > s.opts.MaxSpaceAmplification {
+		return s.compact(live, order)
+	}
+	return nil
+}
+
+// scanIndex reads the index log once and returns the live spans grouped
+// by identity, in first-appearance (chronological) order. The scan is
+// allocation-light: each entry's identity prefix is matched against the
+// live and consumed maps without constructing an id; parsing happens
+// once per unique live identity.
+func (s *Store) scanIndex() (map[string]*liveEntry, []*liveEntry, error) {
+	s.indexScans.Inc()
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpRead)
+	}
+	defer func() {
+		if stop != nil {
+			stop()
+		}
+	}()
+	sc, err := s.indexLog.Scanner(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	live := make(map[string]*liveEntry)
+	var order []*liveEntry
+	for sc.Scan() {
+		rec := sc.Record()
+		prefix, sp, err := splitIndexEntry(rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("aur: index entry: %w", err)
+		}
+		if _, dead := s.consumed[string(prefix)]; dead {
+			continue
+		}
+		e := live[string(prefix)]
+		if e == nil {
+			ident, _, err := decodeIndexEntry(rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("aur: index entry: %w", err)
+			}
+			e = &liveEntry{ident: ident}
+			live[string(prefix)] = e
+			order = append(order, e)
+		}
+		e.spans = append(e.spans, sp)
+	}
+	return live, order, sc.Err()
+}
+
+// splitIndexEntry returns an index entry's identity prefix (aliasing b)
+// and its span, without allocating.
+func splitIndexEntry(b []byte) (prefix []byte, sp span, err error) {
+	kl, n, err := binio.Uvarint(b)
+	if err != nil {
+		return nil, span{}, err
+	}
+	p := n + int(kl)
+	if len(b) < p {
+		return nil, span{}, binio.ErrShortBuffer
+	}
+	// Skip the two window varints.
+	for i := 0; i < 2; i++ {
+		_, n, err := binio.Varint(b[p:])
+		if err != nil {
+			return nil, span{}, err
+		}
+		p += n
+	}
+	prefix = b[:p]
+	off, n, err := binio.Uvarint(b[p:])
+	if err != nil {
+		return nil, span{}, err
+	}
+	p += n
+	ln, _, err := binio.Uvarint(b[p:])
+	if err != nil {
+		return nil, span{}, err
+	}
+	return prefix, span{off: int64(off), n: int(ln)}, nil
+}
+
+// loadSpans reads the data-log spans of every selected id into the
+// prefetch buffer, coalescing adjacent ranges into single reads.
+func (s *Store) loadSpans(selected []*liveEntry) error {
+	type task struct {
+		ident id
+		sp    span
+		seq   int
+	}
+	var tasks []task
+	for _, e := range selected {
+		for i, sp := range e.spans {
+			tasks = append(tasks, task{e.ident, sp, i})
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].sp.off != tasks[j].sp.off {
+			return tasks[i].sp.off < tasks[j].sp.off
+		}
+		return tasks[i].seq < tasks[j].seq
+	})
+
+	// Values must land in flush order per id; spans were recorded
+	// per-id chronologically, and since the data log is append-only,
+	// ascending offset order coincides with chronological order.
+	i := 0
+	for i < len(tasks) {
+		// Coalesce a run of tasks whose byte ranges are near-adjacent.
+		j := i
+		end := tasks[i].sp.off + int64(tasks[i].sp.n)
+		for j+1 < len(tasks) && tasks[j+1].sp.off-end <= s.opts.CoalesceGapBytes {
+			j++
+			if e := tasks[j].sp.off + int64(tasks[j].sp.n); e > end {
+				end = e
+			}
+		}
+		base := tasks[i].sp.off
+		raw, err := s.dataLog.ReadRangeAt(base, int(end-base))
+		if err != nil {
+			return err
+		}
+		for k := i; k <= j; k++ {
+			t := tasks[k]
+			rec := raw[t.sp.off-base : t.sp.off-base+int64(t.sp.n)]
+			payload, _, err := binio.ReadRecord(rec)
+			if err != nil {
+				return fmt.Errorf("aur: data record at %d: %w", t.sp.off, err)
+			}
+			vals, err := decodeValues(payload)
+			if err != nil {
+				return err
+			}
+			for _, v := range vals {
+				s.prefetchBytes += int64(len(v))
+			}
+			s.prefetch[t.ident] = append(s.prefetch[t.ident], vals...)
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+func decodeValues(payload []byte) ([][]byte, error) {
+	count, n, err := binio.Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	payload = payload[n:]
+	vals := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, n, err := binio.Bytes(payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = payload[n:]
+		vc := make([]byte, len(v))
+		copy(vc, v)
+		vals = append(vals, vc)
+	}
+	return vals, nil
+}
+
+// spaceAmp returns the data log's current space amplification
+// total/(total-dead); 1.0 when the log is empty.
+func (s *Store) spaceAmp() float64 {
+	total := s.dataLog.Size()
+	if total == 0 || total == s.dead {
+		return 1.0
+	}
+	return float64(total) / float64(total-s.dead)
+}
+
+// maybeCompactSeparate is the ablation path: a dedicated index scan is
+// issued whenever the space-amplification threshold is crossed.
+func (s *Store) maybeCompactSeparate() error {
+	if s.spaceAmp() <= s.opts.MaxSpaceAmplification {
+		return nil
+	}
+	live, order, err := s.scanIndex()
+	if err != nil {
+		return err
+	}
+	return s.compact(live, order)
+}
+
+// compact builds a fresh data log holding only live bytes (moved with
+// zero-copy transfer) and a fresh index log, then removes the old
+// generation (§4.2 "Integrated Compaction", §5 "Zero-copy Byte
+// Transfer").
+func (s *Store) compact(live map[string]*liveEntry, order []*liveEntry) error {
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpCompact)
+	}
+	err := s.compactInner(live, order)
+	if stop != nil {
+		stop()
+	}
+	if err == nil {
+		s.compactions.Inc()
+	}
+	return err
+}
+
+func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error {
+	oldData, oldIndex, oldGen := s.dataLog, s.indexLog, s.gen
+	if err := s.openGen(oldGen + 1); err != nil {
+		s.dataLog, s.indexLog, s.gen = oldData, oldIndex, oldGen
+		return err
+	}
+
+	// Gather live spans in offset order and transfer contiguous runs in
+	// single zero-copy operations.
+	type task struct {
+		ident id
+		sp    span
+		seq   int
+	}
+	var tasks []task
+	for _, e := range order {
+		for i, sp := range e.spans {
+			tasks = append(tasks, task{e.ident, sp, i})
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].sp.off < tasks[j].sp.off })
+
+	newSpans := make(map[id][]span, len(order))
+	i := 0
+	for i < len(tasks) {
+		j := i
+		end := tasks[i].sp.off + int64(tasks[i].sp.n)
+		for j+1 < len(tasks) && tasks[j+1].sp.off == end {
+			j++
+			end = tasks[j].sp.off + int64(tasks[j].sp.n)
+		}
+		base := tasks[i].sp.off
+		newBase := s.dataLog.Size()
+		if err := oldData.TransferTo(s.dataLog, base, end-base); err != nil {
+			return err
+		}
+		for k := i; k <= j; k++ {
+			t := tasks[k]
+			newSpans[t.ident] = append(newSpans[t.ident],
+				span{off: newBase + (t.sp.off - base), n: t.sp.n})
+		}
+		i = j + 1
+	}
+
+	// Rewrite the index log: entries must stay chronological per id so
+	// Get returns values in append order.
+	var idxPayload []byte
+	for _, e := range order {
+		sps := newSpans[e.ident]
+		sort.Slice(sps, func(a, b int) bool { return sps[a].off < sps[b].off })
+		for _, sp := range sps {
+			idxPayload = encodeIndexEntry(idxPayload[:0], e.ident, sp)
+			if _, _, err := s.indexLog.Append(idxPayload); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := oldData.Remove(); err != nil {
+		return err
+	}
+	if err := oldIndex.Remove(); err != nil {
+		return err
+	}
+	s.dead = 0
+	s.consumed = make(map[string]struct{})
+	return nil
+}
+
+// Flush spills all buffered data to disk (checkpoint support).
+func (s *Store) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	if err := s.dataLog.Flush(); err != nil {
+		return err
+	}
+	return s.indexLog.Flush()
+}
+
+// HitRatio returns the prefetch buffer hit ratio (Figure 11b metric).
+func (s *Store) HitRatio() float64 { return s.ratio.Value() }
+
+// HitCount returns (hits, misses) of the prefetch buffer.
+func (s *Store) HitCount() (int64, int64) { return s.ratio.Hits(), s.ratio.Misses() }
+
+// Evictions returns the number of prefetched windows evicted by wrong ETT
+// estimates.
+func (s *Store) Evictions() int64 { return s.evictions.Load() }
+
+// Compactions returns the number of compactions performed.
+func (s *Store) Compactions() int64 { return s.compactions.Load() }
+
+// IndexScans returns the number of full index-log scans performed.
+func (s *Store) IndexScans() int64 { return s.indexScans.Load() }
+
+// SpaceAmplification returns the data log's current space amplification.
+func (s *Store) SpaceAmplification() float64 { return s.spaceAmp() }
+
+// BufferedBytes returns the current write-buffer occupancy.
+func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+
+// PrefetchedBytes returns the current prefetch-buffer occupancy.
+func (s *Store) PrefetchedBytes() int64 { return s.prefetchBytes }
+
+// LiveStates returns the number of live (key, window) states tracked.
+func (s *Store) LiveStates() int { return len(s.stat) }
+
+// DiskUsage returns the logical bytes of the instance's data and index
+// logs, including appends still in their write-through buffers.
+func (s *Store) DiskUsage() (int64, error) {
+	return s.dataLog.Size() + s.indexLog.Size(), nil
+}
+
+// Close closes the store's log files, leaving state on disk.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.dataLog.Close()
+	if e := s.indexLog.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+// Destroy closes the store and deletes its directory.
+func (s *Store) Destroy() error {
+	err := s.Close()
+	if derr := s.dir.RemoveAll(); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}

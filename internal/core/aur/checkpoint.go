@@ -1,0 +1,173 @@
+package aur
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/window"
+)
+
+const statSnapshotName = "stat.snap"
+
+// Checkpoint writes a consistent snapshot of the instance into dir. It
+// flushes the write buffer, then compacts unconditionally so the data log
+// contains exactly the live state (fetch-&-removes performed since the
+// last compaction must not resurrect on restore), and copies the data
+// log, index log, and a snapshot of the Stat table (per-window maximum
+// timestamps, from which ETTs are re-derived).
+func (s *Store) Checkpoint(dir string) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	live, order, err := s.scanIndex()
+	if err != nil {
+		return err
+	}
+	if err := s.compact(live, order); err != nil {
+		return err
+	}
+	if err := s.dataLog.Flush(); err != nil {
+		return err
+	}
+	if err := s.indexLog.Flush(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("aur: checkpoint: %w", err)
+	}
+	if err := copyFile(s.dataLog.Path(), filepath.Join(dir, "data.log")); err != nil {
+		return err
+	}
+	if err := copyFile(s.indexLog.Path(), filepath.Join(dir, "index.log")); err != nil {
+		return err
+	}
+	return s.writeStatSnapshot(filepath.Join(dir, statSnapshotName))
+}
+
+func (s *Store) writeStatSnapshot(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var buf, payload []byte
+	for ident, st := range s.stat {
+		payload = binio.PutBytes(payload[:0], []byte(ident.key))
+		payload = ident.w.AppendTo(payload)
+		payload = binio.PutVarint(payload, st.maxTS)
+		buf = binio.AppendRecord(buf, payload)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Restore rebuilds a freshly-opened (empty) instance from a checkpoint
+// directory. On-disk locations come back from the copied index log; the
+// Stat table and ETTs come back from the snapshot.
+func (s *Store) Restore(dir string) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.buf) != 0 || len(s.onDisk) != 0 || s.dataLog.Size() != 0 {
+		return fmt.Errorf("aur: restore into a non-empty store")
+	}
+	// Replace the empty generation with the checkpointed logs.
+	oldData, oldIndex := s.dataLog, s.indexLog
+	gen := s.gen + 1
+	dataName := fmt.Sprintf("data-%06d.log", gen)
+	indexName := fmt.Sprintf("index-%06d.log", gen)
+	if err := copyFile(filepath.Join(dir, "data.log"), filepath.Join(s.dir.Root(), dataName)); err != nil {
+		return err
+	}
+	if err := copyFile(filepath.Join(dir, "index.log"), filepath.Join(s.dir.Root(), indexName)); err != nil {
+		return err
+	}
+	data, err := s.dir.Open(dataName)
+	if err != nil {
+		return err
+	}
+	index, err := s.dir.Open(indexName)
+	if err != nil {
+		data.Close()
+		return err
+	}
+	s.dataLog, s.indexLog, s.gen = data, index, gen
+	oldData.Remove()
+	oldIndex.Remove()
+
+	// Rebuild onDisk byte accounting from the index log.
+	_, order, err := s.scanIndex()
+	if err != nil {
+		return err
+	}
+	for _, e := range order {
+		var n int64
+		for _, sp := range e.spans {
+			n += int64(sp.n)
+		}
+		s.onDisk[e.ident] = n
+	}
+	return s.loadStatSnapshot(filepath.Join(dir, statSnapshotName))
+}
+
+func (s *Store) loadStatSnapshot(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		payload, n, err := binio.ReadRecord(b)
+		if err != nil {
+			return fmt.Errorf("aur: stat snapshot: %w", err)
+		}
+		b = b[n:]
+		k, kn, err := binio.Bytes(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[kn:]
+		w, wn, err := window.Decode(payload)
+		if err != nil {
+			return err
+		}
+		payload = payload[wn:]
+		maxTS, _, err := binio.Varint(payload)
+		if err != nil {
+			return err
+		}
+		ident := id{key: string(k), w: w}
+		st := &statEntry{maxTS: maxTS}
+		if s.opts.Predictor != nil {
+			if ett, ok := s.opts.Predictor.ETT(w, maxTS); ok {
+				st.ett, st.hasETT = ett, true
+			}
+		}
+		s.stat[ident] = st
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

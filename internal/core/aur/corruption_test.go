@@ -1,0 +1,112 @@
+package aur
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowkv/internal/window"
+)
+
+// flipByte corrupts one byte in the named store file.
+func flipByte(t *testing.T, dir, prefix string, frac float64) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if len(e.Name()) < len(prefix) || e.Name()[:len(prefix)] != prefix {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			continue
+		}
+		b[int(float64(len(b))*frac)] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("no %s* file found", prefix)
+}
+
+func TestDataLogCorruptionSurfacesAsError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "aur")
+	s, err := Open(Options{
+		Dir:              dir,
+		WriteBufferBytes: 1,
+		ReadBatchRatio:   0,
+		Predictor:        window.SessionPredictor{Gap: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if err := s.Append(k, []byte("payload-payload"), w, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, dir, "data-", 0.5)
+
+	var sawErr bool
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if _, err := s.Get(k, w); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("corrupted data log read back without error")
+	}
+}
+
+func TestIndexLogCorruptionSurfacesAsError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "aur")
+	s, err := Open(Options{
+		Dir:              dir,
+		WriteBufferBytes: 1,
+		ReadBatchRatio:   0,
+		Predictor:        window.SessionPredictor{Gap: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 20; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("k%02d", i)), []byte("v"), w, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle of the index log: the scan must detect it
+	// rather than return partial state silently.
+	flipByte(t, dir, "index-", 0.5)
+
+	var sawErr bool
+	for i := 0; i < 20; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("k%02d", i)), w); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("corrupted index log scanned without error")
+	}
+}

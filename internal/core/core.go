@@ -1,0 +1,475 @@
+// Package core is the top level of FlowKV, the paper's semantic-aware
+// composite store for stream processing engines. At application launch it
+// classifies each window operation into one of three store patterns from
+// the operation's aggregate-function interface and window function
+// (§3.1), and deploys store instances with data layouts customized for
+// that pattern:
+//
+//   - AAR (Append and Aligned Read)   — internal/core/aar
+//   - AUR (Append and Unaligned Read) — internal/core/aur
+//   - RMW (Read-Modify-Write)         — internal/core/rmw
+//
+// A Store for one physical window operator is itself composed of m
+// independent instances over hash sub-partitions of the operator's key
+// space (§3, "FlowKV further partitions K_i into K_i,0..K_i,m-1"); this
+// keeps compaction local to one sub-partition and bounds latency spikes.
+//
+// Unlike traditional KV stores, every API method takes the window — and,
+// where relevant, the tuple timestamp — as explicit arguments (§3.2,
+// Listing 1); the API is exposed to the SPE, not to user applications.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+
+	"flowkv/internal/core/aar"
+	"flowkv/internal/core/aur"
+	"flowkv/internal/core/rmw"
+	"flowkv/internal/metrics"
+	"flowkv/internal/window"
+)
+
+// ErrWrongPattern reports a call to an API method that the store's
+// classified pattern does not support.
+var ErrWrongPattern = errors.New("flowkv: method not supported by this store pattern")
+
+// AggKind describes which aggregate-function interface the window
+// operation implements, the first classification axis of §3.1.
+type AggKind int
+
+const (
+	// AggIncremental marks associative and commutative aggregate
+	// functions applied incrementally (Flink's AggregateFunction):
+	// the operation keeps one intermediate aggregate per window.
+	AggIncremental AggKind = iota
+	// AggHolistic marks aggregate functions that need every tuple of the
+	// window before triggering (Flink's ProcessWindowFunction), e.g.
+	// median or windowed join: the operation appends tuples to a list.
+	AggHolistic
+)
+
+// String returns the aggregate-kind name.
+func (k AggKind) String() string {
+	switch k {
+	case AggIncremental:
+		return "incremental"
+	case AggHolistic:
+		return "holistic"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// Pattern is a FlowKV store pattern, chosen once at application launch.
+type Pattern int
+
+const (
+	// PatternAAR: holistic aggregate + aligned windows (fixed/sliding/global).
+	PatternAAR Pattern = iota
+	// PatternAUR: holistic aggregate + unaligned windows (session/count/custom).
+	PatternAUR
+	// PatternRMW: incremental aggregate; read alignment is irrelevant
+	// because the aggregate is read on every tuple arrival (§2.1).
+	PatternRMW
+)
+
+// String returns the store-pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case PatternAAR:
+		return "AAR"
+	case PatternAUR:
+		return "AUR"
+	case PatternRMW:
+		return "RMW"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Classify maps an operation's aggregate kind and window kind to the
+// store pattern FlowKV deploys for it, following §3.1 exactly: the
+// aggregate interface decides RMW vs Append; the window function decides
+// aligned vs unaligned reads, with unknown (custom) window functions
+// conservatively treated as unaligned.
+func Classify(agg AggKind, wk window.Kind) Pattern {
+	if agg == AggIncremental {
+		return PatternRMW
+	}
+	if wk.Aligned() {
+		return PatternAAR
+	}
+	return PatternAUR
+}
+
+// Options configures a composite FlowKV store for one physical operator.
+type Options struct {
+	// Dir is the root directory; each instance gets a subdirectory.
+	Dir string
+	// Instances is m, the number of store instances per physical window
+	// operator. Default 2 (the paper's evaluated configuration).
+	Instances int
+	// WriteBufferBytes is the total write-buffer capacity, split evenly
+	// across instances. Default 64 MiB.
+	WriteBufferBytes int64
+	// ReadBatchRatio is the AUR predictive-batch-read ratio. Default 0.02.
+	ReadBatchRatio float64
+	// AURMinBatchWindows floors the AUR per-scan prefetch count; see
+	// aur.Options.MinBatchWindows. Default 64.
+	AURMinBatchWindows int
+	// MaxSpaceAmplification is the compaction threshold. Default 1.5.
+	MaxSpaceAmplification float64
+	// LoadPartitionBytes bounds AAR gradual-loading partitions. Default 4 MiB.
+	LoadPartitionBytes int64
+	// Predictor overrides the ETT predictor; when nil, the predictor is
+	// derived from the window kind and assigner (window.PredictorFor).
+	Predictor window.Predictor
+	// Assigner is the operator's window assigner, used to derive the
+	// default predictor (e.g. the session gap).
+	Assigner window.Assigner
+	// FineGrainedAAR enables the fine-grained AAR layout (ablation).
+	FineGrainedAAR bool
+	// SeparateCompactionScan disables integrated compaction (ablation).
+	SeparateCompactionScan bool
+	// Breakdown receives per-operation CPU time and I/O accounting.
+	Breakdown *metrics.Breakdown
+}
+
+func (o *Options) fill() {
+	if o.Instances <= 0 {
+		o.Instances = 2
+	}
+	if o.WriteBufferBytes <= 0 {
+		o.WriteBufferBytes = 64 << 20
+	}
+	if o.ReadBatchRatio == 0 {
+		o.ReadBatchRatio = 0.02
+	}
+	if o.ReadBatchRatio < 0 { // explicit "disable prediction"
+		o.ReadBatchRatio = 0
+	}
+	if o.MaxSpaceAmplification <= 0 {
+		o.MaxSpaceAmplification = 1.5
+	}
+}
+
+// KeyValues re-exports the AAR group type for consumers of GetWindow.
+type KeyValues = aar.KeyValues
+
+// Store is the composite FlowKV store for one physical window operator:
+// a pattern chosen at launch plus m single-threaded store instances.
+// Only the methods matching the pattern may be called; others return
+// ErrWrongPattern. A Store, like its instances, is owned by one worker.
+type Store struct {
+	pattern Pattern
+	opts    Options
+
+	aars []*aar.Store
+	aurs []*aur.Store
+	rmws []*rmw.Store
+
+	// getWindowCursor tracks the instance being drained per window for
+	// gradual loading across instances.
+	getWindowCursor map[window.Window]int
+}
+
+// Open classifies the operation and deploys the composite store.
+func Open(agg AggKind, wk window.Kind, opts Options) (*Store, error) {
+	return OpenPattern(Classify(agg, wk), wk, opts)
+}
+
+// OpenPattern deploys a composite store with an explicitly chosen
+// pattern, e.g. from a user annotation on a custom window (§8).
+func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
+	opts.fill()
+	s := &Store{
+		pattern:         p,
+		opts:            opts,
+		getWindowCursor: make(map[window.Window]int),
+	}
+	perInstanceBuf := opts.WriteBufferBytes / int64(opts.Instances)
+	pred := opts.Predictor
+	if pred == nil && opts.Assigner != nil {
+		pred = window.PredictorFor(wk, opts.Assigner)
+	}
+	for i := 0; i < opts.Instances; i++ {
+		dir := filepath.Join(opts.Dir, fmt.Sprintf("inst-%02d", i))
+		switch p {
+		case PatternAAR:
+			st, err := aar.Open(aar.Options{
+				Dir:                dir,
+				WriteBufferBytes:   perInstanceBuf,
+				LoadPartitionBytes: opts.LoadPartitionBytes,
+				FineGrained:        opts.FineGrainedAAR,
+				Breakdown:          opts.Breakdown,
+			})
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.aars = append(s.aars, st)
+		case PatternAUR:
+			st, err := aur.Open(aur.Options{
+				Dir:                    dir,
+				WriteBufferBytes:       perInstanceBuf,
+				ReadBatchRatio:         opts.ReadBatchRatio,
+				MinBatchWindows:        opts.AURMinBatchWindows,
+				MaxSpaceAmplification:  opts.MaxSpaceAmplification,
+				Predictor:              pred,
+				SeparateCompactionScan: opts.SeparateCompactionScan,
+				Breakdown:              opts.Breakdown,
+			})
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.aurs = append(s.aurs, st)
+		case PatternRMW:
+			st, err := rmw.Open(rmw.Options{
+				Dir:                   dir,
+				WriteBufferBytes:      perInstanceBuf,
+				MaxSpaceAmplification: opts.MaxSpaceAmplification,
+				Breakdown:             opts.Breakdown,
+			})
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.rmws = append(s.rmws, st)
+		default:
+			return nil, fmt.Errorf("flowkv: unknown pattern %v", p)
+		}
+	}
+	return s, nil
+}
+
+// Pattern returns the store pattern chosen at launch.
+func (s *Store) Pattern() Pattern { return s.pattern }
+
+// Instances returns m, the number of store instances deployed.
+func (s *Store) Instances() int { return s.opts.Instances }
+
+// route picks the instance owning key. The hash is deterministic (not
+// per-process seeded) so that a store restored from a checkpoint routes
+// keys to the instances that hold their state.
+func (s *Store) route(key []byte) int {
+	if s.opts.Instances == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(s.opts.Instances))
+}
+
+// Append adds a KV tuple to window w. For AUR stores ts feeds the ETT
+// estimate; AAR stores ignore it. RMW stores do not support Append.
+func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
+	switch s.pattern {
+	case PatternAAR:
+		return s.aars[s.route(key)].Append(key, value, w)
+	case PatternAUR:
+		return s.aurs[s.route(key)].Append(key, value, w, ts)
+	default:
+		return ErrWrongPattern
+	}
+}
+
+// GetWindow returns the next partition of window w's state, draining the
+// m instances in turn, or nil when the window is exhausted everywhere
+// (AAR only).
+func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
+	if s.pattern != PatternAAR {
+		return nil, ErrWrongPattern
+	}
+	cur := s.getWindowCursor[w]
+	for cur < len(s.aars) {
+		part, err := s.aars[cur].GetWindow(w)
+		if err != nil {
+			return nil, err
+		}
+		if part != nil {
+			s.getWindowCursor[w] = cur
+			return part, nil
+		}
+		cur++
+	}
+	delete(s.getWindowCursor, w)
+	return nil, nil
+}
+
+// Get fetches and removes the appended values of (key, w) (AUR only).
+func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
+	if s.pattern != PatternAUR {
+		return nil, ErrWrongPattern
+	}
+	return s.aurs[s.route(key)].Get(key, w)
+}
+
+// Read returns the appended values of (key, w) without consuming them
+// (AUR only) — the probe primitive for interval joins (§8).
+func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
+	if s.pattern != PatternAUR {
+		return nil, ErrWrongPattern
+	}
+	return s.aurs[s.route(key)].Read(key, w)
+}
+
+// GetAggregate fetches and removes the aggregate of (key, w) (RMW only).
+func (s *Store) GetAggregate(key []byte, w window.Window) ([]byte, bool, error) {
+	if s.pattern != PatternRMW {
+		return nil, false, ErrWrongPattern
+	}
+	return s.rmws[s.route(key)].Get(key, w)
+}
+
+// PutAggregate stores the updated aggregate of (key, w) (RMW only).
+func (s *Store) PutAggregate(key []byte, w window.Window, agg []byte) error {
+	if s.pattern != PatternRMW {
+		return ErrWrongPattern
+	}
+	return s.rmws[s.route(key)].Put(key, w, agg)
+}
+
+// DropWindow discards window w's state in every instance (AAR only).
+func (s *Store) DropWindow(w window.Window) error {
+	if s.pattern != PatternAAR {
+		return ErrWrongPattern
+	}
+	delete(s.getWindowCursor, w)
+	for _, st := range s.aars {
+		if err := st.DropWindow(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop discards the state of (key, w) without reading it (AUR only).
+func (s *Store) Drop(key []byte, w window.Window) error {
+	if s.pattern != PatternAUR {
+		return ErrWrongPattern
+	}
+	return s.aurs[s.route(key)].Drop(key, w)
+}
+
+// Flush spills all instances' buffers to disk (checkpoint support, §8:
+// in-memory data is flushed before a snapshot so on-disk files can be
+// transferred asynchronously).
+func (s *Store) Flush() error {
+	for _, st := range s.aars {
+		if err := st.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.aurs {
+		if err := st.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.rmws {
+		if err := st.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates evaluation metrics across instances.
+type Stats struct {
+	// Pattern is the store pattern.
+	Pattern Pattern
+	// HitRatio is the AUR prefetch hit ratio (0 for other patterns).
+	HitRatio float64
+	// Hits and Misses are the AUR prefetch-buffer counters.
+	Hits, Misses int64
+	// Evictions counts AUR prefetch evictions from wrong ETTs.
+	Evictions int64
+	// Compactions counts compactions across instances.
+	Compactions int64
+	// BufferedBytes is the current total write-buffer occupancy.
+	BufferedBytes int64
+	// DiskBytes is the current total on-disk footprint.
+	DiskBytes int64
+	// LiveStates is the number of live (key, window) states (AUR/RMW).
+	LiveStates int
+}
+
+// Stats returns the store's aggregated evaluation metrics.
+func (s *Store) Stats() Stats {
+	st := Stats{Pattern: s.pattern}
+	for _, a := range s.aars {
+		st.BufferedBytes += a.BufferedBytes()
+		if d, err := a.DiskUsage(); err == nil {
+			st.DiskBytes += d
+		}
+	}
+	for _, a := range s.aurs {
+		h, m := a.HitCount()
+		st.Hits += h
+		st.Misses += m
+		st.Evictions += a.Evictions()
+		st.Compactions += a.Compactions()
+		st.BufferedBytes += a.BufferedBytes()
+		st.LiveStates += a.LiveStates()
+		if d, err := a.DiskUsage(); err == nil {
+			st.DiskBytes += d
+		}
+	}
+	for _, r := range s.rmws {
+		st.Compactions += r.Compactions()
+		st.BufferedBytes += r.BufferedBytes()
+		st.LiveStates += r.LiveStates()
+		if d, err := r.DiskUsage(); err == nil {
+			st.DiskBytes += d
+		}
+	}
+	if st.Hits+st.Misses > 0 {
+		st.HitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return st
+}
+
+// Close closes every instance, leaving state on disk.
+func (s *Store) Close() error {
+	var first error
+	for _, st := range s.aars {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, st := range s.aurs {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, st := range s.rmws {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Destroy closes every instance and deletes all on-disk state.
+func (s *Store) Destroy() error {
+	var first error
+	for _, st := range s.aars {
+		if err := st.Destroy(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, st := range s.aurs {
+		if err := st.Destroy(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, st := range s.rmws {
+		if err := st.Destroy(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

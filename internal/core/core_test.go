@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"flowkv/internal/window"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		agg  AggKind
+		wk   window.Kind
+		want Pattern
+	}{
+		// §3.1: incremental aggregates are RMW regardless of windows.
+		{AggIncremental, window.Fixed, PatternRMW},
+		{AggIncremental, window.Sliding, PatternRMW},
+		{AggIncremental, window.Session, PatternRMW},
+		{AggIncremental, window.Global, PatternRMW},
+		{AggIncremental, window.Count, PatternRMW},
+		// Holistic + aligned windows are AAR.
+		{AggHolistic, window.Fixed, PatternAAR},
+		{AggHolistic, window.Sliding, PatternAAR},
+		{AggHolistic, window.Global, PatternAAR},
+		// Holistic + unaligned windows are AUR.
+		{AggHolistic, window.Session, PatternAUR},
+		{AggHolistic, window.Count, PatternAUR},
+		// Unknown custom window functions conservatively map to AUR.
+		{AggHolistic, window.Custom, PatternAUR},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.agg, tc.wk); got != tc.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tc.agg, tc.wk, got, tc.want)
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if PatternAAR.String() != "AAR" || PatternAUR.String() != "AUR" || PatternRMW.String() != "RMW" {
+		t.Error("pattern names")
+	}
+	if AggIncremental.String() != "incremental" || AggHolistic.String() != "holistic" {
+		t.Error("agg names")
+	}
+}
+
+func openStore(t *testing.T, agg AggKind, wk window.Kind, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = filepath.Join(t.TempDir(), "store")
+	}
+	s, err := Open(agg, wk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Destroy() })
+	return s
+}
+
+func TestAARCompositeRoundTrip(t *testing.T) {
+	s := openStore(t, AggHolistic, window.Fixed, Options{Instances: 4})
+	if s.Pattern() != PatternAAR || s.Instances() != 4 {
+		t.Fatalf("pattern=%v m=%d", s.Pattern(), s.Instances())
+	}
+	w := window.Window{Start: 0, End: 100}
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Append(k, []byte("v"), w, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// GetWindow must drain all m instances.
+	got := make(map[string]int)
+	for {
+		part, err := s.GetWindow(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part == nil {
+			break
+		}
+		for _, kv := range part {
+			got[string(kv.Key)] += len(kv.Values)
+		}
+	}
+	if len(got) != keys {
+		t.Fatalf("drained %d keys across instances, want %d", len(got), keys)
+	}
+	for k, n := range got {
+		if n != 1 {
+			t.Errorf("key %s: %d values", k, n)
+		}
+	}
+}
+
+func TestAURCompositeRoutesByKey(t *testing.T) {
+	s := openStore(t, AggHolistic, window.Session,
+		Options{Instances: 3, Assigner: window.SessionAssigner{Gap: 100}})
+	if s.Pattern() != PatternAUR {
+		t.Fatal("pattern")
+	}
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if err := s.Append(k, []byte(fmt.Sprintf("v%d", i)), w, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		vals, err := s.Get(k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || string(vals[0]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key-%d: %q", i, vals)
+		}
+	}
+}
+
+func TestRMWComposite(t *testing.T) {
+	s := openStore(t, AggIncremental, window.Sliding, Options{Instances: 2})
+	if s.Pattern() != PatternRMW {
+		t.Fatal("pattern")
+	}
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if err := s.PutAggregate(k, w, []byte(fmt.Sprintf("agg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		agg, ok, err := s.GetAggregate(k, w)
+		if err != nil || !ok || string(agg) != fmt.Sprintf("agg-%d", i) {
+			t.Fatalf("key-%d: %q,%v,%v", i, agg, ok, err)
+		}
+	}
+}
+
+func TestWrongPatternErrors(t *testing.T) {
+	aarStore := openStore(t, AggHolistic, window.Fixed, Options{Instances: 1})
+	if _, err := aarStore.Get(nil, window.Window{}); err != ErrWrongPattern {
+		t.Errorf("AAR.Get: %v", err)
+	}
+	if _, _, err := aarStore.GetAggregate(nil, window.Window{}); err != ErrWrongPattern {
+		t.Errorf("AAR.GetAggregate: %v", err)
+	}
+	if err := aarStore.PutAggregate(nil, window.Window{}, nil); err != ErrWrongPattern {
+		t.Errorf("AAR.PutAggregate: %v", err)
+	}
+	if err := aarStore.Drop(nil, window.Window{}); err != ErrWrongPattern {
+		t.Errorf("AAR.Drop: %v", err)
+	}
+
+	rmwStore := openStore(t, AggIncremental, window.Fixed, Options{Instances: 1})
+	if err := rmwStore.Append(nil, nil, window.Window{}, 0); err != ErrWrongPattern {
+		t.Errorf("RMW.Append: %v", err)
+	}
+	if _, err := rmwStore.GetWindow(window.Window{}); err != ErrWrongPattern {
+		t.Errorf("RMW.GetWindow: %v", err)
+	}
+	if err := rmwStore.DropWindow(window.Window{}); err != ErrWrongPattern {
+		t.Errorf("RMW.DropWindow: %v", err)
+	}
+}
+
+func TestOpenPatternOverride(t *testing.T) {
+	// §8: a user annotation can force a pattern for custom windows.
+	s, err := OpenPattern(PatternAUR, window.Custom, Options{
+		Dir:       filepath.Join(t.TempDir(), "s"),
+		Instances: 1,
+		Predictor: window.UserPredictor{Func: func(w window.Window, maxTS int64) (int64, bool) {
+			return w.End, true
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if s.Pattern() != PatternAUR {
+		t.Fatal("pattern override ignored")
+	}
+	w := window.Window{Start: 0, End: 10}
+	s.Append([]byte("k"), []byte("v"), w, 5)
+	vals, err := s.Get([]byte("k"), w)
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("%v %v", vals, err)
+	}
+}
+
+func TestDropAcrossPatterns(t *testing.T) {
+	aarStore := openStore(t, AggHolistic, window.Fixed, Options{Instances: 2})
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 10; i++ {
+		aarStore.Append([]byte(fmt.Sprintf("k%d", i)), []byte("v"), w, 0)
+	}
+	if err := aarStore.DropWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	if part, err := aarStore.GetWindow(w); err != nil || part != nil {
+		t.Errorf("after DropWindow: %v %v", part, err)
+	}
+
+	aurStore := openStore(t, AggHolistic, window.Session,
+		Options{Instances: 2, Assigner: window.SessionAssigner{Gap: 50}})
+	aurStore.Append([]byte("k"), []byte("v"), w, 0)
+	if err := aurStore.Drop([]byte("k"), w); err != nil {
+		t.Fatal(err)
+	}
+	if vals, err := aurStore.Get([]byte("k"), w); err != nil || vals != nil {
+		t.Errorf("after Drop: %v %v", vals, err)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := openStore(t, AggHolistic, window.Session, Options{
+		Instances:        2,
+		WriteBufferBytes: 512,
+		Assigner:         window.SessionAssigner{Gap: 100},
+	})
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Append(k, make([]byte, 64), w, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Pattern != PatternAUR {
+		t.Error("stats pattern")
+	}
+	if st.LiveStates != 200 {
+		t.Errorf("LiveStates = %d", st.LiveStates)
+	}
+	if st.DiskBytes == 0 {
+		t.Error("expected on-disk bytes after forced flushes")
+	}
+}
+
+func TestFlushCheckpoint(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		agg  AggKind
+		wk   window.Kind
+	}{
+		{"aar", AggHolistic, window.Fixed},
+		{"aur", AggHolistic, window.Session},
+		{"rmw", AggIncremental, window.Fixed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openStore(t, tc.agg, tc.wk, Options{Instances: 2})
+			w := window.Window{Start: 0, End: 100}
+			if tc.agg == AggIncremental {
+				s.PutAggregate([]byte("k"), w, []byte("v"))
+			} else {
+				s.Append([]byte("k"), []byte("v"), w, 0)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.BufferedBytes != 0 {
+				t.Errorf("BufferedBytes = %d after Flush", st.BufferedBytes)
+			}
+		})
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Instances != 2 {
+		t.Errorf("default m = %d, want 2 (paper's configuration)", o.Instances)
+	}
+	if o.ReadBatchRatio != 0.02 {
+		t.Errorf("default ratio = %f, want 0.02", o.ReadBatchRatio)
+	}
+	if o.MaxSpaceAmplification != 1.5 {
+		t.Errorf("default MSA = %f, want 1.5", o.MaxSpaceAmplification)
+	}
+	neg := Options{ReadBatchRatio: -1}
+	neg.fill()
+	if neg.ReadBatchRatio != 0 {
+		t.Errorf("negative ratio should mean disabled, got %f", neg.ReadBatchRatio)
+	}
+}

@@ -1,0 +1,101 @@
+package rmw
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint writes a consistent snapshot of the instance into dir. It
+// flushes the write buffer, compacts unconditionally so the log holds
+// exactly the live aggregates (consumed entries must not resurrect on
+// restore), and copies the log. The hash index is not persisted: it is
+// rebuilt from the compacted log on restore, where every record is live.
+func (s *Store) Checkpoint(dir string) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	if err := s.compact(); err != nil {
+		return err
+	}
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("rmw: checkpoint: %w", err)
+	}
+	return copyFile(s.log.Path(), filepath.Join(dir, "rmw.log"))
+}
+
+// Restore rebuilds a freshly-opened (empty) instance from a checkpoint
+// directory, re-deriving the hash index by scanning the copied log.
+func (s *Store) Restore(dir string) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.buf) != 0 || len(s.index) != 0 || s.log.Size() != 0 {
+		return fmt.Errorf("rmw: restore into a non-empty store")
+	}
+	oldLog := s.log
+	gen := s.gen + 1
+	name := fmt.Sprintf("rmw-%06d.log", gen)
+	if err := copyFile(filepath.Join(dir, "rmw.log"), filepath.Join(s.dir.Root(), name)); err != nil {
+		return err
+	}
+	l, err := s.dir.Open(name)
+	if err != nil {
+		return err
+	}
+	s.log, s.gen = l, gen
+	oldLog.Remove()
+
+	sc, err := s.log.Scanner(0)
+	if err != nil {
+		return err
+	}
+	prev := int64(0)
+	for sc.Scan() {
+		key, w, _, err := decodeEntry(sc.Record())
+		if err != nil {
+			return fmt.Errorf("rmw: restore: %w", err)
+		}
+		ident := id{key: string(key), w: w}
+		s.index[ident] = span{off: prev, n: int(sc.Offset() - prev)}
+		prev = sc.Offset()
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Integrity check: the reconstructed spans must decode.
+	for ident, sp := range s.index {
+		payload, err := s.log.ReadRecordAt(sp.off, sp.n)
+		if err != nil {
+			return fmt.Errorf("rmw: restore verify %q: %w", ident.key, err)
+		}
+		if _, _, _, err := decodeEntry(payload); err != nil {
+			return fmt.Errorf("rmw: restore verify %q: %w", ident.key, err)
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

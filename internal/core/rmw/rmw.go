@@ -1,0 +1,326 @@
+// Package rmw implements FlowKV's Read-Modify-Write store (paper §4.3),
+// used for window operations with associative and commutative aggregate
+// functions, which keep one intermediate aggregate per (key, window)
+// instead of a tuple list.
+//
+// Because the aggregate is read back on every tuple arrival, read-time
+// prediction is useless; the store is a plain unsorted hash store — an
+// in-memory hash write buffer, an in-memory hash index mapping
+// (key, window) to on-disk locations, and a single append-only log file —
+// but without any of the synchronization machinery concurrent hash stores
+// such as FASTER carry, since each instance is owned by one worker.
+// Compaction rewrites live entries into a fresh log when space
+// amplification exceeds the MSA threshold.
+package rmw
+
+import (
+	"errors"
+	"fmt"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/logfile"
+	"flowkv/internal/metrics"
+	"flowkv/internal/window"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("rmw: store closed")
+
+// Options configures an RMW store instance.
+type Options struct {
+	// Dir is the directory holding the instance's log files.
+	Dir string
+	// WriteBufferBytes caps the in-memory write buffer; exceeding it
+	// flushes every buffered aggregate to the log. Default 32 MiB.
+	WriteBufferBytes int64
+	// MaxSpaceAmplification (MSA) triggers compaction when
+	// total/(total-dead) log bytes exceed it. Default 1.5.
+	MaxSpaceAmplification float64
+	// Breakdown receives per-operation CPU time and I/O accounting.
+	Breakdown *metrics.Breakdown
+}
+
+func (o *Options) fill() {
+	if o.WriteBufferBytes <= 0 {
+		o.WriteBufferBytes = 32 << 20
+	}
+	if o.MaxSpaceAmplification <= 0 {
+		o.MaxSpaceAmplification = 1.5
+	}
+}
+
+type id struct {
+	key string
+	w   window.Window
+}
+
+type span struct {
+	off int64
+	n   int
+}
+
+// Store is a single RMW store instance, owned by one worker goroutine.
+type Store struct {
+	opts Options
+	dir  *logfile.Dir
+	bd   *metrics.Breakdown
+
+	buf      map[id][]byte // latest aggregate per id, not yet flushed
+	bufBytes int64
+	index    map[id]span // on-disk location of each flushed aggregate
+	log      *logfile.Log
+	gen      int
+	dead     int64
+
+	closed bool
+
+	compactions metrics.Counter
+	puts        metrics.Counter
+	gets        metrics.Counter
+}
+
+// Open creates an RMW store instance rooted at opts.Dir.
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:  opts,
+		dir:   dir,
+		bd:    opts.Breakdown,
+		buf:   make(map[id][]byte),
+		index: make(map[id]span),
+	}
+	if err := s.openGen(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) openGen(gen int) error {
+	l, err := s.dir.Create(fmt.Sprintf("rmw-%06d.log", gen))
+	if err != nil {
+		return err
+	}
+	s.log, s.gen = l, gen
+	return nil
+}
+
+// Put stores the updated aggregate for (key, window) (paper API:
+// Put(K, W, A)), replacing any previous aggregate. The value is copied.
+func (s *Store) Put(key []byte, w window.Window, agg []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpWrite)
+	}
+	err := s.put(key, w, agg)
+	if stop != nil {
+		stop()
+	}
+	return err
+}
+
+func (s *Store) put(key []byte, w window.Window, agg []byte) error {
+	ident := id{key: string(key), w: w}
+	if old, ok := s.buf[ident]; ok {
+		s.bufBytes -= int64(len(old))
+	}
+	// A newer aggregate makes any flushed copy dead; the index entry is
+	// retired at flush time, but the bytes are dead immediately.
+	if sp, ok := s.index[ident]; ok {
+		s.dead += int64(sp.n)
+		delete(s.index, ident)
+	}
+	ac := make([]byte, len(agg))
+	copy(ac, agg)
+	s.buf[ident] = ac
+	s.bufBytes += int64(len(ac))
+	s.puts.Inc()
+	if s.bufBytes+int64(len(s.buf))*48 > s.opts.WriteBufferBytes {
+		if err := s.flush(); err != nil {
+			return err
+		}
+		return s.maybeCompact()
+	}
+	return nil
+}
+
+// Get fetches and removes the aggregate of (key, window) (paper API:
+// Get(K, W)). ok is false when no aggregate exists.
+func (s *Store) Get(key []byte, w window.Window) (agg []byte, ok bool, err error) {
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpRead)
+	}
+	agg, ok, err = s.get(key, w)
+	if stop != nil {
+		stop()
+	}
+	return agg, ok, err
+}
+
+func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
+	ident := id{key: string(key), w: w}
+	if v, ok := s.buf[ident]; ok {
+		s.bufBytes -= int64(len(v))
+		delete(s.buf, ident)
+		return v, true, nil
+	}
+	sp, ok := s.index[ident]
+	if !ok {
+		return nil, false, nil
+	}
+	payload, err := s.log.ReadRecordAt(sp.off, sp.n)
+	if err != nil {
+		return nil, false, err
+	}
+	_, _, v, err := decodeEntry(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	delete(s.index, ident)
+	s.dead += int64(sp.n)
+	s.gets.Inc()
+	return v, true, nil
+}
+
+func encodeEntry(dst []byte, ident id, agg []byte) []byte {
+	dst = binio.PutBytes(dst, []byte(ident.key))
+	dst = ident.w.AppendTo(dst)
+	return binio.PutBytes(dst, agg)
+}
+
+func decodeEntry(b []byte) (key []byte, w window.Window, agg []byte, err error) {
+	key, n, err := binio.Bytes(b)
+	if err != nil {
+		return nil, window.Window{}, nil, err
+	}
+	b = b[n:]
+	w, n, err = window.Decode(b)
+	if err != nil {
+		return nil, window.Window{}, nil, err
+	}
+	b = b[n:]
+	agg, _, err = binio.Bytes(b)
+	return key, w, agg, err
+}
+
+// flush spills every buffered aggregate to the log and indexes it.
+func (s *Store) flush() error {
+	var payload []byte
+	for ident, v := range s.buf {
+		payload = encodeEntry(payload[:0], ident, v)
+		off, n, err := s.log.Append(payload)
+		if err != nil {
+			return err
+		}
+		s.index[ident] = span{off: off, n: n}
+		delete(s.buf, ident)
+	}
+	s.bufBytes = 0
+	return nil
+}
+
+func (s *Store) spaceAmp() float64 {
+	total := s.log.Size()
+	if total == 0 || total == s.dead {
+		return 1.0
+	}
+	return float64(total) / float64(total-s.dead)
+}
+
+func (s *Store) maybeCompact() error {
+	if s.spaceAmp() <= s.opts.MaxSpaceAmplification {
+		return nil
+	}
+	var stop func()
+	if s.bd != nil {
+		stop = s.bd.Start(metrics.OpCompact)
+	}
+	err := s.compact()
+	if stop != nil {
+		stop()
+	}
+	if err == nil {
+		s.compactions.Inc()
+	}
+	return err
+}
+
+// compact rewrites all live (indexed) aggregates into a fresh log, as
+// hash KV stores do (§4.3), and removes the old generation.
+func (s *Store) compact() error {
+	oldLog := s.log
+	if err := s.openGen(s.gen + 1); err != nil {
+		s.log = oldLog
+		return err
+	}
+	newIndex := make(map[id]span, len(s.index))
+	for ident, sp := range s.index {
+		payload, err := oldLog.ReadRecordAt(sp.off, sp.n)
+		if err != nil {
+			return err
+		}
+		off, n, err := s.log.Append(payload)
+		if err != nil {
+			return err
+		}
+		newIndex[ident] = span{off: off, n: n}
+	}
+	s.index = newIndex
+	s.dead = 0
+	return oldLog.Remove()
+}
+
+// Flush spills all buffered data to disk (checkpoint support).
+func (s *Store) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	return s.log.Flush()
+}
+
+// Compactions returns the number of compactions performed.
+func (s *Store) Compactions() int64 { return s.compactions.Load() }
+
+// SpaceAmplification returns the log's current space amplification.
+func (s *Store) SpaceAmplification() float64 { return s.spaceAmp() }
+
+// BufferedBytes returns the current write-buffer occupancy.
+func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+
+// LiveStates returns the number of live (key, window) aggregates.
+func (s *Store) LiveStates() int { return len(s.buf) + len(s.index) }
+
+// DiskUsage returns the logical bytes of the instance's log, including
+// appends still in its write-through buffer.
+func (s *Store) DiskUsage() (int64, error) { return s.log.Size(), nil }
+
+// Close closes the store's log file, leaving state on disk.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}
+
+// Destroy closes the store and deletes its directory.
+func (s *Store) Destroy() error {
+	err := s.Close()
+	if derr := s.dir.RemoveAll(); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}

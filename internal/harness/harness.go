@@ -1,0 +1,227 @@
+// Package harness runs the paper's evaluation (§6) against the Go
+// reproduction: it builds NEXMark queries over each state backend, drives
+// them with the deterministic generator, and prints the same rows and
+// series as the paper's figures. Absolute numbers differ from the paper —
+// the substrate is a scaled-down single-process simulation, not an AWS
+// i3.2xlarge fleet — but the comparisons (who wins, by what factor, where
+// systems fail) are the reproduction target; see EXPERIMENTS.md.
+//
+// Scaling. The paper processes ~400 GB with 500-2000 s windows. The
+// harness shrinks the dataset (default ~150k events) and windows, and
+// shrinks every store's memory the same way (small write buffers,
+// memtables and in-memory log regions), preserving the "state larger
+// than memory" regime in which the paper operates.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"flowkv/internal/core"
+	"flowkv/internal/faster"
+	"flowkv/internal/lsm"
+	"flowkv/internal/memstore"
+	"flowkv/internal/metrics"
+	"flowkv/internal/nexmark"
+	"flowkv/internal/nexmark/queries"
+	"flowkv/internal/spe"
+	"flowkv/internal/statebackend"
+)
+
+// Scale controls how big the experiments run.
+type Scale struct {
+	// Events is the dataset size per run.
+	Events int
+	// Parallelism is the per-stage worker count.
+	Parallelism int
+	// BaseDir roots all state directories (a temp dir in tests).
+	BaseDir string
+	// LatencySeconds bounds each fixed-rate latency measurement.
+	LatencySeconds float64
+}
+
+// DefaultScale is the flowbench default: a laptop-scale reproduction.
+func DefaultScale(baseDir string) Scale {
+	return Scale{Events: 150_000, Parallelism: 2, BaseDir: baseDir, LatencySeconds: 2}
+}
+
+// QuickScale is used by unit tests and -quick runs.
+func QuickScale(baseDir string) Scale {
+	return Scale{Events: 12_000, Parallelism: 2, BaseDir: baseDir, LatencySeconds: 0.3}
+}
+
+// WindowSizesMs returns the scaled stand-ins for the paper's 500 s,
+// 1000 s and 2000 s windows. Events arrive 1 ms apart, so these hold
+// ~1k, ~5k and ~25k events per window instance respectively.
+func WindowSizesMs() []int64 { return []int64{1_000, 5_000, 25_000} }
+
+// Options bundles the per-store tuning used by a run.
+type Options struct {
+	// WindowMs is the window size / session gap.
+	WindowMs int64
+	// FlowKV etc. override store options.
+	FlowKV core.Options
+	LSM    lsm.Options
+	Faster faster.Options
+	Mem    memstore.Options
+	// RateEPS, when positive, paces the source at this many events/s
+	// (latency experiments); 0 runs full speed (throughput experiments).
+	RateEPS float64
+}
+
+// ScaledStoreOptions returns store options that put every backend in the
+// paper's regime at harness scale: buffers and in-memory regions far
+// smaller than total state, so all stores continuously hit the disk
+// path, and a memory budget the in-memory store can exceed.
+func ScaledStoreOptions() Options {
+	return Options{
+		FlowKV: core.Options{
+			WriteBufferBytes: 256 << 10, // split across m=2 instances
+			Instances:        2,
+		},
+		LSM: lsm.Options{
+			MemtableBytes:   128 << 10,
+			BaseLevelBytes:  1 << 20,
+			TargetFileBytes: 256 << 10,
+			BlockCacheBytes: 512 << 10,
+		},
+		Faster: faster.Options{
+			MemoryBytes: 128 << 10,
+		},
+		Mem: memstore.Options{
+			CapacityBytes:    384 << 10, // per worker: large windows overflow
+			GCThresholdBytes: 128 << 10,
+			GCMarkBytesPerMs: 256 << 20,
+		},
+	}
+}
+
+// RunOutcome is one measured (query, backend, options) execution.
+type RunOutcome struct {
+	Query   string
+	Backend statebackend.Kind
+	// Failed marks out-of-memory or other failures (the paper's crossed
+	// bars); FailReason explains.
+	Failed     bool
+	FailReason string
+	// ThroughputTPS is source events per second of wall time.
+	ThroughputTPS float64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// P95, P50 are sink-side latencies.
+	P95, P50 time.Duration
+	// Results counts emitted result tuples.
+	Results int64
+	// Breakdown holds the store CPU-time and I/O accounting.
+	Breakdown *metrics.Breakdown
+	// FlowKV carries FlowKV-specific stats (hit ratio, compactions).
+	FlowKV spe.FlowKVRunStats
+}
+
+var runSeq struct {
+	mu sync.Mutex
+	n  int
+}
+
+func nextRunDir(base string) string {
+	runSeq.mu.Lock()
+	runSeq.n++
+	n := runSeq.n
+	runSeq.mu.Unlock()
+	return filepath.Join(base, fmt.Sprintf("run-%04d", n))
+}
+
+// RunQuery executes one query over one backend at the given scale and
+// options, returning the measurements. Events are generated fresh
+// (deterministic seed) unless pre-generated events are supplied.
+func RunQuery(sc Scale, queryName string, backend statebackend.Kind, opts Options, events []nexmark.Event) RunOutcome {
+	out := RunOutcome{Query: queryName, Backend: backend, Breakdown: &metrics.Breakdown{}}
+	if events == nil {
+		events = GenerateEvents(sc.Events)
+	}
+	cfg := queries.Config{
+		Backend:     backend,
+		BaseDir:     nextRunDir(sc.BaseDir),
+		Parallelism: sc.Parallelism,
+		WindowMs:    opts.WindowMs,
+		FlowKV:      opts.FlowKV,
+		LSM:         opts.LSM,
+		Faster:      opts.Faster,
+		Mem:         opts.Mem,
+		Breakdown:   out.Breakdown,
+	}
+	q, err := queries.Build(queryName, cfg)
+	if err != nil {
+		out.Failed, out.FailReason = true, err.Error()
+		return out
+	}
+	src := q.Source(events)
+	if opts.RateEPS > 0 {
+		src = RateLimit(src, opts.RateEPS)
+	}
+	res, err := spe.Run(q.Pipeline, src, nil)
+	if err != nil {
+		out.Failed, out.FailReason = true, err.Error()
+		if res != nil {
+			out.Elapsed = res.Elapsed
+		}
+		return out
+	}
+	out.ThroughputTPS = res.ThroughputTPS
+	out.Elapsed = res.Elapsed
+	out.P95 = res.Latency.P95()
+	out.P50 = res.Latency.P50()
+	out.Results = res.Results
+	out.FlowKV = res.FlowKV
+	return out
+}
+
+// GenerateEvents produces the standard deterministic dataset.
+func GenerateEvents(n int) []nexmark.Event {
+	return nexmark.NewGenerator(nexmark.GeneratorConfig{
+		Events:       n,
+		InterEventMs: 1,
+		Seed:         2023,
+	}).All()
+}
+
+// RateLimit paces a source at eps tuples per second with a token bucket,
+// stamping tuples with their true emission wall time (the latency
+// experiments' fixed-tuple-rate broker, §6.2).
+func RateLimit(src spe.Source, eps float64) spe.Source {
+	return func(emit func(spe.Tuple)) {
+		interval := time.Duration(float64(time.Second) / eps)
+		next := time.Now()
+		src(func(t spe.Tuple) {
+			now := time.Now()
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+				now = time.Now()
+			}
+			next = next.Add(interval)
+			if next.Before(now.Add(-100 * time.Millisecond)) {
+				next = now // don't accumulate unbounded debt
+			}
+			t.WallNS = time.Now().UnixNano()
+			emit(t)
+		})
+	}
+}
+
+// TruncateEvents bounds a run's duration for fixed-rate experiments.
+func TruncateEvents(events []nexmark.Event, n int) []nexmark.Event {
+	if n < len(events) {
+		return events[:n]
+	}
+	return events
+}
+
+// fprintf writes to w, ignoring nil writers.
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

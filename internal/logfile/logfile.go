@@ -1,0 +1,390 @@
+// Package logfile implements the on-disk substrate shared by all stores in
+// this repository: append-only log files with buffered writes, framed
+// record scanning, positional reads, and zero-copy byte transfer between
+// logs (used by the AUR store's integrated compaction, §5 of the paper).
+//
+// Every byte of I/O performed through this package is charged to a
+// metrics.Breakdown so that experiment harnesses can reproduce the
+// paper's I/O accounting without external tooling.
+package logfile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/metrics"
+)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("logfile: closed")
+
+// Log is a single append-only file of framed records. A Log is owned by a
+// single goroutine (the store instance that created it), matching the
+// paper's single-threaded worker model; it performs no locking.
+type Log struct {
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	rw     *binio.RecordWriter
+	bd     *metrics.Breakdown
+	closed bool
+}
+
+// Create creates (or truncates) an append-only log at path. The breakdown
+// may be nil, in which case I/O is not accounted.
+func Create(path string, bd *metrics.Breakdown) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logfile: create: %w", err)
+	}
+	return newLog(path, f, 0, bd), nil
+}
+
+// Open opens an existing log for appending; new records go after any valid
+// prefix. Torn trailing records from a crash are truncated away.
+func Open(path string, bd *metrics.Breakdown) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logfile: open: %w", err)
+	}
+	end, err := recoverEnd(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("logfile: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("logfile: seek: %w", err)
+	}
+	return newLog(path, f, end, bd), nil
+}
+
+// recoverEnd scans f and returns the offset one past its last valid record.
+func recoverEnd(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	sc := binio.NewRecordScanner(bufio.NewReaderSize(f, 256*1024), 0)
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("logfile: recover: %w", err)
+	}
+	return sc.Offset(), nil
+}
+
+func newLog(path string, f *os.File, off int64, bd *metrics.Breakdown) *Log {
+	w := bufio.NewWriterSize(f, 256*1024)
+	return &Log{path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd}
+}
+
+// Path returns the file path of the log.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the logical size of the log: the offset one byte past the
+// last appended record, including any bytes still in the write buffer.
+func (l *Log) Size() int64 { return l.rw.Offset() }
+
+// Append writes one framed record and returns its offset and on-disk
+// length (frame included).
+func (l *Log) Append(payload []byte) (off int64, n int, err error) {
+	if l.closed {
+		return 0, 0, ErrClosed
+	}
+	off, n, err = l.rw.Write(payload)
+	if err == nil && l.bd != nil {
+		l.bd.AddBytesWritten(int64(n))
+	}
+	return off, n, err
+}
+
+// Flush pushes buffered appends to the operating system.
+func (l *Log) Flush() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.w.Flush()
+}
+
+// Sync flushes and fsyncs the log. SPEs typically disable per-write
+// durability (paper §8: persistency features are disabled and recovery
+// replays from the source), so stores call Sync only at checkpoints.
+func (l *Log) Sync() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	if l.bd != nil {
+		l.bd.Observe(metrics.OpIOWait, time.Since(start))
+	}
+	return err
+}
+
+// ReadRecordAt reads the framed record at offset off, whose total on-disk
+// length is n, and returns its payload. The payload is a fresh allocation.
+func (l *Log) ReadRecordAt(off int64, n int) ([]byte, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	start := time.Now()
+	if _, err := l.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("logfile: read at %d: %w", off, err)
+	}
+	if l.bd != nil {
+		l.bd.Observe(metrics.OpIOWait, time.Since(start))
+		l.bd.AddBytesRead(int64(n))
+	}
+	payload, _, err := binio.ReadRecord(buf)
+	if err != nil {
+		return nil, fmt.Errorf("logfile: record at %d: %w", off, err)
+	}
+	return payload, nil
+}
+
+// ReadRangeAt reads n raw bytes starting at off. Used by batch reads that
+// cover several adjacent records with one I/O.
+func (l *Log) ReadRangeAt(off int64, n int) ([]byte, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	start := time.Now()
+	if _, err := l.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("logfile: read range at %d: %w", off, err)
+	}
+	if l.bd != nil {
+		l.bd.Observe(metrics.OpIOWait, time.Since(start))
+		l.bd.AddBytesRead(int64(n))
+	}
+	return buf, nil
+}
+
+// Scanner returns a sequential scanner over the log's records from offset
+// base. The log's buffered writes are flushed first.
+func (l *Log) Scanner(base int64) (*Scanner, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return nil, err
+	}
+	sr := io.NewSectionReader(l.f, base, l.Size()-base)
+	return &Scanner{
+		sc: binio.NewRecordScanner(bufio.NewReaderSize(sr, 256*1024), base),
+		bd: l.bd,
+	}, nil
+}
+
+// TransferTo copies n raw bytes at offset off into dst using the
+// kernel-assisted copy path (io.Copy over *os.File lowers to
+// copy_file_range on Linux), reproducing the paper's zero-copy byte
+// transfer between old and new data logs during AUR compaction.
+func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
+	if l.closed || dst.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := dst.w.Flush(); err != nil {
+		return err
+	}
+	start := time.Now()
+	sr := io.NewSectionReader(l.f, off, n)
+	copied, err := io.Copy(dst.f, sr)
+	if err != nil {
+		return fmt.Errorf("logfile: transfer: %w", err)
+	}
+	if copied != n {
+		return fmt.Errorf("logfile: transfer copied %d of %d bytes", copied, n)
+	}
+	if l.bd != nil {
+		l.bd.Observe(metrics.OpIOWait, time.Since(start))
+		l.bd.AddBytesRead(n)
+		l.bd.AddBytesWritten(n)
+	}
+	// The destination file position advanced by the kernel copy; keep the
+	// record writer's logical offset in step.
+	dst.rw = binio.NewRecordWriter(dst.w, dst.rw.Offset()+n)
+	return nil
+}
+
+// Close flushes and closes the log file. The file remains on disk.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Remove closes the log and unlinks its file (the AAR store's "clean the
+// per-window log after the read" step).
+func (l *Log) Remove() error {
+	err := l.Close()
+	if rerr := os.Remove(l.path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Scanner iterates a log's framed records sequentially.
+type Scanner struct {
+	sc *binio.RecordScanner
+	bd *metrics.Breakdown
+	n  int64
+}
+
+// Scan advances to the next record, reporting false at end of log.
+func (s *Scanner) Scan() bool {
+	prev := s.sc.Offset()
+	ok := s.sc.Scan()
+	if ok {
+		s.n += s.sc.Offset() - prev
+	}
+	return ok
+}
+
+// Record returns the current record payload; valid until the next Scan.
+func (s *Scanner) Record() []byte { return s.sc.Record() }
+
+// Offset returns the offset one byte past the current record.
+func (s *Scanner) Offset() int64 { return s.sc.Offset() }
+
+// Err returns the first non-EOF error encountered.
+func (s *Scanner) Err() error {
+	if s.bd != nil && s.n > 0 {
+		s.bd.AddBytesRead(s.n)
+		s.n = 0
+	}
+	return s.sc.Err()
+}
+
+// Dir manages a directory of named log files for one store instance: file
+// naming, creation, listing, and space accounting. It is the substrate for
+// the AAR store's per-window files and the AUR/RMW stores' numbered
+// generations of data and index logs.
+type Dir struct {
+	mu   sync.Mutex
+	root string
+	bd   *metrics.Breakdown
+	seq  int64
+}
+
+// OpenDir creates (if needed) and opens a log directory rooted at root.
+func OpenDir(root string, bd *metrics.Breakdown) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("logfile: open dir: %w", err)
+	}
+	return &Dir{root: root, bd: bd}, nil
+}
+
+// Root returns the directory path.
+func (d *Dir) Root() string { return d.root }
+
+// Breakdown returns the directory's metrics sink (may be nil).
+func (d *Dir) Breakdown() *metrics.Breakdown { return d.bd }
+
+// Create creates a log with the exact name within the directory.
+func (d *Dir) Create(name string) (*Log, error) {
+	return Create(filepath.Join(d.root, name), d.bd)
+}
+
+// Open opens an existing named log, recovering its tail.
+func (d *Dir) Open(name string) (*Log, error) {
+	return Open(filepath.Join(d.root, name), d.bd)
+}
+
+// NextName returns a fresh "<prefix>-<seq>.log" name, unique within this
+// Dir for the life of the process.
+func (d *Dir) NextName(prefix string) string {
+	d.mu.Lock()
+	d.seq++
+	n := d.seq
+	d.mu.Unlock()
+	return fmt.Sprintf("%s-%06d.log", prefix, n)
+}
+
+// List returns the names of logs in the directory with the given prefix,
+// sorted by sequence number.
+func (d *Dir) List(prefix string) ([]string, error) {
+	ents, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, fmt.Errorf("logfile: list: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, prefix+"-") && strings.HasSuffix(name, ".log") {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return seqOf(names[i]) < seqOf(names[j]) })
+	return names, nil
+}
+
+func seqOf(name string) int64 {
+	base := strings.TrimSuffix(name, ".log")
+	if i := strings.LastIndexByte(base, '-'); i >= 0 {
+		if n, err := strconv.ParseInt(base[i+1:], 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// Remove unlinks the named log file.
+func (d *Dir) Remove(name string) error {
+	err := os.Remove(filepath.Join(d.root, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// DiskUsage returns the total size in bytes of all files in the directory,
+// used for space-amplification accounting in the MSA experiments.
+func (d *Dir) DiskUsage() (int64, error) {
+	ents, err := os.ReadDir(d.root)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// RemoveAll deletes the directory and everything under it.
+func (d *Dir) RemoveAll() error { return os.RemoveAll(d.root) }

@@ -1,0 +1,411 @@
+package logfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/metrics"
+)
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var bd metrics.Breakdown
+	l, err := Create(filepath.Join(dir, "a.log"), &bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var want [][]byte
+	for i := 0; i < 500; i++ {
+		p := []byte(fmt.Sprintf("record-%04d", i))
+		if _, _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	sc, err := l.Scanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i int
+	for sc.Scan() {
+		if !bytes.Equal(sc.Record(), want[i]) {
+			t.Fatalf("record %d mismatch: %q", i, sc.Record())
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("scanned %d records, want %d", i, len(want))
+	}
+	if bd.BytesWritten() == 0 || bd.BytesRead() == 0 {
+		t.Error("I/O accounting missing")
+	}
+}
+
+func TestReadRecordAt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "a.log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type loc struct {
+		off int64
+		n   int
+	}
+	var locs []loc
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, 10+i)
+		off, n, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc{off, n})
+		want = append(want, p)
+	}
+	// Random-order positional reads.
+	for i := len(locs) - 1; i >= 0; i-- {
+		got, err := l.ReadRecordAt(locs[i].off, locs[i].n)
+		if err != nil {
+			t.Fatalf("ReadRecordAt(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRangeAtCoversAdjacentRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "a.log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	off0, n0, _ := l.Append([]byte("first"))
+	_, n1, _ := l.Append([]byte("second"))
+	raw, err := l.ReadRangeAt(off0, n0+n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, used, err := binio.ReadRecord(raw)
+	if err != nil || string(p0) != "first" {
+		t.Fatalf("first record: %q %v", p0, err)
+	}
+	p1, _, err := binio.ReadRecord(raw[used:])
+	if err != nil || string(p1) != "second" {
+		t.Fatalf("second record: %q %v", p1, err)
+	}
+}
+
+func TestOpenRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.log")
+	l, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, _, err := l2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := l2.Scanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for sc.Scan() {
+		got = append(got, string(sc.Record()))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "keep-me" || got[1] != "after-recovery" {
+		t.Fatalf("recovered records = %v", got)
+	}
+}
+
+func TestScannerFromOffset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "a.log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]byte("one"))
+	off, _, _ := l.Append([]byte("two"))
+	l.Append([]byte("three"))
+	sc, err := l.Scanner(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for sc.Scan() {
+		got = append(got, string(sc.Record()))
+	}
+	if len(got) != 2 || got[0] != "two" {
+		t.Fatalf("got %v, want [two three]", got)
+	}
+}
+
+func TestTransferTo(t *testing.T) {
+	dir := t.TempDir()
+	var bd metrics.Breakdown
+	src, err := Create(filepath.Join(dir, "src.log"), &bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Create(filepath.Join(dir, "dst.log"), &bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	var offs []int64
+	var lens []int
+	for i := 0; i < 10; i++ {
+		off, n, err := src.Append(bytes.Repeat([]byte{byte('a' + i)}, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+		lens = append(lens, n)
+	}
+	// Transfer records 3..6 (a contiguous "valid" region).
+	start := offs[3]
+	length := offs[7] - offs[3]
+	if err := src.TransferTo(dst, start, length); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Size() != length {
+		t.Fatalf("dst size = %d, want %d", dst.Size(), length)
+	}
+	// Appends after a transfer must land after the transferred bytes.
+	if _, _, err := dst.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := dst.Scanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for sc.Scan() {
+		got = append(got, string(sc.Record()[:1]))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d", "e", "f", "g", "t"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "a.log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, _, err := l.Append(nil); err != ErrClosed {
+		t.Errorf("Append on closed: %v", err)
+	}
+	if _, err := l.ReadRecordAt(0, 0); err != ErrClosed {
+		t.Errorf("ReadRecordAt on closed: %v", err)
+	}
+	if _, err := l.Scanner(0); err != ErrClosed {
+		t.Errorf("Scanner on closed: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.log")
+	l, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("x"))
+	if err := l.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("file still exists after Remove")
+	}
+}
+
+func TestSync(t *testing.T) {
+	dir := t.TempDir()
+	var bd metrics.Breakdown
+	l, err := Create(filepath.Join(dir, "a.log"), &bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]byte("durable"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(l.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != l.Size() {
+		t.Errorf("on-disk size %d != logical size %d after Sync", info.Size(), l.Size())
+	}
+}
+
+func TestDirNamingAndListing(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	d, err := OpenDir(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 12; i++ {
+		name := d.NextName("data")
+		names = append(names, name)
+		l, err := d.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Append([]byte("x"))
+		l.Close()
+	}
+	// A different prefix must not show up in the listing.
+	idx, err := d.Create(d.NextName("index"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+
+	got, err := d.List("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("List = %d names, want %d", len(got), len(names))
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("List[%d] = %q, want %q (sequence order)", i, got[i], names[i])
+		}
+	}
+}
+
+func TestDirDiskUsageAndRemove(t *testing.T) {
+	d, err := OpenDir(filepath.Join(t.TempDir(), "s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := d.NextName("data")
+	l, err := d.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(bytes.Repeat([]byte("z"), 1000))
+	l.Close()
+	usage, err := d.DiskUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage < 1000 {
+		t.Errorf("DiskUsage = %d, want >= 1000", usage)
+	}
+	if err := d.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(name); err != nil {
+		t.Errorf("removing a missing file should be a no-op, got %v", err)
+	}
+	usage, _ = d.DiskUsage()
+	if usage != 0 {
+		t.Errorf("DiskUsage after remove = %d", usage)
+	}
+	if err := d.RemoveAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, err := Create(filepath.Join(b.TempDir(), "bench.log"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("v"), 84)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialScan(b *testing.B) {
+	l, err := Create(filepath.Join(b.TempDir(), "bench.log"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("v"), 84)
+	for i := 0; i < 100000; i++ {
+		l.Append(payload)
+	}
+	b.SetBytes(l.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := l.Scanner(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for sc.Scan() {
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

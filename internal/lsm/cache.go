@@ -1,0 +1,98 @@
+package lsm
+
+import (
+	"container/list"
+
+	"flowkv/internal/metrics"
+)
+
+// blockCache is an LRU cache of SSTable data blocks keyed by
+// (file number, block offset), the analogue of RocksDB's block cache.
+type blockCache struct {
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[cacheKey]*list.Element
+	ratio    metrics.Ratio
+}
+
+type cacheKey struct {
+	file uint64
+	off  int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	block []byte
+}
+
+func newBlockCache(capacity int64) *blockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &blockCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(file uint64, off int64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.items[cacheKey{file, off}]
+	if !ok {
+		c.ratio.Miss()
+		return nil, false
+	}
+	c.ratio.Hit()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).block, true
+}
+
+func (c *blockCache) put(file uint64, off int64, block []byte) {
+	if c == nil {
+		return
+	}
+	k := cacheKey{file, off}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, block: block})
+	c.items[k] = el
+	c.used += int64(len(block))
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.block))
+	}
+}
+
+// dropFile evicts all cached blocks of a deleted SSTable.
+func (c *blockCache) dropFile(file uint64) {
+	if c == nil {
+		return
+	}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.file == file {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.used -= int64(len(e.block))
+		}
+		el = next
+	}
+}
+
+// hitRatio returns the cache hit ratio observed so far.
+func (c *blockCache) hitRatio() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.ratio.Value()
+}

@@ -1,0 +1,127 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowkv/internal/binio"
+)
+
+// corruptFirstSST flips a byte in the middle of the store's first SSTable
+// data region, simulating media corruption.
+func corruptFirstSST(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".sst" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/4] ^= 0xff // inside the data blocks, away from the footer
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no sstable found to corrupt")
+}
+
+func TestBlockCorruptionDetectedOnGet(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lsm")
+	db, err := Open(Options{Dir: dir, MemtableBytes: 1024, BlockCacheBytes: -1, MergeOperator: AppendListOperator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Destroy()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%04d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptFirstSST(t, dir)
+
+	var sawCorrupt bool
+	for i := 0; i < 300; i++ {
+		_, _, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if errors.Is(err, binio.ErrCorrupt) {
+			sawCorrupt = true
+			break
+		}
+	}
+	if !sawCorrupt {
+		t.Error("corrupted block served without a checksum error")
+	}
+}
+
+func TestBlockCorruptionDetectedOnScan(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lsm")
+	db, err := Open(Options{Dir: dir, MemtableBytes: 1024, BlockCacheBytes: -1, MergeOperator: AppendListOperator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Destroy()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%04d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptFirstSST(t, dir)
+
+	it, err := db.Scan(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Valid() {
+		it.Next()
+	}
+	if !errors.Is(it.Err(), binio.ErrCorrupt) {
+		t.Errorf("scan over corrupted block: err = %v, want ErrCorrupt", it.Err())
+	}
+}
+
+func TestFooterCorruptionDetectedOnOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lsm")
+	db, err := Open(Options{Dir: dir, MemtableBytes: 512, MergeOperator: AppendListOperator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Find an sstable and trash its footer magic.
+	ents, _ := os.ReadDir(dir)
+	var path string
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".sst" {
+			path = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	if path == "" {
+		t.Fatal("no sstable")
+	}
+	info, _ := os.Stat(path)
+	meta := &tableMeta{path: path, size: info.Size()}
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	if _, err := openSST(meta, nil, nil); err == nil {
+		t.Error("bad footer magic accepted")
+	}
+	db.Destroy()
+}

@@ -1,0 +1,200 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+)
+
+// internalIterator walks entries in internal-key order (user key
+// ascending, sequence descending). Both memtable and SSTable iterators
+// satisfy it.
+type internalIterator interface {
+	Valid() bool
+	Entry() (key []byte, seq uint64, kind entryKind, value []byte)
+	Next()
+	Err() error
+}
+
+// memIterAdapter exposes a skiplist iterator as an internalIterator.
+type memIterAdapter struct {
+	it *memIterator
+}
+
+func (a memIterAdapter) Valid() bool { return a.it.valid() }
+func (a memIterAdapter) Entry() (key []byte, seq uint64, kind entryKind, value []byte) {
+	return a.it.entry()
+}
+func (a memIterAdapter) Next()    { a.it.next() }
+func (memIterAdapter) Err() error { return nil }
+
+// mergingIterator merges several internalIterators into one global
+// internal-key order using a min-heap.
+type mergingIterator struct {
+	h   iterHeap
+	err error
+}
+
+type iterHeap []internalIterator
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	ki, si, _, _ := h[i].Entry()
+	kj, sj, _, _ := h[j].Entry()
+	return internalCompare(ki, si, kj, sj) < 0
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(internalIterator)) }
+func (h *iterHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func newMergingIterator(iters []internalIterator) *mergingIterator {
+	m := &mergingIterator{}
+	for _, it := range iters {
+		if it.Valid() {
+			m.h = append(m.h, it)
+		} else if err := it.Err(); err != nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *mergingIterator) Valid() bool { return m.err == nil && len(m.h) > 0 }
+
+func (m *mergingIterator) Entry() (key []byte, seq uint64, kind entryKind, value []byte) {
+	return m.h[0].Entry()
+}
+
+func (m *mergingIterator) Next() {
+	top := m.h[0]
+	top.Next()
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+		return
+	}
+	if err := top.Err(); err != nil {
+		m.err = err
+	}
+	heap.Pop(&m.h)
+}
+
+func (m *mergingIterator) Err() error { return m.err }
+
+// Iterator yields resolved user-visible (key, value) pairs in key order:
+// version chains collapsed, merge operands combined via the DB's merge
+// operator, and tombstoned keys skipped. This is the public scan cursor.
+type Iterator struct {
+	m     *mergingIterator
+	mo    MergeOperator
+	end   []byte // exclusive bound, nil = unbounded
+	key   []byte
+	value []byte
+	valid bool
+	err   error
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current user key; valid until Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current resolved value; valid until Next.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Next advances to the next resolved entry.
+func (it *Iterator) Next() { it.advance() }
+
+func (it *Iterator) advance() {
+	it.valid = false
+	for it.m.Valid() {
+		key, _, kind, value := it.m.Entry()
+		if it.end != nil && bytes.Compare(key, it.end) >= 0 {
+			return
+		}
+		userKey := append([]byte(nil), key...)
+		var operands [][]byte // newest first
+		var base []byte
+		haveBase := false
+		deleted := false
+		switch kind {
+		case kindPut:
+			base = append([]byte(nil), value...)
+			haveBase = true
+		case kindDelete:
+			haveBase = true
+			deleted = true
+		case kindMerge:
+			operands = append(operands, append([]byte(nil), value...))
+		}
+		// Consume the rest of this key's version chain.
+		it.m.Next()
+		for it.m.Valid() {
+			k2, _, kind2, v2 := it.m.Entry()
+			if !bytes.Equal(k2, userKey) {
+				break
+			}
+			if !haveBase {
+				switch kind2 {
+				case kindPut:
+					base = append([]byte(nil), v2...)
+					haveBase = true
+				case kindDelete:
+					haveBase = true
+					deleted = true
+				case kindMerge:
+					operands = append(operands, append([]byte(nil), v2...))
+				}
+			}
+			it.m.Next()
+		}
+		if err := it.m.Err(); err != nil {
+			it.err = err
+			return
+		}
+		if deleted && len(operands) == 0 {
+			continue // tombstoned key
+		}
+		if !haveBase && len(operands) == 0 {
+			continue
+		}
+		reverse(operands) // FullMerge wants oldest first
+		if deleted {
+			base = nil
+		}
+		if len(operands) > 0 && it.mo != nil {
+			it.value = it.mo.FullMerge(base, operands)
+		} else if len(operands) > 0 {
+			it.value = operands[len(operands)-1]
+		} else {
+			it.value = base
+		}
+		it.key = userKey
+		it.valid = true
+		return
+	}
+	if err := it.m.Err(); err != nil {
+		it.err = err
+	}
+}
+
+func reverse(b [][]byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// boundedIterator wraps an internalIterator skipping to a start key.
+func seekIterator(it internalIterator, start []byte) internalIterator {
+	for it.Valid() {
+		k, _, _, _ := it.Entry()
+		if bytes.Compare(k, start) >= 0 {
+			break
+		}
+		it.Next()
+	}
+	return it
+}

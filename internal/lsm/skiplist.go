@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// entryKind distinguishes the three mutation types an LSM tree records.
+type entryKind byte
+
+const (
+	kindPut entryKind = iota + 1
+	kindMerge
+	kindDelete
+)
+
+// internalCompare orders entries by user key ascending, then by sequence
+// number descending, so the newest version of a key is encountered first —
+// the standard LSM internal-key ordering.
+func internalCompare(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1
+	case aSeq < bSeq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+const (
+	skipMaxHeight = 12
+	skipBranch    = 4
+)
+
+type skipNode struct {
+	key   []byte
+	seq   uint64
+	kind  entryKind
+	value []byte
+	next  []*skipNode
+}
+
+// skiplist is the sorted in-memory memtable structure. It is owned by a
+// single writer goroutine (the store instance) and needs no locking.
+type skiplist struct {
+	head   *skipNode
+	height int
+	rng    *rand.Rand
+	size   int64 // approximate bytes
+	count  int
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head:   &skipNode{next: make([]*skipNode, skipMaxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(0xf10df10d)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < skipMaxHeight && s.rng.Intn(skipBranch) == 0 {
+		h++
+	}
+	return h
+}
+
+// insert adds an entry; (key, seq) pairs are unique because seq increments
+// on every write. key and value are stored as given (callers copy).
+func (s *skiplist) insert(key []byte, seq uint64, kind entryKind, value []byte) {
+	var prev [skipMaxHeight]*skipNode
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && internalCompare(x.next[level].key, x.next[level].seq, key, seq) < 0 {
+			x = x.next[level]
+		}
+		prev[level] = x
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	n := &skipNode{key: key, seq: seq, kind: kind, value: value, next: make([]*skipNode, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	s.size += int64(len(key) + len(value) + 64)
+	s.count++
+}
+
+// seekGE returns the first node whose internal key is >= (key, seq).
+func (s *skiplist) seekGE(key []byte, seq uint64) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && internalCompare(x.next[level].key, x.next[level].seq, key, seq) < 0 {
+			x = x.next[level]
+		}
+	}
+	return x.next[0]
+}
+
+// first returns the smallest node, or nil when empty.
+func (s *skiplist) first() *skipNode { return s.head.next[0] }
+
+// approximateSize returns the memtable's approximate memory footprint.
+func (s *skiplist) approximateSize() int64 { return s.size }
+
+// len returns the number of entries.
+func (s *skiplist) len() int { return s.count }
+
+// memIterator walks a skiplist in internal-key order.
+type memIterator struct {
+	node *skipNode
+}
+
+func (s *skiplist) iterator() *memIterator { return &memIterator{node: s.first()} }
+
+func (it *memIterator) valid() bool { return it.node != nil }
+
+func (it *memIterator) entry() (key []byte, seq uint64, kind entryKind, value []byte) {
+	n := it.node
+	return n.key, n.seq, n.kind, n.value
+}
+
+func (it *memIterator) next() { it.node = it.node.next[0] }

@@ -1,0 +1,484 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/metrics"
+)
+
+// SSTable layout (all integers varint unless noted):
+//
+//	data blocks:   repeated entry { kind(1) | seq | keyLen key | valLen val }
+//	index block:   repeated { firstKeyLen firstKey | lastKeyLen lastKey | off | len }
+//	bloom block:   bit array over user keys
+//	footer (fixed): indexOff(8) indexLen(8) bloomOff(8) bloomLen(8) entryCount(8) magic(8)
+//
+// Blocks are the read unit and flow through the block cache.
+
+const (
+	sstMagic        = 0x464c4f574b563031 // "FLOWKV01"
+	sstFooterSize   = 48
+	defaultBlockLen = 16 << 10
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// bloomFilter is a standard double-hashing Bloom filter over user keys.
+type bloomFilter struct {
+	bits []byte
+}
+
+func newBloom(nKeys int) *bloomFilter {
+	nBits := nKeys * bloomBitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nBits+7)/8)}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return h1, h2
+}
+
+func (b *bloomFilter) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % n
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b *bloomFilter) mayContain(key []byte) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % n
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// blockHandle locates one block inside an SSTable file, with the block's
+// CRC-32C for corruption detection on read.
+type blockHandle struct {
+	off int64
+	len int
+	crc uint32
+}
+
+// indexEntry describes one data block's key range and location.
+type indexEntry struct {
+	firstKey []byte
+	lastKey  []byte
+	handle   blockHandle
+}
+
+// sstWriter builds an SSTable file from entries supplied in internal-key
+// order.
+type sstWriter struct {
+	f        *os.File
+	w        *bufio.Writer
+	off      int64
+	block    []byte
+	blockLen int
+	first    []byte
+	last     []byte
+	index    []indexEntry
+	bloom    *bloomFilter
+	count    int64
+	smallest []byte
+	largest  []byte
+	bd       *metrics.Breakdown
+}
+
+func newSSTWriter(path string, expectKeys int, bd *metrics.Breakdown) (*sstWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: create sstable: %w", err)
+	}
+	return &sstWriter{
+		f:        f,
+		w:        bufio.NewWriterSize(f, 256*1024),
+		blockLen: defaultBlockLen,
+		bloom:    newBloom(expectKeys),
+		bd:       bd,
+	}, nil
+}
+
+// add appends one entry; entries must arrive in internal-key order.
+func (sw *sstWriter) add(key []byte, seq uint64, kind entryKind, value []byte) error {
+	if sw.first == nil {
+		sw.first = append([]byte(nil), key...)
+	}
+	sw.last = append(sw.last[:0], key...)
+	if sw.smallest == nil {
+		sw.smallest = append([]byte(nil), key...)
+	}
+	sw.largest = append(sw.largest[:0], key...)
+	sw.bloom.add(key)
+	sw.count++
+
+	sw.block = append(sw.block, byte(kind))
+	sw.block = binary.AppendUvarint(sw.block, seq)
+	sw.block = binio.PutBytes(sw.block, key)
+	sw.block = binio.PutBytes(sw.block, value)
+	if len(sw.block) >= sw.blockLen {
+		return sw.flushBlock()
+	}
+	return nil
+}
+
+func (sw *sstWriter) flushBlock() error {
+	if len(sw.block) == 0 {
+		return nil
+	}
+	h := blockHandle{off: sw.off, len: len(sw.block), crc: binio.Checksum(sw.block)}
+	if _, err := sw.w.Write(sw.block); err != nil {
+		return err
+	}
+	if sw.bd != nil {
+		sw.bd.AddBytesWritten(int64(len(sw.block)))
+	}
+	sw.off += int64(len(sw.block))
+	sw.index = append(sw.index, indexEntry{
+		firstKey: sw.first,
+		lastKey:  append([]byte(nil), sw.last...),
+		handle:   h,
+	})
+	sw.block = sw.block[:0]
+	sw.first = nil
+	return nil
+}
+
+// finish writes the index, bloom filter and footer, returning the table's
+// metadata. The writer is closed.
+func (sw *sstWriter) finish() (*tableMeta, error) {
+	if err := sw.flushBlock(); err != nil {
+		return nil, err
+	}
+	var idx []byte
+	for _, e := range sw.index {
+		idx = binio.PutBytes(idx, e.firstKey)
+		idx = binio.PutBytes(idx, e.lastKey)
+		idx = binary.AppendUvarint(idx, uint64(e.handle.off))
+		idx = binary.AppendUvarint(idx, uint64(e.handle.len))
+		idx = binary.LittleEndian.AppendUint32(idx, e.handle.crc)
+	}
+	indexOff := sw.off
+	if _, err := sw.w.Write(idx); err != nil {
+		return nil, err
+	}
+	sw.off += int64(len(idx))
+	bloomOff := sw.off
+	if _, err := sw.w.Write(sw.bloom.bits); err != nil {
+		return nil, err
+	}
+	sw.off += int64(len(sw.bloom.bits))
+
+	var footer [sstFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(idx)))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(sw.bloom.bits)))
+	binary.LittleEndian.PutUint64(footer[32:], uint64(sw.count))
+	binary.LittleEndian.PutUint64(footer[40:], sstMagic)
+	if _, err := sw.w.Write(footer[:]); err != nil {
+		return nil, err
+	}
+	sw.off += sstFooterSize
+	if sw.bd != nil {
+		sw.bd.AddBytesWritten(int64(len(idx) + len(sw.bloom.bits) + sstFooterSize))
+	}
+	if err := sw.w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := sw.f.Close(); err != nil {
+		return nil, err
+	}
+	return &tableMeta{
+		path:     sw.f.Name(),
+		size:     sw.off,
+		count:    sw.count,
+		smallest: sw.smallest,
+		largest:  sw.largest,
+	}, nil
+}
+
+func (sw *sstWriter) abort() {
+	sw.f.Close()
+	os.Remove(sw.f.Name())
+}
+
+// tableMeta is the in-memory descriptor of one on-disk SSTable.
+type tableMeta struct {
+	num      uint64
+	path     string
+	size     int64
+	count    int64
+	smallest []byte
+	largest  []byte
+}
+
+// sstReader serves point lookups and scans from one SSTable.
+type sstReader struct {
+	meta  *tableMeta
+	f     *os.File
+	index []indexEntry
+	bloom *bloomFilter
+	cache *blockCache
+	bd    *metrics.Breakdown
+}
+
+func openSST(meta *tableMeta, cache *blockCache, bd *metrics.Breakdown) (*sstReader, error) {
+	f, err := os.Open(meta.path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open sstable: %w", err)
+	}
+	var footer [sstFooterSize]byte
+	if _, err := f.ReadAt(footer[:], meta.size-sstFooterSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: sstable footer: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != sstMagic {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %s: bad magic", meta.path)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	indexLen := int(binary.LittleEndian.Uint64(footer[8:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[16:]))
+	bloomLen := int(binary.LittleEndian.Uint64(footer[24:]))
+
+	idxBuf := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBuf, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var index []indexEntry
+	for len(idxBuf) > 0 {
+		first, n, err := binio.Bytes(idxBuf)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		idxBuf = idxBuf[n:]
+		last, n, err := binio.Bytes(idxBuf)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		idxBuf = idxBuf[n:]
+		off, n := binary.Uvarint(idxBuf)
+		idxBuf = idxBuf[n:]
+		blen, n := binary.Uvarint(idxBuf)
+		idxBuf = idxBuf[n:]
+		if len(idxBuf) < 4 {
+			f.Close()
+			return nil, fmt.Errorf("lsm: %s: truncated index", meta.path)
+		}
+		crc := binary.LittleEndian.Uint32(idxBuf)
+		idxBuf = idxBuf[4:]
+		index = append(index, indexEntry{
+			firstKey: append([]byte(nil), first...),
+			lastKey:  append([]byte(nil), last...),
+			handle:   blockHandle{off: int64(off), len: int(blen), crc: crc},
+		})
+	}
+	bloomBits := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBits, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if bd != nil {
+		bd.AddBytesRead(int64(sstFooterSize + indexLen + bloomLen))
+	}
+	return &sstReader{
+		meta:  meta,
+		f:     f,
+		index: index,
+		bloom: &bloomFilter{bits: bloomBits},
+		cache: cache,
+		bd:    bd,
+	}, nil
+}
+
+func (r *sstReader) close() error { return r.f.Close() }
+
+// readBlock fetches a data block, via the block cache when present.
+func (r *sstReader) readBlock(h blockHandle) ([]byte, error) {
+	if r.cache != nil {
+		if b, ok := r.cache.get(r.meta.num, h.off); ok {
+			return b, nil
+		}
+	}
+	buf := make([]byte, h.len)
+	if _, err := r.f.ReadAt(buf, h.off); err != nil {
+		return nil, fmt.Errorf("lsm: read block: %w", err)
+	}
+	if binio.Checksum(buf) != h.crc {
+		return nil, fmt.Errorf("lsm: %s: block at %d: %w", r.meta.path, h.off, binio.ErrCorrupt)
+	}
+	if r.bd != nil {
+		r.bd.AddBytesRead(int64(h.len))
+	}
+	if r.cache != nil {
+		r.cache.put(r.meta.num, h.off, buf)
+	}
+	return buf, nil
+}
+
+// blockEntry decodes entries sequentially from a data block.
+type blockCursor struct {
+	b []byte
+}
+
+func (c *blockCursor) next() (key []byte, seq uint64, kind entryKind, value []byte, ok bool, err error) {
+	if len(c.b) == 0 {
+		return nil, 0, 0, nil, false, nil
+	}
+	kind = entryKind(c.b[0])
+	c.b = c.b[1:]
+	seq, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return nil, 0, 0, nil, false, binio.ErrCorrupt
+	}
+	c.b = c.b[n:]
+	key, n, err = binio.Bytes(c.b)
+	if err != nil {
+		return nil, 0, 0, nil, false, err
+	}
+	c.b = c.b[n:]
+	value, n, err = binio.Bytes(c.b)
+	if err != nil {
+		return nil, 0, 0, nil, false, err
+	}
+	c.b = c.b[n:]
+	return key, seq, kind, value, true, nil
+}
+
+// get collects the version chain for key from this table: it appends any
+// merge operands found (newest first) to operands and reports a base
+// value or tombstone if one was found.
+//
+// Returns (base, foundBase, operands, error); base may be nil with
+// foundBase true for a tombstone (deleted=true).
+func (r *sstReader) get(key []byte, operands [][]byte) (base []byte, foundBase, deleted bool, _ [][]byte, err error) {
+	if !r.bloom.mayContain(key) {
+		return nil, false, false, operands, nil
+	}
+	// Binary search the block index for the first block whose lastKey >= key.
+	lo, hi := 0, len(r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(r.index[mid].lastKey, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for bi := lo; bi < len(r.index); bi++ {
+		if bytes.Compare(r.index[bi].firstKey, key) > 0 {
+			break
+		}
+		block, err := r.readBlock(r.index[bi].handle)
+		if err != nil {
+			return nil, false, false, operands, err
+		}
+		cur := blockCursor{b: block}
+		for {
+			ekey, _, kind, val, ok, err := cur.next()
+			if err != nil {
+				return nil, false, false, operands, err
+			}
+			if !ok {
+				break
+			}
+			c := bytes.Compare(ekey, key)
+			if c < 0 {
+				continue
+			}
+			if c > 0 {
+				return nil, false, false, operands, nil
+			}
+			// Entries for the key are newest-first (seq desc).
+			switch kind {
+			case kindMerge:
+				operands = append(operands, append([]byte(nil), val...))
+			case kindPut:
+				return append([]byte(nil), val...), true, false, operands, nil
+			case kindDelete:
+				return nil, true, true, operands, nil
+			}
+		}
+	}
+	return nil, false, false, operands, nil
+}
+
+// tableIterator walks all entries of an SSTable in internal-key order.
+type tableIterator struct {
+	r     *sstReader
+	bi    int
+	cur   blockCursor
+	key   []byte
+	seq   uint64
+	kind  entryKind
+	value []byte
+	valid bool
+	err   error
+}
+
+func (r *sstReader) iterator() *tableIterator {
+	it := &tableIterator{r: r}
+	it.advance()
+	return it
+}
+
+func (it *tableIterator) advance() {
+	for {
+		key, seq, kind, value, ok, err := it.cur.next()
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return
+		}
+		if ok {
+			it.key, it.seq, it.kind, it.value = key, seq, kind, value
+			it.valid = true
+			return
+		}
+		if it.bi >= len(it.r.index) {
+			it.valid = false
+			return
+		}
+		block, err := it.r.readBlock(it.r.index[it.bi].handle)
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return
+		}
+		it.bi++
+		it.cur = blockCursor{b: block}
+	}
+}
+
+func (it *tableIterator) Valid() bool { return it.valid }
+func (it *tableIterator) Err() error  { return it.err }
+func (it *tableIterator) Entry() (key []byte, seq uint64, kind entryKind, value []byte) {
+	return it.key, it.seq, it.kind, it.value
+}
+func (it *tableIterator) Next() { it.advance() }

@@ -1,0 +1,263 @@
+// Package memstore implements the in-memory state store baseline: the
+// default backend of SPEs such as Flink and Samza before states outgrow
+// memory (§2.2). It keeps all window state in hash maps and is therefore
+// the fastest backend at small state sizes — and the first to fail at
+// large ones.
+//
+// The paper's in-memory results are shaped by two JVM effects that a Go
+// process does not naturally reproduce, so the store models them
+// explicitly (documented as a substitution in DESIGN.md):
+//
+//   - out-of-memory failures: a capacity limit; exceeding it returns
+//     ErrOutOfMemory, the analogue of the crossed-out bars in Figure 8;
+//   - garbage-collection pressure: a pause model that charges stall time
+//     proportional to the live heap every time an allocation threshold
+//     passes, the analogue of the growing GC stalls that let FlowKV beat
+//     the in-memory store at large windows.
+package memstore
+
+import (
+	"errors"
+	"time"
+
+	"flowkv/internal/window"
+)
+
+// ErrOutOfMemory reports that the store exceeded its memory capacity,
+// matching the paper's in-memory failure mode on large states.
+var ErrOutOfMemory = errors.New("memstore: out of memory")
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("memstore: closed")
+
+// Options configures a Store.
+type Options struct {
+	// CapacityBytes is the memory limit; 0 means unlimited.
+	CapacityBytes int64
+	// GCThresholdBytes triggers one simulated GC pause per this many
+	// bytes allocated. 0 disables the GC model. Default 0.
+	GCThresholdBytes int64
+	// GCMarkBytesPerMs is the modeled mark throughput: each pause lasts
+	// liveBytes / GCMarkBytesPerMs milliseconds. Default 64 MiB/ms
+	// (a fast concurrent collector's stop-the-world share).
+	GCMarkBytesPerMs int64
+	// Sleeper overrides the pause implementation (tests inject a fake).
+	Sleeper func(d time.Duration)
+}
+
+func (o *Options) fill() {
+	if o.GCMarkBytesPerMs <= 0 {
+		o.GCMarkBytesPerMs = 64 << 20
+	}
+	if o.Sleeper == nil {
+		o.Sleeper = time.Sleep
+	}
+}
+
+type id struct {
+	key string
+	w   window.Window
+}
+
+// Store is a purely in-memory window state store for one worker.
+type Store struct {
+	opts Options
+
+	appended map[id][][]byte
+	byWindow map[window.Window]map[string]struct{}
+	aggs     map[id][]byte
+
+	live       int64
+	sinceGC    int64
+	gcPauses   int64
+	gcStallDur time.Duration
+	closed     bool
+}
+
+// Open returns an empty in-memory store.
+func Open(opts Options) *Store {
+	opts.fill()
+	return &Store{
+		opts:     opts,
+		appended: make(map[id][][]byte),
+		byWindow: make(map[window.Window]map[string]struct{}),
+		aggs:     make(map[id][]byte),
+	}
+}
+
+// Name identifies the backend in experiment reports.
+func (s *Store) Name() string { return "inmem" }
+
+// alloc charges n live bytes, runs the GC model, and enforces capacity.
+func (s *Store) alloc(n int64) error {
+	s.live += n
+	if s.opts.CapacityBytes > 0 && s.live > s.opts.CapacityBytes {
+		return ErrOutOfMemory
+	}
+	if s.opts.GCThresholdBytes > 0 {
+		s.sinceGC += n
+		if s.sinceGC >= s.opts.GCThresholdBytes {
+			s.sinceGC = 0
+			pause := time.Duration(s.live/s.opts.GCMarkBytesPerMs) * time.Millisecond
+			if pause > 0 {
+				s.opts.Sleeper(pause)
+				s.gcPauses++
+				s.gcStallDur += pause
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) free(n int64) { s.live -= n }
+
+// Append adds a value to the (key, window) list.
+func (s *Store) Append(key, value []byte, w window.Window, _ int64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	ident := id{key: string(key), w: w}
+	vc := append([]byte(nil), value...)
+	s.appended[ident] = append(s.appended[ident], vc)
+	set := s.byWindow[w]
+	if set == nil {
+		set = make(map[string]struct{})
+		s.byWindow[w] = set
+	}
+	set[ident.key] = struct{}{}
+	return s.alloc(int64(len(key) + len(value) + 48))
+}
+
+// ReadAppended fetches and removes the values of (key, window).
+func (s *Store) ReadAppended(key []byte, w window.Window) ([][]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ident := id{key: string(key), w: w}
+	vals, ok := s.appended[ident]
+	if !ok {
+		return nil, nil
+	}
+	delete(s.appended, ident)
+	if set := s.byWindow[w]; set != nil {
+		delete(set, ident.key)
+		if len(set) == 0 {
+			delete(s.byWindow, w)
+		}
+	}
+	var n int64
+	for _, v := range vals {
+		n += int64(len(v) + 48)
+	}
+	s.free(n + int64(len(key)))
+	return vals, nil
+}
+
+// PeekAppended returns the (key, window) list without consuming it.
+func (s *Store) PeekAppended(key []byte, w window.Window) ([][]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.appended[id{key: string(key), w: w}], nil
+}
+
+// ReadWindow drains every key of window w; supported natively by maps.
+func (s *Store) ReadWindow(w window.Window, emit func(key []byte, values [][]byte) error) (bool, error) {
+	if s.closed {
+		return false, ErrClosed
+	}
+	set := s.byWindow[w]
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		vals, err := s.ReadAppended([]byte(k), w)
+		if err != nil {
+			return true, err
+		}
+		if vals == nil {
+			continue
+		}
+		if err := emit([]byte(k), vals); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// DropAppended discards the (key, window) list without reading it.
+func (s *Store) DropAppended(key []byte, w window.Window) error {
+	_, err := s.ReadAppended(key, w)
+	return err
+}
+
+// GetAgg returns the aggregate of (key, window).
+func (s *Store) GetAgg(key []byte, w window.Window) ([]byte, bool, error) {
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.aggs[id{key: string(key), w: w}]
+	return v, ok, nil
+}
+
+// PutAgg stores the aggregate of (key, window).
+func (s *Store) PutAgg(key []byte, w window.Window, agg []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	ident := id{key: string(key), w: w}
+	if old, ok := s.aggs[ident]; ok {
+		s.free(int64(len(old)))
+	} else {
+		if err := s.alloc(int64(len(key) + 48)); err != nil {
+			return err
+		}
+	}
+	s.aggs[ident] = append([]byte(nil), agg...)
+	return s.alloc(int64(len(agg)))
+}
+
+// TakeAgg fetches and removes the aggregate of (key, window).
+func (s *Store) TakeAgg(key []byte, w window.Window) ([]byte, bool, error) {
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	ident := id{key: string(key), w: w}
+	v, ok := s.aggs[ident]
+	if ok {
+		delete(s.aggs, ident)
+		s.free(int64(len(v) + len(key) + 48))
+	}
+	return v, ok, nil
+}
+
+// LiveBytes returns the modeled live heap size.
+func (s *Store) LiveBytes() int64 { return s.live }
+
+// GCPauses returns the number of simulated GC pauses taken.
+func (s *Store) GCPauses() int64 { return s.gcPauses }
+
+// GCStall returns the total simulated GC stall time.
+func (s *Store) GCStall() time.Duration { return s.gcStallDur }
+
+// Flush is a no-op for the in-memory store.
+func (s *Store) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close releases the store's maps.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.appended, s.byWindow, s.aggs = nil, nil, nil
+	return nil
+}
+
+// Destroy is equivalent to Close; there is no on-disk state.
+func (s *Store) Destroy() error { return s.Close() }

@@ -1,0 +1,182 @@
+package memstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flowkv/internal/window"
+)
+
+func TestAppendReadAppended(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	s.Append([]byte("k"), []byte("a"), w, 0)
+	s.Append([]byte("k"), []byte("b"), w, 1)
+	vals, err := s.ReadAppended([]byte("k"), w)
+	if err != nil || len(vals) != 2 || string(vals[0]) != "a" || string(vals[1]) != "b" {
+		t.Fatalf("vals=%q err=%v", vals, err)
+	}
+	// Fetch & remove.
+	vals, err = s.ReadAppended([]byte("k"), w)
+	if err != nil || vals != nil {
+		t.Fatalf("second read: %q %v", vals, err)
+	}
+}
+
+func TestReadWindowDrainsAllKeys(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	other := window.Window{Start: 100, End: 200}
+	for i := 0; i < 10; i++ {
+		s.Append([]byte(fmt.Sprintf("k%d", i)), []byte("v"), w, 0)
+	}
+	s.Append([]byte("other"), []byte("v"), other, 0)
+	got := map[string]int{}
+	ok, err := s.ReadWindow(w, func(key []byte, values [][]byte) error {
+		got[string(key)] += len(values)
+		return nil
+	})
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("drained %d keys", len(got))
+	}
+	// Other window untouched.
+	vals, _ := s.ReadAppended([]byte("other"), other)
+	if len(vals) != 1 {
+		t.Error("other window lost state")
+	}
+}
+
+func TestAggLifecycle(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	if _, ok, _ := s.GetAgg([]byte("k"), w); ok {
+		t.Error("missing agg found")
+	}
+	s.PutAgg([]byte("k"), w, []byte("10"))
+	v, ok, _ := s.GetAgg([]byte("k"), w)
+	if !ok || string(v) != "10" {
+		t.Fatalf("GetAgg = %q,%v", v, ok)
+	}
+	s.PutAgg([]byte("k"), w, []byte("20"))
+	v, ok, _ = s.TakeAgg([]byte("k"), w)
+	if !ok || string(v) != "20" {
+		t.Fatalf("TakeAgg = %q,%v", v, ok)
+	}
+	if _, ok, _ := s.GetAgg([]byte("k"), w); ok {
+		t.Error("TakeAgg did not remove")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s := Open(Options{CapacityBytes: 1024})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	var sawOOM bool
+	for i := 0; i < 100; i++ {
+		if err := s.Append([]byte("k"), make([]byte, 64), w, 0); err == ErrOutOfMemory {
+			sawOOM = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawOOM {
+		t.Fatal("no OOM despite exceeding capacity")
+	}
+}
+
+func TestMemoryAccountingFreesOnRead(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 10; i++ {
+		s.Append([]byte("k"), make([]byte, 100), w, 0)
+	}
+	before := s.LiveBytes()
+	s.ReadAppended([]byte("k"), w)
+	if after := s.LiveBytes(); after >= before {
+		t.Errorf("live bytes %d -> %d: read did not free", before, after)
+	}
+}
+
+func TestGCPauseModel(t *testing.T) {
+	var slept time.Duration
+	s := Open(Options{
+		GCThresholdBytes: 1024,
+		GCMarkBytesPerMs: 1, // 1 byte per ms: huge modeled pauses
+		Sleeper:          func(d time.Duration) { slept += d },
+	})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 50; i++ {
+		s.Append([]byte("k"), make([]byte, 100), w, 0)
+	}
+	if s.GCPauses() == 0 {
+		t.Fatal("GC model took no pauses")
+	}
+	if slept == 0 || s.GCStall() != slept {
+		t.Errorf("stall accounting: slept=%v recorded=%v", slept, s.GCStall())
+	}
+	// Pauses grow with live heap: the last pause exceeds the first.
+	if s.GCStall() < time.Duration(s.GCPauses())*time.Millisecond {
+		t.Error("pauses do not scale with heap")
+	}
+}
+
+func TestGCDisabledByDefault(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	for i := 0; i < 1000; i++ {
+		s.Append([]byte("k"), make([]byte, 100), w, 0)
+	}
+	if s.GCPauses() != 0 {
+		t.Error("GC model active without threshold")
+	}
+}
+
+func TestDropAppended(t *testing.T) {
+	s := Open(Options{})
+	defer s.Destroy()
+	w := window.Window{Start: 0, End: 100}
+	s.Append([]byte("k"), []byte("v"), w, 0)
+	if err := s.DropAppended([]byte("k"), w); err != nil {
+		t.Fatal(err)
+	}
+	if vals, _ := s.ReadAppended([]byte("k"), w); vals != nil {
+		t.Error("dropped state readable")
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	s := Open(Options{})
+	s.Close()
+	if err := s.Append(nil, nil, window.Window{}, 0); err != ErrClosed {
+		t.Errorf("Append: %v", err)
+	}
+	if _, err := s.ReadAppended(nil, window.Window{}); err != ErrClosed {
+		t.Errorf("ReadAppended: %v", err)
+	}
+	if _, _, err := s.GetAgg(nil, window.Window{}); err != ErrClosed {
+		t.Errorf("GetAgg: %v", err)
+	}
+	if err := s.PutAgg(nil, window.Window{}, nil); err != ErrClosed {
+		t.Errorf("PutAgg: %v", err)
+	}
+	if _, _, err := s.TakeAgg(nil, window.Window{}); err != ErrClosed {
+		t.Errorf("TakeAgg: %v", err)
+	}
+	if err := s.Flush(); err != ErrClosed {
+		t.Errorf("Flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Errorf("after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("Load = %d, want 8000", got)
+	}
+}
+
+func TestBreakdownBuckets(t *testing.T) {
+	var b Breakdown
+	b.Observe(OpWrite, 10*time.Millisecond)
+	b.Observe(OpWrite, 5*time.Millisecond)
+	b.Observe(OpRead, 7*time.Millisecond)
+	b.Observe(OpCompact, 3*time.Millisecond)
+	b.Observe(OpIOWait, 100*time.Millisecond)
+
+	if got := b.Total(OpWrite); got != 15*time.Millisecond {
+		t.Errorf("write total = %v", got)
+	}
+	if got := b.Calls(OpWrite); got != 2 {
+		t.Errorf("write calls = %d", got)
+	}
+	if got := b.StoreTotal(); got != 25*time.Millisecond {
+		t.Errorf("StoreTotal = %v, want 25ms (io-wait excluded)", got)
+	}
+}
+
+func TestBreakdownTimeAndStart(t *testing.T) {
+	var b Breakdown
+	b.Time(OpCompact, func() { time.Sleep(time.Millisecond) })
+	stop := b.Start(OpRead)
+	time.Sleep(time.Millisecond)
+	stop()
+	if b.Total(OpCompact) <= 0 || b.Total(OpRead) <= 0 {
+		t.Error("timed regions recorded no duration")
+	}
+}
+
+func TestBreakdownMergeResetBytes(t *testing.T) {
+	var a, b Breakdown
+	a.Observe(OpWrite, time.Second)
+	a.AddBytesWritten(100)
+	b.Observe(OpWrite, time.Second)
+	b.AddBytesRead(50)
+	a.Merge(&b)
+	if a.Total(OpWrite) != 2*time.Second {
+		t.Errorf("merged write = %v", a.Total(OpWrite))
+	}
+	if a.BytesRead() != 50 || a.BytesWritten() != 100 {
+		t.Errorf("bytes = %d/%d", a.BytesRead(), a.BytesWritten())
+	}
+	a.Reset()
+	if a.Total(OpWrite) != 0 || a.BytesRead() != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpWrite: "write", OpRead: "read+delete", OpCompact: "compaction", OpIOWait: "io-wait",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains((&Breakdown{}).String(), "write=") {
+		t.Error("Breakdown.String missing write bucket")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:           "0B",
+		512:         "512B",
+		2048:        "2.0KiB",
+		3 << 20:     "3.0MiB",
+		5 << 30:     "5.0GiB",
+		1536 * 1024: "1.5MiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 samples: 1ms..100ms
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p95 := h.P95()
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Errorf("P95 = %v, want ~95ms", p95)
+	}
+	p50 := h.P50()
+	if p50 < 45*time.Millisecond || p50 > 56*time.Millisecond {
+		t.Errorf("P50 = %v, want ~50ms", p50)
+	}
+	if h.Min() != time.Millisecond {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.Quantile(1.0) > h.Max() {
+		t.Errorf("Quantile(1) = %v exceeds max %v", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	const sample = 12345 * time.Microsecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(sample)
+	}
+	got := h.P95()
+	relErr := math.Abs(float64(got-sample)) / float64(sample)
+	if relErr > 0.05 {
+		t.Errorf("P95 = %v for constant %v: rel err %.3f > 5%%", got, sample, relErr)
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	h := NewHistogram()
+	if h.P95() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.P95() != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)                  // below floor
+	h.Observe(2000 * time.Second) // above ceiling
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 2000*time.Second {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p95 := a.P95(); p95 < 900*time.Millisecond {
+		t.Errorf("merged P95 = %v, want ~1s", p95)
+	}
+	if a.Min() != time.Millisecond {
+		t.Errorf("merged Min = %v", a.Min())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	if g.Add(5) != 15 || g.Load() != 15 {
+		t.Errorf("gauge = %d", g.Load())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	for i := 0; i < 93; i++ {
+		r.Hit()
+	}
+	for i := 0; i < 7; i++ {
+		r.Miss()
+	}
+	if v := r.Value(); math.Abs(v-0.93) > 1e-9 {
+		t.Errorf("Value = %v, want 0.93", v)
+	}
+	if r.Hits() != 93 || r.Misses() != 7 {
+		t.Errorf("hits/misses = %d/%d", r.Hits(), r.Misses())
+	}
+	r.Reset()
+	if r.Value() != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("query", "store", "throughput")
+	tb.AddRow("Q7", "flowkv", 123.456)
+	tb.AddRow("Q7", "rocksdb", 61.0)
+	out := tb.String()
+	if !strings.Contains(out, "query") || !strings.Contains(out, "123.456") || !strings.Contains(out, "61") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	tb.SortRows(1)
+	if !strings.Contains(tb.String(), "flowkv") {
+		t.Error("SortRows lost rows")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkBreakdownObserve(b *testing.B) {
+	var bd Breakdown
+	for i := 0; i < b.N; i++ {
+		bd.Observe(OpWrite, time.Microsecond)
+	}
+}

@@ -1,0 +1,223 @@
+package nexmark
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventMixProportions(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 50_000})
+	var persons, auctions, bids int
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case KindPerson:
+			persons++
+		case KindAuction:
+			auctions++
+		case KindBid:
+			bids++
+		}
+	}
+	// Paper §6: 2% persons, 6% auctions, 92% bids.
+	if persons != 1000 || auctions != 3000 || bids != 46000 {
+		t.Errorf("mix = %d/%d/%d, want 1000/3000/46000", persons, auctions, bids)
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 10_000, InterEventMs: 3})
+	var prev int64 = -1
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Time() <= prev {
+			t.Fatalf("timestamp regression: %d after %d", ev.Time(), prev)
+		}
+		prev = ev.Time()
+	}
+	if want := int64(9999 * 3); prev != want {
+		t.Errorf("final ts = %d, want %d", prev, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(GeneratorConfig{Events: 5000, Seed: 7}).All()
+	b := NewGenerator(GeneratorConfig{Events: 5000, Seed: 7}).All()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		ea, eb := a[i].Encode(), b[i].Encode()
+		if string(ea) != string(eb) {
+			t.Fatalf("event %d differs across runs with the same seed", i)
+		}
+	}
+	c := NewGenerator(GeneratorConfig{Events: 5000, Seed: 8}).All()
+	var diff int
+	for i := range a {
+		if string(a[i].Encode()) != string(c[i].Encode()) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestReferencesAreValid(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 50_000})
+	var maxPerson, maxAuction int64 = -1, -1
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case KindPerson:
+			if ev.Person.ID > maxPerson {
+				maxPerson = ev.Person.ID
+			}
+		case KindAuction:
+			if ev.Auction.ID > maxAuction {
+				maxAuction = ev.Auction.ID
+			}
+			if ev.Auction.Seller < 0 || ev.Auction.Seller > maxPerson+1 {
+				t.Fatalf("auction seller %d out of range (persons <= %d)", ev.Auction.Seller, maxPerson)
+			}
+		case KindBid:
+			if ev.Bid.Auction < 0 || ev.Bid.Auction > maxAuction+1 {
+				t.Fatalf("bid auction %d out of range (auctions <= %d)", ev.Bid.Auction, maxAuction)
+			}
+			if ev.Bid.Price <= 0 {
+				t.Fatal("non-positive bid price")
+			}
+		}
+	}
+}
+
+func TestHotKeySkew(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 100_000, HotAuctionRatio: 80})
+	counts := make(map[int64]int)
+	var bids, maxAuction int64
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == KindAuction && ev.Auction.ID > maxAuction {
+			maxAuction = ev.Auction.ID
+		}
+		if ev.Kind == KindBid {
+			counts[ev.Bid.Auction]++
+			bids++
+		}
+	}
+	// With 80% hot ratio the most-bid auctions must be far above the
+	// uniform expectation.
+	uniform := float64(bids) / float64(maxAuction+1)
+	var hottest int
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if float64(hottest) < 5*uniform {
+		t.Errorf("hottest auction has %d bids; uniform expectation %.1f — skew model missing", hottest, uniform)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 1000})
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		dec, err := DecodeEvent(ev.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Kind != ev.Kind || dec.Time() != ev.Time() {
+			t.Fatalf("round trip mismatch: %v vs %v", dec, ev)
+		}
+		switch ev.Kind {
+		case KindPerson:
+			if *dec.Person != *ev.Person {
+				t.Fatalf("person mismatch: %+v vs %+v", dec.Person, ev.Person)
+			}
+		case KindAuction:
+			if *dec.Auction != *ev.Auction {
+				t.Fatalf("auction mismatch: %+v vs %+v", dec.Auction, ev.Auction)
+			}
+		case KindBid:
+			if *dec.Bid != *ev.Bid {
+				t.Fatalf("bid mismatch: %+v vs %+v", dec.Bid, ev.Bid)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeEvent(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DecodeEvent([]byte{99, 1, 2, 3}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	ev := Event{Kind: KindBid, Bid: &Bid{Auction: 1, Bidder: 2, Price: 3, DateTime: 4}}
+	b := ev.Encode()
+	if _, err := DecodeEvent(b[:2]); err == nil {
+		t.Error("truncated event accepted")
+	}
+}
+
+func TestQuickBidEncode(t *testing.T) {
+	f := func(auction, bidder, price, ts int64) bool {
+		ev := Event{Kind: KindBid, Bid: &Bid{Auction: auction, Bidder: bidder, Price: price, DateTime: ts}}
+		dec, err := DecodeEvent(ev.Encode())
+		return err == nil && *dec.Bid == *ev.Bid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidSizeOrder(t *testing.T) {
+	// The paper reports ~84 B serialized bids; ours must be the same
+	// order of magnitude (small varint-packed records).
+	ev := Event{Kind: KindBid, Bid: &Bid{Auction: 1 << 20, Bidder: 1 << 18, Price: 9999, DateTime: 1 << 40}}
+	if n := len(ev.Encode()); n < 8 || n > 100 {
+		t.Errorf("bid encodes to %d bytes", n)
+	}
+}
+
+func TestAllAndRemaining(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Events: 100})
+	if g.Remaining() != 100 {
+		t.Errorf("Remaining = %d", g.Remaining())
+	}
+	g.Next()
+	evs := g.All()
+	if len(evs) != 99 {
+		t.Errorf("All after one Next = %d events", len(evs))
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("generator not exhausted")
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	g := NewGenerator(GeneratorConfig{Events: 1 << 31})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package queries
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"flowkv/internal/nexmark"
+	"flowkv/internal/spe"
+	"flowkv/internal/statebackend"
+)
+
+func testEvents(t testing.TB, n int) []nexmark.Event {
+	t.Helper()
+	return nexmark.NewGenerator(nexmark.GeneratorConfig{
+		Events:       n,
+		InterEventMs: 10,
+		Seed:         42,
+	}).All()
+}
+
+func runQuery(t *testing.T, name string, kind statebackend.Kind, events []nexmark.Event) (*spe.RunResult, []spe.Tuple) {
+	t.Helper()
+	q, err := Build(name, Config{
+		Backend:        kind,
+		BaseDir:        filepath.Join(t.TempDir(), name, string(kind)),
+		Parallelism:    2,
+		WindowMs:       5_000,
+		WatermarkEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var out []spe.Tuple
+	res, err := spe.Run(q.Pipeline, q.Source(events), func(tp spe.Tuple) {
+		mu.Lock()
+		out = append(out, tp)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("Q99", Config{}); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestNamesAndPatterns(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("%d queries, want 8", len(names))
+	}
+	wantPatterns := map[string]string{
+		"Q5": "RMW+RMW", "Q5-Append": "RMW+AAR", "Q7": "AAR", "Q7-Session": "AUR",
+		"Q8": "AAR", "Q11": "RMW", "Q11-Median": "AUR", "Q12": "RMW",
+	}
+	for _, n := range names {
+		if PatternOf(n) != wantPatterns[n] {
+			t.Errorf("PatternOf(%s) = %s, want %s", n, PatternOf(n), wantPatterns[n])
+		}
+	}
+	if PatternOf("nope") != "?" {
+		t.Error("unknown pattern")
+	}
+}
+
+// TestAllQueriesAllBackendsAgree is the repository's core end-to-end
+// correctness check: every NEXMark query must produce the same result
+// multiset on every backend (the in-memory store is the reference).
+func TestAllQueriesAllBackendsAgree(t *testing.T) {
+	events := testEvents(t, 20_000)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			var reference map[string]int
+			for _, kind := range statebackend.Kinds() {
+				t.Run(string(kind), func(t *testing.T) {
+					res, out := runQuery(t, name, kind, events)
+					if res.TuplesIn == 0 {
+						t.Fatal("no tuples processed")
+					}
+					got := make(map[string]int, len(out))
+					for _, tp := range out {
+						got[fmt.Sprintf("%s=%x@%d", tp.Key, tp.Value, tp.TS)]++
+					}
+					if len(out) == 0 {
+						t.Fatal("query emitted nothing")
+					}
+					if reference == nil {
+						reference = got
+						return
+					}
+					if len(got) != len(reference) {
+						t.Fatalf("distinct results = %d, reference %d", len(got), len(reference))
+					}
+					for k, n := range reference {
+						if got[k] != n {
+							t.Fatalf("result %q: count %d, reference %d", k, got[k], n)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestQ7ComputesWindowMax(t *testing.T) {
+	// Hand-built events: one bidder, two fixed windows of 5000ms.
+	mk := func(bidder, price, ts int64) nexmark.Event {
+		return nexmark.Event{Kind: nexmark.KindBid,
+			Bid: &nexmark.Bid{Auction: 1, Bidder: bidder, Price: price, DateTime: ts}}
+	}
+	events := []nexmark.Event{
+		mk(7, 100, 0), mk(7, 900, 1000), mk(7, 500, 4000), // window [0,5000): max 900
+		mk(7, 50, 6000), mk(7, 75, 7000), // window [5000,10000): max 75
+	}
+	_, out := runQuery(t, "Q7", statebackend.KindFlowKV, events)
+	if len(out) != 2 {
+		t.Fatalf("results = %d, want 2 windows", len(out))
+	}
+	got := map[int64]int64{}
+	for _, tp := range out {
+		got[tp.TS] = decPrice(tp.Value)
+	}
+	if got[4999] != 900 || got[9999] != 75 {
+		t.Errorf("window maxes = %v, want {4999:900, 9999:75}", got)
+	}
+}
+
+func TestQ11CountsPerSession(t *testing.T) {
+	mk := func(bidder, ts int64) nexmark.Event {
+		return nexmark.Event{Kind: nexmark.KindBid,
+			Bid: &nexmark.Bid{Auction: 1, Bidder: bidder, Price: 10, DateTime: ts}}
+	}
+	// Bidder 3: bursts of 3 then 2 separated by > gap (5000).
+	events := []nexmark.Event{
+		mk(3, 0), mk(3, 1000), mk(3, 2000),
+		mk(3, 20_000), mk(3, 21_000),
+	}
+	_, out := runQuery(t, "Q11", statebackend.KindFlowKV, events)
+	if len(out) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(out))
+	}
+	counts := map[int64]bool{}
+	for _, tp := range out {
+		counts[decPrice(tp.Value)] = true
+	}
+	if !counts[3] || !counts[2] {
+		t.Errorf("session counts missing: %v", counts)
+	}
+}
+
+func TestQ8EmitsOnlyJoinedPersons(t *testing.T) {
+	pe := func(id, ts int64) nexmark.Event {
+		return nexmark.Event{Kind: nexmark.KindPerson,
+			Person: &nexmark.Person{ID: id, Name: "x", City: "y", DateTime: ts}}
+	}
+	au := func(seller, ts int64) nexmark.Event {
+		return nexmark.Event{Kind: nexmark.KindAuction,
+			Auction: &nexmark.Auction{ID: ts, Seller: seller, DateTime: ts}}
+	}
+	events := []nexmark.Event{
+		pe(1, 0), au(1, 100), // person 1 registers and sells in window 0: join
+		pe(2, 200),               // person 2 registers but never sells: no join
+		au(3, 300),               // seller 3 never registered in-window: no join
+		pe(4, 6000), au(4, 9000), // person 4 joins in window [5000,10000)
+	}
+	_, out := runQuery(t, "Q8", statebackend.KindFlowKV, events)
+	if len(out) != 2 {
+		t.Fatalf("join results = %d, want 2: %v", len(out), out)
+	}
+	seen := map[string]bool{}
+	for _, tp := range out {
+		seen[string(tp.Key)] = true
+	}
+	if !seen["1"] || !seen["4"] {
+		t.Errorf("joined persons = %v, want {1,4}", seen)
+	}
+}
+
+func TestQ12SingleGlobalWindowPerBidder(t *testing.T) {
+	events := testEvents(t, 5000)
+	bidders := map[string]int64{}
+	for _, ev := range events {
+		if ev.Kind == nexmark.KindBid {
+			bidders[string(keyOf(ev.Bid.Bidder))]++
+		}
+	}
+	_, out := runQuery(t, "Q12", statebackend.KindInMem, events)
+	if len(out) != len(bidders) {
+		t.Fatalf("results = %d, distinct bidders = %d", len(out), len(bidders))
+	}
+	for _, tp := range out {
+		if decPrice(tp.Value) != bidders[string(tp.Key)] {
+			t.Fatalf("bidder %s count = %d, want %d", tp.Key, decPrice(tp.Value), bidders[string(tp.Key)])
+		}
+	}
+}
+
+func TestQ5EmitsTopAuctionPerSlide(t *testing.T) {
+	mk := func(auction, ts int64) nexmark.Event {
+		return nexmark.Event{Kind: nexmark.KindBid,
+			Bid: &nexmark.Bid{Auction: auction, Bidder: 1, Price: 10, DateTime: ts}}
+	}
+	// Auction 9 dominates the first window.
+	var events []nexmark.Event
+	for i := int64(0); i < 10; i++ {
+		events = append(events, mk(9, i*100))
+	}
+	events = append(events, mk(2, 500), mk(3, 600))
+	// Push event time forward so all windows close.
+	events = append(events, mk(4, 50_000))
+	for _, variant := range []string{"Q5", "Q5-Append"} {
+		t.Run(variant, func(t *testing.T) {
+			_, out := runQuery(t, variant, statebackend.KindInMem, events)
+			if len(out) == 0 {
+				t.Fatal("no results")
+			}
+			// The earliest emissions must name auction 9 as the winner.
+			auction, count := decAuctionCount(out[0].Value)
+			if auction != 9 || count == 0 {
+				t.Errorf("first winner = auction %d (count %d), want 9", auction, count)
+			}
+		})
+	}
+}
+
+func TestValueEncodings(t *testing.T) {
+	if decPrice(encPrice(-12345)) != -12345 {
+		t.Error("price round trip")
+	}
+	a, c := decAuctionCount(encAuctionCount(77, 99))
+	if a != 77 || c != 99 {
+		t.Errorf("auction-count round trip: %d %d", a, c)
+	}
+	if decPrice(nil) != 0 {
+		t.Error("decPrice(nil)")
+	}
+	if a, c := decAuctionCount(nil); a != 0 || c != 0 {
+		t.Error("decAuctionCount(nil)")
+	}
+}
+
+func TestMedianHolistic(t *testing.T) {
+	vals := [][]byte{encPrice(10), encPrice(30), encPrice(20)}
+	if got := decPrice(medianPriceHolistic.Result(nil, vals)); got != 20 {
+		t.Errorf("median odd = %d", got)
+	}
+	vals = append(vals, encPrice(40))
+	if got := decPrice(medianPriceHolistic.Result(nil, vals)); got != 25 {
+		t.Errorf("median even = %d", got)
+	}
+	if medianPriceHolistic.Result(nil, nil) != nil {
+		t.Error("median of empty should be nil")
+	}
+}

@@ -1,0 +1,267 @@
+package spe
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"flowkv/internal/core"
+	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
+)
+
+func joinSpec(lower, upper int64) IntervalJoinSpec {
+	return IntervalJoinSpec{
+		Lower: lower,
+		Upper: upper,
+		SideOf: func(t Tuple) Side {
+			return Side(t.Value[0])
+		},
+		Join: func(key, l, r []byte, lts, rts int64) []byte {
+			return []byte(fmt.Sprintf("%s:%d|%s:%d", l[1:], lts, r[1:], rts))
+		},
+	}
+}
+
+func sideTuple(key string, side Side, payload string, ts int64) Tuple {
+	return Tuple{Key: []byte(key), Value: append([]byte{byte(side)}, payload...), TS: ts}
+}
+
+func runJoin(t *testing.T, spec IntervalJoinSpec, backend statebackend.Backend,
+	tuples []Tuple, wms []int64) []string {
+	t.Helper()
+	var out []string
+	op, err := NewIntervalJoinOperator(spec, backend, func(tp Tuple) {
+		out = append(out, string(tp.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := 0
+	for _, tp := range tuples {
+		if err := op.OnTuple(tp); err != nil {
+			t.Fatal(err)
+		}
+		for wi < len(wms) && wms[wi] <= tp.TS {
+			if err := op.OnWatermark(wms[wi], 0); err != nil {
+				t.Fatal(err)
+			}
+			wi++
+		}
+	}
+	if err := op.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+	backend.Destroy()
+	sort.Strings(out)
+	return out
+}
+
+func TestIntervalJoinBasic(t *testing.T) {
+	// b joins a iff b.TS in [a.TS-5, a.TS+5].
+	spec := joinSpec(-5, 5)
+	tuples := []Tuple{
+		sideTuple("k", Left, "a1", 10),
+		sideTuple("k", Right, "b1", 12), // in range of a1
+		sideTuple("k", Right, "b2", 20), // out of range
+		sideTuple("k", Left, "a2", 24),  // in range of b2
+	}
+	got := runJoin(t, spec, memBackend(t), tuples, nil)
+	want := []string{"a1:10|b1:12", "a2:24|b2:20"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("joins = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalJoinKeyIsolation(t *testing.T) {
+	spec := joinSpec(-100, 100)
+	tuples := []Tuple{
+		sideTuple("k1", Left, "a", 10),
+		sideTuple("k2", Right, "b", 10), // same time, different key
+	}
+	if got := runJoin(t, spec, memBackend(t), tuples, nil); len(got) != 0 {
+		t.Fatalf("cross-key join: %v", got)
+	}
+}
+
+func TestIntervalJoinAsymmetricBounds(t *testing.T) {
+	// Right must be 1..10 after left (e.g. click after impression).
+	spec := joinSpec(1, 10)
+	tuples := []Tuple{
+		sideTuple("k", Left, "imp", 100),
+		sideTuple("k", Right, "early", 100), // not > left
+		sideTuple("k", Right, "hit", 105),
+		sideTuple("k", Right, "late", 111), // beyond upper
+	}
+	got := runJoin(t, spec, memBackend(t), tuples, nil)
+	if len(got) != 1 || got[0] != "imp:100|hit:105" {
+		t.Fatalf("joins = %v", got)
+	}
+}
+
+func TestIntervalJoinStateExpiry(t *testing.T) {
+	spec := joinSpec(-10, 10)
+	backend := memBackend(t)
+	var out []string
+	op, err := NewIntervalJoinOperator(spec, backend, func(tp Tuple) {
+		out = append(out, string(tp.Value))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.OnTuple(sideTuple("k", Left, "old", 0))
+	// Watermark far past old's join horizon (0+10): state expires.
+	if err := op.OnWatermark(1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A right tuple that WOULD have matched if state lingered; it is
+	// late anyway, but even an in-range probe must find nothing.
+	op.OnTuple(sideTuple("k", Right, "probe", 1005))
+	if len(out) != 0 {
+		t.Fatalf("expired state joined: %v", out)
+	}
+	backend.Destroy()
+}
+
+func TestIntervalJoinLateTuplesDropped(t *testing.T) {
+	spec := joinSpec(-10, 10)
+	backend := memBackend(t)
+	op, err := NewIntervalJoinOperator(spec, backend, func(Tuple) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.OnWatermark(100, 0)
+	op.OnTuple(sideTuple("k", Left, "late", 50))
+	if st := op.Stats(); st.LateDropped != 1 {
+		t.Errorf("LateDropped = %d", st.LateDropped)
+	}
+	backend.Destroy()
+}
+
+func TestIntervalJoinSpecValidation(t *testing.T) {
+	bad := IntervalJoinSpec{Lower: 10, Upper: 5}
+	if _, err := NewIntervalJoinOperator(bad, nil, nil); err == nil {
+		t.Error("Lower > Upper accepted")
+	}
+	if _, err := NewIntervalJoinOperator(IntervalJoinSpec{}, nil, nil); err == nil {
+		t.Error("missing funcs accepted")
+	}
+}
+
+// TestIntervalJoinAllBackendsAgainstBruteForce drives a randomized
+// two-sided stream through the join on every backend and compares against
+// an O(n²) reference join.
+func TestIntervalJoinAllBackendsAgainstBruteForce(t *testing.T) {
+	const lower, upper = -7, 13
+	rng := rand.New(rand.NewSource(21))
+	var tuples []Tuple
+	type rec struct {
+		key     string
+		side    Side
+		payload string
+		ts      int64
+	}
+	var recs []rec
+	ts := int64(0)
+	for i := 0; i < 600; i++ {
+		ts += int64(rng.Intn(4))
+		side := Left
+		if rng.Intn(2) == 0 {
+			side = Right
+		}
+		r := rec{
+			key:     fmt.Sprintf("k%d", rng.Intn(5)),
+			side:    side,
+			payload: fmt.Sprintf("p%03d", i),
+			ts:      ts,
+		}
+		recs = append(recs, r)
+		tuples = append(tuples, sideTuple(r.key, r.side, r.payload, r.ts))
+	}
+	// Brute-force reference.
+	var want []string
+	for _, a := range recs {
+		if a.side != Left {
+			continue
+		}
+		for _, b := range recs {
+			if b.side != Right || b.key != a.key {
+				continue
+			}
+			if b.ts >= a.ts+lower && b.ts <= a.ts+upper {
+				want = append(want, fmt.Sprintf("%s:%d|%s:%d", a.payload, a.ts, b.payload, b.ts))
+			}
+		}
+	}
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no expected joins")
+	}
+
+	for _, kind := range statebackend.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			backend, err := statebackend.Open(statebackend.Config{
+				Kind:       kind,
+				Dir:        filepath.Join(t.TempDir(), string(kind)),
+				Agg:        core.AggHolistic,
+				WindowKind: window.Custom, // AUR for FlowKV
+				FlowKV:     core.Options{WriteBufferBytes: 4 << 10, Instances: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runJoin(t, joinSpec(lower, upper), backend, tuples, []int64{100, 300, 500})
+			if len(got) != len(want) {
+				t.Fatalf("%d joins, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("join %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestIntervalJoinInPipeline(t *testing.T) {
+	spec := joinSpec(-50, 50)
+	pipe := &Pipeline{
+		Stages: []Stage{{
+			Name:        "join",
+			Parallelism: 2,
+			Join:        &spec,
+			NewBackend: func(int) (statebackend.Backend, error) {
+				return statebackend.Open(statebackend.Config{Kind: statebackend.KindInMem})
+			},
+		}},
+		WatermarkEvery: 20,
+	}
+	source := func(emit func(Tuple)) {
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("k%d", i%10)
+			emit(sideTuple(key, Left, fmt.Sprintf("L%d", i), int64(i*10)))
+			emit(sideTuple(key, Right, fmt.Sprintf("R%d", i), int64(i*10+5)))
+		}
+	}
+	var mu sync.Mutex
+	var n int
+	res, err := Run(pipe, source, func(Tuple) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each Left i joins Right i (+5 in range); neighbours are 100 apart
+	// per key (out of ±50).
+	if n != 500 {
+		t.Fatalf("pipeline joins = %d, want 500", n)
+	}
+	if res.Operators[0].ResultsEmitted != 500 {
+		t.Errorf("stats ResultsEmitted = %d", res.Operators[0].ResultsEmitted)
+	}
+}

@@ -1,0 +1,320 @@
+package statebackend
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"flowkv/internal/core"
+	"flowkv/internal/window"
+)
+
+// openAll opens one backend of each kind for an operator description and
+// runs the test against each, proving the adapters are interchangeable.
+func forEachBackend(t *testing.T, agg core.AggKind, wk window.Kind, a window.Assigner,
+	fn func(t *testing.T, b Backend)) {
+	t.Helper()
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			b, err := Open(Config{
+				Kind:       kind,
+				Dir:        filepath.Join(t.TempDir(), string(kind)),
+				Agg:        agg,
+				WindowKind: wk,
+				Assigner:   a,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Destroy() })
+			fn(t, b)
+		})
+	}
+}
+
+func TestAppendReadAppendedAllBackends(t *testing.T) {
+	forEachBackend(t, core.AggHolistic, window.Session, window.SessionAssigner{Gap: 100},
+		func(t *testing.T, b Backend) {
+			w := window.Window{Start: 0, End: 100}
+			for i := 0; i < 20; i++ {
+				if err := b.Append([]byte("k"), []byte(fmt.Sprintf("v%02d", i)), w, int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			vals, err := b.ReadAppended([]byte("k"), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vals) != 20 {
+				t.Fatalf("%d values", len(vals))
+			}
+			for i, v := range vals {
+				if string(v) != fmt.Sprintf("v%02d", i) {
+					t.Fatalf("value %d = %q: order violated", i, v)
+				}
+			}
+			// Fetch & remove everywhere.
+			vals, err = b.ReadAppended([]byte("k"), w)
+			if err != nil || vals != nil {
+				t.Fatalf("second read: %q %v", vals, err)
+			}
+		})
+}
+
+func TestAggAllBackends(t *testing.T) {
+	forEachBackend(t, core.AggIncremental, window.Fixed, window.FixedAssigner{Size: 100},
+		func(t *testing.T, b Backend) {
+			w := window.Window{Start: 0, End: 100}
+			key := []byte("counter")
+			// The operator's RMW loop under the GetAgg/PutAgg contract.
+			for i := 0; i < 100; i++ {
+				var c uint64
+				if agg, ok, err := b.GetAgg(key, w); err != nil {
+					t.Fatal(err)
+				} else if ok {
+					c = binary.LittleEndian.Uint64(agg)
+				}
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], c+1)
+				if err := b.PutAgg(key, w, buf[:]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			agg, ok, err := b.TakeAgg(key, w)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint64(agg); got != 100 {
+				t.Fatalf("count = %d", got)
+			}
+			if _, ok, _ := b.TakeAgg(key, w); ok {
+				t.Error("TakeAgg did not remove")
+			}
+		})
+}
+
+func TestReadWindowCapabilities(t *testing.T) {
+	// Which backends support bulk window reads is a structural property:
+	// sorted (rocksdb) and window-organized (flowkv AAR, inmem) stores
+	// do; the unsorted hash log does not.
+	wantBulk := map[Kind]bool{KindFlowKV: true, KindRocksDB: true, KindInMem: true, KindFaster: false}
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			b, err := Open(Config{
+				Kind:       kind,
+				Dir:        filepath.Join(t.TempDir(), string(kind)),
+				Agg:        core.AggHolistic,
+				WindowKind: window.Fixed,
+				Assigner:   window.FixedAssigner{Size: 100},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Destroy()
+			w := window.Window{Start: 0, End: 100}
+			other := window.Window{Start: 100, End: 200}
+			for i := 0; i < 30; i++ {
+				b.Append([]byte(fmt.Sprintf("key-%02d", i)), []byte(fmt.Sprintf("v%d", i)), w, 0)
+			}
+			b.Append([]byte("key-00"), []byte("other"), other, 100)
+
+			got := map[string][]string{}
+			ok, err := b.ReadWindow(w, func(key []byte, values [][]byte) error {
+				for _, v := range values {
+					got[string(key)] = append(got[string(key)], string(v))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantBulk[kind] {
+				t.Fatalf("bulk support = %v, want %v", ok, wantBulk[kind])
+			}
+			if !ok {
+				// Fallback path: per-key reads.
+				for i := 0; i < 30; i++ {
+					k := fmt.Sprintf("key-%02d", i)
+					vals, err := b.ReadAppended([]byte(k), w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, v := range vals {
+						got[k] = append(got[k], string(v))
+					}
+				}
+			}
+			if len(got) != 30 {
+				t.Fatalf("drained %d keys", len(got))
+			}
+			var keys []string
+			for k := range got {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for i, k := range keys {
+				if len(got[k]) != 1 || got[k][0] != fmt.Sprintf("v%d", i) {
+					t.Fatalf("%s = %v", k, got[k])
+				}
+			}
+			// The other window's state must be intact; drain it via the
+			// same bulk-or-fallback protocol the operator uses.
+			got2 := map[string][]string{}
+			ok, err = b.ReadWindow(other, func(key []byte, values [][]byte) error {
+				for _, v := range values {
+					got2[string(key)] = append(got2[string(key)], string(v))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				vals, err := b.ReadAppended([]byte("key-00"), other)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range vals {
+					got2["key-00"] = append(got2["key-00"], string(v))
+				}
+			}
+			if len(got2) != 1 || len(got2["key-00"]) != 1 || got2["key-00"][0] != "other" {
+				t.Fatalf("window isolation: %v", got2)
+			}
+		})
+	}
+}
+
+func TestDropAppendedAllBackends(t *testing.T) {
+	forEachBackend(t, core.AggHolistic, window.Session, window.SessionAssigner{Gap: 100},
+		func(t *testing.T, b Backend) {
+			w := window.Window{Start: 0, End: 100}
+			b.Append([]byte("k"), []byte("v"), w, 0)
+			if err := b.DropAppended([]byte("k"), w); err != nil {
+				t.Fatal(err)
+			}
+			vals, err := b.ReadAppended([]byte("k"), w)
+			if err != nil || vals != nil {
+				t.Fatalf("dropped state: %q %v", vals, err)
+			}
+		})
+}
+
+func TestFlushAllBackends(t *testing.T) {
+	forEachBackend(t, core.AggHolistic, window.Session, window.SessionAssigner{Gap: 100},
+		func(t *testing.T, b Backend) {
+			w := window.Window{Start: 0, End: 100}
+			b.Append([]byte("k"), []byte("v"), w, 0)
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			vals, err := b.ReadAppended([]byte("k"), w)
+			if err != nil || len(vals) != 1 {
+				t.Fatalf("after flush: %q %v", vals, err)
+			}
+		})
+}
+
+func TestCompositeKeyEncoding(t *testing.T) {
+	// Byte order must match numeric window order, including negatives.
+	wins := []window.Window{
+		{Start: -200, End: -100},
+		{Start: -100, End: 0},
+		{Start: 0, End: 100},
+		{Start: 0, End: 200},
+		{Start: 100, End: 200},
+	}
+	var prev []byte
+	for _, w := range wins {
+		cur := encodeKW(w, []byte("k"))
+		if prev != nil && bytes.Compare(prev, cur) >= 0 {
+			t.Fatalf("encoding not order-preserving at %v", w)
+		}
+		prev = cur
+	}
+}
+
+func TestWindowPrefixRange(t *testing.T) {
+	w := window.Window{Start: 100, End: 200}
+	start, end := windowPrefixRange(w)
+	inside := encodeKW(w, []byte("anykey"))
+	if bytes.Compare(inside, start) < 0 || bytes.Compare(inside, end) >= 0 {
+		t.Error("key of the window outside its prefix range")
+	}
+	outside := encodeKW(window.Window{Start: 100, End: 201}, []byte("anykey"))
+	if bytes.Compare(outside, start) >= 0 && bytes.Compare(outside, end) < 0 {
+		t.Error("key of another window inside the prefix range")
+	}
+}
+
+func TestFlowKVStatsExtraction(t *testing.T) {
+	b, err := Open(Config{
+		Kind:       KindFlowKV,
+		Dir:        filepath.Join(t.TempDir(), "f"),
+		Agg:        core.AggHolistic,
+		WindowKind: window.Session,
+		Assigner:   window.SessionAssigner{Gap: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Destroy()
+	if _, ok := FlowKVStats(b); !ok {
+		t.Error("FlowKVStats should work on a FlowKV backend")
+	}
+	m, err := Open(Config{Kind: KindInMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Destroy()
+	if _, ok := FlowKVStats(m); ok {
+		t.Error("FlowKVStats on inmem should report false")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Open(Config{Kind: "bogus"}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestPeekAppendedAllBackends(t *testing.T) {
+	forEachBackend(t, core.AggHolistic, window.Custom, nil,
+		func(t *testing.T, b Backend) {
+			w := window.Window{Start: 0, End: 100}
+			for i := 0; i < 5; i++ {
+				if err := b.Append([]byte("k"), []byte(fmt.Sprintf("v%d", i)), w, int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Peek twice: non-destructive, ordered.
+			for round := 0; round < 2; round++ {
+				vals, err := b.PeekAppended([]byte("k"), w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(vals) != 5 {
+					t.Fatalf("round %d: %d values", round, len(vals))
+				}
+				for i, v := range vals {
+					if string(v) != fmt.Sprintf("v%d", i) {
+						t.Fatalf("round %d value %d = %q", round, i, v)
+					}
+				}
+			}
+			if vals, err := b.PeekAppended([]byte("missing"), w); err != nil || vals != nil {
+				t.Fatalf("missing peek: %q %v", vals, err)
+			}
+			// Read still consumes afterwards.
+			vals, err := b.ReadAppended([]byte("k"), w)
+			if err != nil || len(vals) != 5 {
+				t.Fatalf("consume after peek: %d %v", len(vals), err)
+			}
+			if vals, _ := b.PeekAppended([]byte("k"), w); vals != nil {
+				t.Fatalf("peek after consume: %q", vals)
+			}
+		})
+}

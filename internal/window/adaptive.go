@@ -1,0 +1,92 @@
+package window
+
+import "sort"
+
+// AdaptivePredictor learns estimated trigger times for custom window
+// functions by runtime profiling, the direction the paper's §8 leaves as
+// future work ("leveraging runtime profiling to determine optimal stores
+// and ETTs"). FlowKV normally cannot predict custom windows and degrades
+// to on-demand reads; with a profiler the SPE reports every observed
+// trigger and the predictor learns the distribution of the lag between a
+// window's maximum tuple timestamp and its actual trigger time.
+//
+// Prediction uses a low quantile of the learned lags: an *under*-estimate
+// of the trigger time is safe (the window is prefetched early and either
+// hits or is evicted), whereas refusing to predict forfeits batching
+// entirely. Until MinSamples triggers have been observed the predictor
+// abstains, which FlowKV treats exactly like an unpredictable window.
+//
+// An AdaptivePredictor is owned by one worker (no locking), matching the
+// stores it feeds.
+type AdaptivePredictor struct {
+	// MinSamples is the number of observed triggers required before
+	// predictions start. Default 32.
+	MinSamples int
+	// Quantile is the lag quantile used for prediction, in [0, 1].
+	// Default 0.1 (conservative: 90% of windows trigger at or after the
+	// estimate).
+	Quantile float64
+	// WindowSize bounds the sliding sample reservoir. Default 1024.
+	WindowSize int
+
+	lags   []int64 // ring buffer of observed trigger-maxTS lags
+	next   int
+	filled bool
+	sorted []int64
+	dirty  bool
+}
+
+func (p *AdaptivePredictor) fill() {
+	if p.MinSamples <= 0 {
+		p.MinSamples = 32
+	}
+	if p.Quantile <= 0 || p.Quantile >= 1 {
+		p.Quantile = 0.1
+	}
+	if p.WindowSize <= 0 {
+		p.WindowSize = 1024
+	}
+	if p.lags == nil {
+		p.lags = make([]int64, 0, p.WindowSize)
+	}
+}
+
+// ObserveTrigger records one completed trigger: the window, the maximum
+// tuple timestamp it held, and the event time at which it fired.
+func (p *AdaptivePredictor) ObserveTrigger(_ Window, maxTS, triggeredAt int64) {
+	p.fill()
+	lag := triggeredAt - maxTS
+	if len(p.lags) < p.WindowSize {
+		p.lags = append(p.lags, lag)
+	} else {
+		p.lags[p.next] = lag
+		p.next = (p.next + 1) % p.WindowSize
+		p.filled = true
+	}
+	p.dirty = true
+}
+
+// Samples returns the number of triggers currently in the reservoir.
+func (p *AdaptivePredictor) Samples() int { return len(p.lags) }
+
+// ETT predicts maxTS plus the learned lag quantile; ok is false until
+// enough triggers have been observed.
+func (p *AdaptivePredictor) ETT(_ Window, maxTS int64) (int64, bool) {
+	p.fill()
+	if len(p.lags) < p.MinSamples {
+		return 0, false
+	}
+	if p.dirty {
+		p.sorted = append(p.sorted[:0], p.lags...)
+		sort.Slice(p.sorted, func(i, j int) bool { return p.sorted[i] < p.sorted[j] })
+		p.dirty = false
+	}
+	idx := int(p.Quantile * float64(len(p.sorted)))
+	if idx >= len(p.sorted) {
+		idx = len(p.sorted) - 1
+	}
+	return maxTS + p.sorted[idx], true
+}
+
+// Interface check.
+var _ Predictor = (*AdaptivePredictor)(nil)

@@ -1,0 +1,98 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptivePredictorAbstainsUntilWarm(t *testing.T) {
+	var p AdaptivePredictor
+	if _, ok := p.ETT(Window{0, 10}, 5); ok {
+		t.Fatal("cold predictor must abstain")
+	}
+	for i := 0; i < 31; i++ {
+		p.ObserveTrigger(Window{}, int64(i), int64(i)+100)
+	}
+	if _, ok := p.ETT(Window{}, 0); ok {
+		t.Fatal("predictor below MinSamples must abstain")
+	}
+	p.ObserveTrigger(Window{}, 31, 131)
+	if _, ok := p.ETT(Window{}, 0); !ok {
+		t.Fatal("predictor at MinSamples must predict")
+	}
+}
+
+func TestAdaptivePredictorLearnsConstantLag(t *testing.T) {
+	// A custom session-like window always triggers gap ms after its last
+	// tuple; the profiler must learn exactly that.
+	const gap = 250
+	var p AdaptivePredictor
+	for i := 0; i < 100; i++ {
+		maxTS := int64(i * 13)
+		p.ObserveTrigger(Window{}, maxTS, maxTS+gap)
+	}
+	ett, ok := p.ETT(Window{}, 1000)
+	if !ok {
+		t.Fatal("predictor should be warm")
+	}
+	if ett != 1000+gap {
+		t.Fatalf("ETT = %d, want %d", ett, 1000+gap)
+	}
+}
+
+func TestAdaptivePredictorIsConservative(t *testing.T) {
+	// Noisy lags: the prediction must sit near the low end of the
+	// distribution so that few windows trigger before their ETT.
+	rng := rand.New(rand.NewSource(3))
+	var p AdaptivePredictor
+	lags := make([]int64, 0, 500)
+	for i := 0; i < 500; i++ {
+		lag := int64(100 + rng.Intn(900)) // lags in [100, 1000)
+		lags = append(lags, lag)
+		p.ObserveTrigger(Window{}, 0, lag)
+	}
+	ett, ok := p.ETT(Window{}, 0)
+	if !ok {
+		t.Fatal("warm")
+	}
+	var below int
+	for _, l := range lags {
+		if l < ett {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(lags))
+	if frac > 0.15 {
+		t.Errorf("%.0f%% of windows trigger before the ETT; want <=15%%", frac*100)
+	}
+	if ett < 100 {
+		t.Errorf("ETT %d below the minimum lag: overly pessimistic", ett)
+	}
+}
+
+func TestAdaptivePredictorSlidingWindow(t *testing.T) {
+	// The reservoir forgets old behaviour: after a regime change the
+	// prediction tracks the new lags.
+	p := AdaptivePredictor{WindowSize: 64, MinSamples: 16}
+	for i := 0; i < 64; i++ {
+		p.ObserveTrigger(Window{}, 0, 1000)
+	}
+	for i := 0; i < 64; i++ { // regime change: lag drops to 10
+		p.ObserveTrigger(Window{}, 0, 10)
+	}
+	ett, ok := p.ETT(Window{}, 0)
+	if !ok || ett != 10 {
+		t.Fatalf("ETT = %d,%v; want 10 after regime change", ett, ok)
+	}
+}
+
+func TestAdaptivePredictorDefaults(t *testing.T) {
+	var p AdaptivePredictor
+	p.ObserveTrigger(Window{}, 0, 1)
+	if p.MinSamples != 32 || p.Quantile != 0.1 || p.WindowSize != 1024 {
+		t.Errorf("defaults = %d %f %d", p.MinSamples, p.Quantile, p.WindowSize)
+	}
+	if p.Samples() != 1 {
+		t.Errorf("Samples = %d", p.Samples())
+	}
+}

@@ -1,0 +1,347 @@
+// Package window implements the window model of the paper's §2.1: window
+// boundaries, the standard window functions (fixed, sliding, session,
+// count, global), session-window merging, and the estimated-trigger-time
+// (ETT) predictors that drive FlowKV's predictive batch read (§4.2).
+//
+// All times are event-time milliseconds, as produced by the stream
+// sources; windows are half-open intervals [Start, End).
+package window
+
+import (
+	"fmt"
+	"math"
+
+	"flowkv/internal/binio"
+)
+
+// MaxTime is the largest representable event time; a global window spans
+// [0, MaxTime).
+const MaxTime = math.MaxInt64
+
+// Window is a half-open event-time interval [Start, End). Windows are
+// value types and are used directly as map keys throughout FlowKV's
+// write buffers, which is the paper's "hash by window boundary" design.
+type Window struct {
+	Start int64 // inclusive, event-time milliseconds
+	End   int64 // exclusive, event-time milliseconds
+}
+
+// Span returns the window length in milliseconds.
+func (w Window) Span() int64 { return w.End - w.Start }
+
+// Contains reports whether event time t falls inside the window.
+func (w Window) Contains(t int64) bool { return t >= w.Start && t < w.End }
+
+// Overlaps reports whether two windows intersect.
+func (w Window) Overlaps(o Window) bool { return w.Start < o.End && o.Start < w.End }
+
+// Cover returns the smallest window containing both w and o, the merge
+// step for session windows.
+func (w Window) Cover(o Window) Window {
+	c := w
+	if o.Start < c.Start {
+		c.Start = o.Start
+	}
+	if o.End > c.End {
+		c.End = o.End
+	}
+	return c
+}
+
+// Before reports whether w orders before o by (Start, End).
+func (w Window) Before(o Window) bool {
+	if w.Start != o.Start {
+		return w.Start < o.Start
+	}
+	return w.End < o.End
+}
+
+// String renders the window for logs and error messages.
+func (w Window) String() string { return fmt.Sprintf("[%d,%d)", w.Start, w.End) }
+
+// AppendTo serializes the window boundary onto dst as two varints.
+func (w Window) AppendTo(dst []byte) []byte {
+	dst = binio.PutVarint(dst, w.Start)
+	return binio.PutVarint(dst, w.End)
+}
+
+// Decode parses a window from the front of b, returning the window and
+// bytes consumed.
+func Decode(b []byte) (Window, int, error) {
+	start, n1, err := binio.Varint(b)
+	if err != nil {
+		return Window{}, 0, err
+	}
+	end, n2, err := binio.Varint(b[n1:])
+	if err != nil {
+		return Window{}, 0, err
+	}
+	return Window{Start: start, End: end}, n1 + n2, nil
+}
+
+// Kind identifies a window function. The paper's store-pattern
+// classification (§3.1) depends only on this and on the aggregate
+// function's interface.
+type Kind int
+
+// Window function kinds.
+const (
+	Fixed   Kind = iota // tumbling windows of equal size
+	Sliding             // overlapping windows: size + slide interval
+	Session             // per-key gap-delimited windows
+	Count               // per-key windows of N elements
+	Global              // one window covering the whole stream
+	Custom              // user-defined; semantics unknown to FlowKV
+)
+
+// String returns the window-function name.
+func (k Kind) String() string {
+	switch k {
+	case Fixed:
+		return "fixed"
+	case Sliding:
+		return "sliding"
+	case Session:
+		return "session"
+	case Count:
+		return "count"
+	case Global:
+		return "global"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Aligned reports whether windows of this kind share trigger times across
+// all keys (§2.1 "Aligned Read"). Custom windows report false: FlowKV
+// conservatively assumes the unaligned pattern for them (§3.1).
+func (k Kind) Aligned() bool {
+	switch k {
+	case Fixed, Sliding, Global:
+		return true
+	default:
+		return false
+	}
+}
+
+// Merging reports whether windows of this kind may merge after creation
+// (only session windows do).
+func (k Kind) Merging() bool { return k == Session }
+
+// An Assigner maps an event timestamp to the set of windows the event
+// belongs to, mirroring Flink's WindowAssigner. For kinds whose windows
+// depend on arrival order rather than time (Count), Assign is driven by
+// the per-key element sequence instead; see CountAssigner.
+type Assigner interface {
+	// Kind identifies the window function for store classification.
+	Kind() Kind
+	// Assign returns the windows containing an event with timestamp ts.
+	// Tuples assigned to several windows are replicated by the SPE, one
+	// copy per window (§2.1).
+	Assign(ts int64) []Window
+}
+
+// FixedAssigner assigns tumbling windows of the given size.
+type FixedAssigner struct {
+	// Size is the window length in event-time milliseconds; must be > 0.
+	Size int64
+}
+
+// Kind returns Fixed.
+func (a FixedAssigner) Kind() Kind { return Fixed }
+
+// Assign returns the single tumbling window containing ts.
+func (a FixedAssigner) Assign(ts int64) []Window {
+	start := floorTo(ts, a.Size)
+	return []Window{{Start: start, End: start + a.Size}}
+}
+
+// SlidingAssigner assigns overlapping windows of Size every Slide.
+type SlidingAssigner struct {
+	// Size is the window length; Slide is the interval between successive
+	// window starts. Size must be a positive multiple concern of Slide
+	// for the common case; any Size >= Slide > 0 is accepted.
+	Size, Slide int64
+}
+
+// Kind returns Sliding.
+func (a SlidingAssigner) Kind() Kind { return Sliding }
+
+// Assign returns every sliding window containing ts, latest start first
+// replicated in ascending start order.
+func (a SlidingAssigner) Assign(ts int64) []Window {
+	lastStart := floorTo(ts, a.Slide)
+	n := (a.Size + a.Slide - 1) / a.Slide
+	wins := make([]Window, 0, n)
+	for start := lastStart - (n-1)*a.Slide; start <= lastStart; start += a.Slide {
+		if start+a.Size > ts { // ts < End
+			wins = append(wins, Window{Start: start, End: start + a.Size})
+		}
+	}
+	return wins
+}
+
+// SessionAssigner assigns per-key session windows delimited by Gap.
+type SessionAssigner struct {
+	// Gap is the inactivity period that closes a session, in milliseconds.
+	Gap int64
+}
+
+// Kind returns Session.
+func (a SessionAssigner) Kind() Kind { return Session }
+
+// Assign returns the proto-window [ts, ts+Gap); the operator merges
+// overlapping proto-windows per key (see Merge).
+func (a SessionAssigner) Assign(ts int64) []Window {
+	return []Window{{Start: ts, End: ts + a.Gap}}
+}
+
+// GlobalAssigner assigns every event to the single global window.
+type GlobalAssigner struct{}
+
+// Kind returns Global.
+func (GlobalAssigner) Kind() Kind { return Global }
+
+// Assign returns the global window.
+func (GlobalAssigner) Assign(int64) []Window {
+	return []Window{{Start: 0, End: MaxTime}}
+}
+
+// CountAssigner groups every Size consecutive elements of a key into one
+// window. Count windows are timestamp-independent; the operator tracks a
+// per-key element counter and calls AssignNth.
+type CountAssigner struct {
+	// Size is the number of elements per window; must be > 0.
+	Size int64
+}
+
+// Kind returns Count.
+func (a CountAssigner) Kind() Kind { return Count }
+
+// Assign is unsupported for count windows; the operator must use
+// AssignNth. It panics to catch misuse in development.
+func (a CountAssigner) Assign(int64) []Window {
+	panic("window: CountAssigner requires AssignNth(seq)")
+}
+
+// AssignNth returns the synthetic window for a key's n-th element
+// (0-based). Count windows are encoded as [i*Size, (i+1)*Size) over the
+// element-sequence domain rather than event time.
+func (a CountAssigner) AssignNth(seq int64) Window {
+	start := (seq / a.Size) * a.Size
+	return Window{Start: start, End: start + a.Size}
+}
+
+// CustomAssigner wraps a user window function whose semantics FlowKV
+// cannot inspect; it classifies as Custom (unaligned, no ETT) per §3.1.
+type CustomAssigner struct {
+	// AssignFunc computes the event's windows.
+	AssignFunc func(ts int64) []Window
+}
+
+// Kind returns Custom.
+func (CustomAssigner) Kind() Kind { return Custom }
+
+// Assign invokes the wrapped function.
+func (c CustomAssigner) Assign(ts int64) []Window { return c.AssignFunc(ts) }
+
+// floorTo rounds ts down to a multiple of unit, correct for negative ts.
+func floorTo(ts, unit int64) int64 {
+	q := ts / unit
+	if ts%unit < 0 {
+		q--
+	}
+	return q * unit
+}
+
+// Merge merges a new proto-window into a key's existing set of session
+// windows. existing must be non-overlapping; Merge returns the updated
+// set (sorted by start), the merged result window, and the windows that
+// were absorbed (which the caller must migrate state from).
+func Merge(existing []Window, w Window) (updated []Window, merged Window, absorbed []Window) {
+	merged = w
+	updated = existing[:0:0]
+	for _, e := range existing {
+		if e.Overlaps(merged) {
+			absorbed = append(absorbed, e)
+			merged = merged.Cover(e)
+		} else {
+			updated = append(updated, e)
+		}
+	}
+	// Insert merged keeping start order.
+	at := len(updated)
+	for i, e := range updated {
+		if merged.Before(e) {
+			at = i
+			break
+		}
+	}
+	updated = append(updated, Window{})
+	copy(updated[at+1:], updated[at:])
+	updated[at] = merged
+	return updated, merged, absorbed
+}
+
+// A Predictor computes the estimated trigger time (ETT) of a window from
+// statically-known window semantics plus runtime tuple timestamps, the
+// core of predictive batch read (§4.2). ok is false when no useful lower
+// bound exists (count and custom windows), in which case the AUR store
+// degrades to on-demand reads.
+type Predictor interface {
+	// ETT returns a lower bound on the trigger time of window w given the
+	// maximum tuple timestamp observed inside it.
+	ETT(w Window, maxTS int64) (ett int64, ok bool)
+}
+
+// PredictorFor returns the pre-defined predictor for a window kind, or
+// nil when the kind has none (Count, Custom without a user predictor).
+// This is the §4.2 mapping from known window functions to predictors.
+func PredictorFor(k Kind, a Assigner) Predictor {
+	switch k {
+	case Fixed, Sliding, Global:
+		return EndTimePredictor{}
+	case Session:
+		sa, ok := a.(SessionAssigner)
+		if !ok {
+			return nil
+		}
+		return SessionPredictor{Gap: sa.Gap}
+	default:
+		return nil
+	}
+}
+
+// EndTimePredictor predicts aligned windows: the trigger time is exactly
+// the window end.
+type EndTimePredictor struct{}
+
+// ETT returns w.End.
+func (EndTimePredictor) ETT(w Window, _ int64) (int64, bool) { return w.End, true }
+
+// SessionPredictor predicts session windows: the window cannot trigger
+// before maxTS + Gap, since any earlier trigger would require the session
+// to have been inactive for a full gap already (§4.2).
+type SessionPredictor struct {
+	// Gap is the session gap in milliseconds.
+	Gap int64
+}
+
+// ETT returns maxTS + Gap.
+func (p SessionPredictor) ETT(_ Window, maxTS int64) (int64, bool) {
+	return maxTS + p.Gap, true
+}
+
+// UserPredictor adapts a user-supplied ETT function for custom window
+// operations (paper §8: FlowKV may receive predictors from users).
+type UserPredictor struct {
+	// Func computes the ETT; ok=false disables prediction for the window.
+	Func func(w Window, maxTS int64) (int64, bool)
+}
+
+// ETT invokes the user function.
+func (p UserPredictor) ETT(w Window, maxTS int64) (int64, bool) {
+	return p.Func(w, maxTS)
+}

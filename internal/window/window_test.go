@@ -1,0 +1,344 @@
+package window
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := Window{Start: 100, End: 200}
+	if w.Span() != 100 {
+		t.Errorf("Span = %d", w.Span())
+	}
+	if !w.Contains(100) || !w.Contains(199) {
+		t.Error("Contains should include [Start, End)")
+	}
+	if w.Contains(200) || w.Contains(99) {
+		t.Error("Contains should exclude End and < Start")
+	}
+	if w.String() != "[100,200)" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestWindowOverlapsCover(t *testing.T) {
+	a := Window{0, 100}
+	b := Window{50, 150}
+	c := Window{100, 200}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching windows do not overlap (half-open)")
+	}
+	if got := a.Cover(b); got != (Window{0, 150}) {
+		t.Errorf("Cover = %v", got)
+	}
+}
+
+func TestWindowBefore(t *testing.T) {
+	if !(Window{0, 10}).Before(Window{1, 5}) {
+		t.Error("start ordering")
+	}
+	if !(Window{0, 5}).Before(Window{0, 10}) {
+		t.Error("end tiebreak")
+	}
+	if (Window{0, 10}).Before(Window{0, 10}) {
+		t.Error("equal windows are not Before")
+	}
+}
+
+func TestWindowEncodeDecode(t *testing.T) {
+	f := func(start, end int64) bool {
+		w := Window{Start: start, End: end}
+		b := w.AppendTo(nil)
+		got, n, err := Decode(b)
+		return err == nil && n == len(b) && got == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	w := Window{Start: 123456789, End: 987654321}
+	b := w.AppendTo(nil)
+	if _, _, err := Decode(b[:1]); err == nil {
+		t.Error("Decode of truncated input should fail")
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode of empty input should fail")
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	aligned := map[Kind]bool{Fixed: true, Sliding: true, Global: true, Session: false, Count: false, Custom: false}
+	for k, want := range aligned {
+		if k.Aligned() != want {
+			t.Errorf("%v.Aligned() = %v, want %v", k, k.Aligned(), want)
+		}
+	}
+	if !Session.Merging() || Fixed.Merging() {
+		t.Error("only session windows merge")
+	}
+	for _, k := range []Kind{Fixed, Sliding, Session, Count, Global, Custom} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestFixedAssigner(t *testing.T) {
+	a := FixedAssigner{Size: 100}
+	for _, tc := range []struct {
+		ts   int64
+		want Window
+	}{
+		{0, Window{0, 100}},
+		{99, Window{0, 100}},
+		{100, Window{100, 200}},
+		{250, Window{200, 300}},
+		{-1, Window{-100, 0}},
+		{-100, Window{-100, 0}},
+	} {
+		got := a.Assign(tc.ts)
+		if len(got) != 1 || got[0] != tc.want {
+			t.Errorf("Assign(%d) = %v, want [%v]", tc.ts, got, tc.want)
+		}
+	}
+}
+
+func TestSlidingAssigner(t *testing.T) {
+	// Paper Figure 1: size 100s, slide 50s => every tuple in 2 windows.
+	a := SlidingAssigner{Size: 100_000, Slide: 50_000}
+	got := a.Assign(120_000)
+	want := []Window{{50_000, 150_000}, {100_000, 200_000}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Assign = %v, want %v", got, want)
+	}
+}
+
+func TestSlidingAssignerInvariants(t *testing.T) {
+	f := func(tsRaw int64, sizeRaw, slideRaw uint16) bool {
+		slide := int64(slideRaw%1000) + 1
+		size := slide * (int64(sizeRaw%8) + 1)
+		ts := tsRaw % 1_000_000
+		a := SlidingAssigner{Size: size, Slide: slide}
+		wins := a.Assign(ts)
+		if int64(len(wins)) != size/slide {
+			return false
+		}
+		for i, w := range wins {
+			if !w.Contains(ts) || w.Span() != size {
+				return false
+			}
+			if w.Start%slide != 0 {
+				return false
+			}
+			if i > 0 && wins[i-1].Start+slide != w.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionAssigner(t *testing.T) {
+	a := SessionAssigner{Gap: 30_000}
+	got := a.Assign(1000)
+	if len(got) != 1 || got[0] != (Window{1000, 31_000}) {
+		t.Errorf("Assign = %v", got)
+	}
+}
+
+func TestGlobalAssigner(t *testing.T) {
+	got := GlobalAssigner{}.Assign(42)
+	if len(got) != 1 || got[0] != (Window{0, MaxTime}) {
+		t.Errorf("Assign = %v", got)
+	}
+}
+
+func TestCountAssigner(t *testing.T) {
+	a := CountAssigner{Size: 10}
+	if w := a.AssignNth(0); w != (Window{0, 10}) {
+		t.Errorf("AssignNth(0) = %v", w)
+	}
+	if w := a.AssignNth(9); w != (Window{0, 10}) {
+		t.Errorf("AssignNth(9) = %v", w)
+	}
+	if w := a.AssignNth(10); w != (Window{10, 20}) {
+		t.Errorf("AssignNth(10) = %v", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Assign on CountAssigner should panic")
+		}
+	}()
+	a.Assign(0)
+}
+
+func TestCustomAssigner(t *testing.T) {
+	c := CustomAssigner{AssignFunc: func(ts int64) []Window {
+		return []Window{{ts, ts + 1}}
+	}}
+	if c.Kind() != Custom {
+		t.Error("kind")
+	}
+	if got := c.Assign(5); len(got) != 1 || got[0] != (Window{5, 6}) {
+		t.Errorf("Assign = %v", got)
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	set, merged, absorbed := Merge(nil, Window{0, 10})
+	if len(set) != 1 || merged != (Window{0, 10}) || len(absorbed) != 0 {
+		t.Fatalf("first merge: %v %v %v", set, merged, absorbed)
+	}
+	set, merged, absorbed = Merge(set, Window{20, 30})
+	if len(set) != 2 || len(absorbed) != 0 || merged != (Window{20, 30}) {
+		t.Fatalf("disjoint merge: %v", set)
+	}
+	if !sort.SliceIsSorted(set, func(i, j int) bool { return set[i].Before(set[j]) }) {
+		t.Error("set not sorted")
+	}
+}
+
+func TestMergeAbsorbing(t *testing.T) {
+	set := []Window{{0, 10}, {20, 30}, {40, 50}}
+	// [5, 25) bridges the first two windows.
+	updated, merged, absorbed := Merge(set, Window{5, 25})
+	if merged != (Window{0, 30}) {
+		t.Errorf("merged = %v", merged)
+	}
+	if len(absorbed) != 2 {
+		t.Errorf("absorbed = %v", absorbed)
+	}
+	if len(updated) != 2 || updated[0] != (Window{0, 30}) || updated[1] != (Window{40, 50}) {
+		t.Errorf("updated = %v", updated)
+	}
+}
+
+func TestMergeSessionSimulation(t *testing.T) {
+	// Simulate a session stream: events at random times; invariant: the
+	// resulting window set is sorted, non-overlapping, and every event
+	// time is covered by exactly one window extended by the gap.
+	const gap = 100
+	rng := rand.New(rand.NewSource(7))
+	a := SessionAssigner{Gap: gap}
+	var set []Window
+	var times []int64
+	for i := 0; i < 500; i++ {
+		ts := int64(rng.Intn(10_000))
+		times = append(times, ts)
+		var w Window
+		set, w, _ = Merge(set, a.Assign(ts)[0])
+		if !w.Contains(ts) {
+			t.Fatalf("merged window %v does not contain %d", w, ts)
+		}
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1].Overlaps(set[i]) {
+			t.Fatalf("overlapping session windows %v %v", set[i-1], set[i])
+		}
+		if !set[i-1].Before(set[i]) {
+			t.Fatal("set not sorted")
+		}
+		if set[i].Start-set[i-1].End < 0 {
+			t.Fatal("windows out of order")
+		}
+	}
+	for _, ts := range times {
+		var n int
+		for _, w := range set {
+			if w.Contains(ts) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("event %d covered by %d windows", ts, n)
+		}
+	}
+}
+
+func TestPredictorFor(t *testing.T) {
+	if p := PredictorFor(Fixed, FixedAssigner{Size: 10}); p == nil {
+		t.Fatal("fixed predictor missing")
+	} else if ett, ok := p.ETT(Window{0, 10}, 5); !ok || ett != 10 {
+		t.Errorf("fixed ETT = %d,%v", ett, ok)
+	}
+	if p := PredictorFor(Session, SessionAssigner{Gap: 30}); p == nil {
+		t.Fatal("session predictor missing")
+	} else if ett, ok := p.ETT(Window{0, 35}, 5); !ok || ett != 35 {
+		t.Errorf("session ETT = %d,%v (want maxTS+gap=35)", ett, ok)
+	}
+	if p := PredictorFor(Count, CountAssigner{Size: 10}); p != nil {
+		t.Error("count windows must have no predictor")
+	}
+	if p := PredictorFor(Custom, CustomAssigner{}); p != nil {
+		t.Error("custom windows must have no predictor by default")
+	}
+	if p := PredictorFor(Session, CustomAssigner{}); p != nil {
+		t.Error("session predictor requires a SessionAssigner")
+	}
+}
+
+func TestSessionPredictorIsLowerBound(t *testing.T) {
+	// Property: for any sequence of in-gap event times, the session
+	// window's actual trigger time (last event + gap) is never earlier
+	// than any ETT computed along the way.
+	const gap = 50
+	p := SessionPredictor{Gap: gap}
+	f := func(deltas []uint8) bool {
+		ts := int64(0)
+		maxETT := int64(0)
+		for _, d := range deltas {
+			ts += int64(d % gap) // stay inside the session
+			ett, ok := p.ETT(Window{}, ts)
+			if !ok {
+				return false
+			}
+			if ett > maxETT {
+				maxETT = ett
+			}
+		}
+		actualTrigger := ts + gap
+		return actualTrigger >= maxETT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUserPredictor(t *testing.T) {
+	p := UserPredictor{Func: func(w Window, maxTS int64) (int64, bool) {
+		return w.End + maxTS, true
+	}}
+	if ett, ok := p.ETT(Window{0, 10}, 3); !ok || ett != 13 {
+		t.Errorf("ETT = %d,%v", ett, ok)
+	}
+}
+
+func BenchmarkSlidingAssign(b *testing.B) {
+	a := SlidingAssigner{Size: 100_000, Slide: 50_000}
+	for i := 0; i < b.N; i++ {
+		a.Assign(int64(i) * 137)
+	}
+}
+
+func BenchmarkSessionMerge(b *testing.B) {
+	a := SessionAssigner{Gap: 100}
+	rng := rand.New(rand.NewSource(1))
+	var set []Window
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(set) > 64 {
+			set = set[:0]
+		}
+		set, _, _ = Merge(set, a.Assign(int64(rng.Intn(100_000)))[0])
+	}
+}
