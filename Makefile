@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper figure lives in bench_test.go;
+# store microbenchmarks live under the internal packages.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

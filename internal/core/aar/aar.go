@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
 	"flowkv/internal/window"
@@ -44,6 +45,9 @@ type Options struct {
 	// organization (one record per key per flush), the naive layout the
 	// paper's coarse-grained design replaces. Ablation only.
 	FineGrained bool
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	// Fault-injection tests substitute a faultfs.Injector.
+	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
 }
@@ -57,6 +61,9 @@ func (o *Options) fill() {
 	}
 	if o.FlushChunkBytes <= 0 {
 		o.FlushChunkBytes = 64 << 10
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 }
 
@@ -104,7 +111,7 @@ type Store struct {
 // Open creates an AAR store instance rooted at opts.Dir.
 func Open(opts Options) (*Store, error) {
 	opts.fill()
-	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	dir, err := logfile.OpenDirFS(opts.FS, opts.Dir, opts.Breakdown)
 	if err != nil {
 		return nil, err
 	}

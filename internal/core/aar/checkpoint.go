@@ -2,11 +2,10 @@ package aar
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 	"strings"
 
+	"flowkv/internal/faultfs"
 	"flowkv/internal/window"
 )
 
@@ -14,22 +13,25 @@ import (
 // dir (created if needed). The paper's §8 describes the discipline:
 // in-memory data is flushed to disk first, so the on-disk files form the
 // snapshot and can be copied while processing resumes. Checkpoint flushes
-// and then copies each per-window log.
+// and then copies each per-window log; every copy is fsynced before it
+// counts, so a later atomic commit (internal/core's tmp+rename) can rely
+// on the bytes being durable.
 func (s *Store) Checkpoint(dir string) error {
 	if s.closed {
 		return ErrClosed
 	}
+	fsys := s.dir.FS()
 	if err := s.flushAll(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("aar: checkpoint: %w", err)
 	}
 	for w, l := range s.files {
 		if err := l.Flush(); err != nil {
 			return err
 		}
-		if err := copyFile(l.Path(), filepath.Join(dir, windowFileName(w))); err != nil {
+		if err := faultfs.CopyFile(fsys, l.Path(), filepath.Join(dir, windowFileName(w))); err != nil {
 			return err
 		}
 	}
@@ -46,7 +48,8 @@ func (s *Store) Restore(dir string) error {
 	if len(s.files) != 0 || len(s.buf) != 0 {
 		return fmt.Errorf("aar: restore into a non-empty store")
 	}
-	ents, err := os.ReadDir(dir)
+	fsys := s.dir.FS()
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("aar: restore: %w", err)
 	}
@@ -56,7 +59,7 @@ func (s *Store) Restore(dir string) error {
 		if !ok {
 			continue
 		}
-		if err := copyFile(filepath.Join(dir, name), filepath.Join(s.dir.Root(), name)); err != nil {
+		if err := faultfs.CopyFile(fsys, filepath.Join(dir, name), filepath.Join(s.dir.Root(), name)); err != nil {
 			return err
 		}
 		l, err := s.dir.Open(name)
@@ -78,21 +81,4 @@ func parseWindowFileName(name string) (window.Window, bool) {
 		return window.Window{}, false
 	}
 	return window.Window{Start: start, End: end}, true
-}
-
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
 }

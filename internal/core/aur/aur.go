@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
 	"flowkv/internal/window"
@@ -73,6 +74,9 @@ type Options struct {
 	// CoalesceGapBytes is the maximum dead gap bridged when batching
 	// adjacent range reads. Default 32 KiB.
 	CoalesceGapBytes int64
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	// Fault-injection tests substitute a faultfs.Injector.
+	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
 }
@@ -89,6 +93,9 @@ func (o *Options) fill() {
 	}
 	if o.MinBatchWindows <= 0 {
 		o.MinBatchWindows = 64
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 }
 
@@ -155,7 +162,7 @@ type Store struct {
 // Open creates an AUR store instance rooted at opts.Dir.
 func Open(opts Options) (*Store, error) {
 	opts.fill()
-	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	dir, err := logfile.OpenDirFS(opts.FS, opts.Dir, opts.Breakdown)
 	if err != nil {
 		return nil, err
 	}

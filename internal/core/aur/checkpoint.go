@@ -2,11 +2,10 @@ package aur
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/window"
 )
 
@@ -17,11 +16,13 @@ const statSnapshotName = "stat.snap"
 // contains exactly the live state (fetch-&-removes performed since the
 // last compaction must not resurrect on restore), and copies the data
 // log, index log, and a snapshot of the Stat table (per-window maximum
-// timestamps, from which ETTs are re-derived).
+// timestamps, from which ETTs are re-derived). Every file written into
+// dir is fsynced before Checkpoint returns.
 func (s *Store) Checkpoint(dir string) error {
 	if s.closed {
 		return ErrClosed
 	}
+	fsys := s.dir.FS()
 	if err := s.flush(); err != nil {
 		return err
 	}
@@ -38,20 +39,20 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := s.indexLog.Flush(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("aur: checkpoint: %w", err)
 	}
-	if err := copyFile(s.dataLog.Path(), filepath.Join(dir, "data.log")); err != nil {
+	if err := faultfs.CopyFile(fsys, s.dataLog.Path(), filepath.Join(dir, "data.log")); err != nil {
 		return err
 	}
-	if err := copyFile(s.indexLog.Path(), filepath.Join(dir, "index.log")); err != nil {
+	if err := faultfs.CopyFile(fsys, s.indexLog.Path(), filepath.Join(dir, "index.log")); err != nil {
 		return err
 	}
 	return s.writeStatSnapshot(filepath.Join(dir, statSnapshotName))
 }
 
 func (s *Store) writeStatSnapshot(path string) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.dir.FS().Create(path)
 	if err != nil {
 		return err
 	}
@@ -63,6 +64,10 @@ func (s *Store) writeStatSnapshot(path string) error {
 		buf = binio.AppendRecord(buf, payload)
 	}
 	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}
@@ -79,15 +84,16 @@ func (s *Store) Restore(dir string) error {
 	if len(s.buf) != 0 || len(s.onDisk) != 0 || s.dataLog.Size() != 0 {
 		return fmt.Errorf("aur: restore into a non-empty store")
 	}
+	fsys := s.dir.FS()
 	// Replace the empty generation with the checkpointed logs.
 	oldData, oldIndex := s.dataLog, s.indexLog
 	gen := s.gen + 1
 	dataName := fmt.Sprintf("data-%06d.log", gen)
 	indexName := fmt.Sprintf("index-%06d.log", gen)
-	if err := copyFile(filepath.Join(dir, "data.log"), filepath.Join(s.dir.Root(), dataName)); err != nil {
+	if err := faultfs.CopyFile(fsys, filepath.Join(dir, "data.log"), filepath.Join(s.dir.Root(), dataName)); err != nil {
 		return err
 	}
-	if err := copyFile(filepath.Join(dir, "index.log"), filepath.Join(s.dir.Root(), indexName)); err != nil {
+	if err := faultfs.CopyFile(fsys, filepath.Join(dir, "index.log"), filepath.Join(s.dir.Root(), indexName)); err != nil {
 		return err
 	}
 	data, err := s.dir.Open(dataName)
@@ -119,7 +125,7 @@ func (s *Store) Restore(dir string) error {
 }
 
 func (s *Store) loadStatSnapshot(path string) error {
-	b, err := os.ReadFile(path)
+	b, err := s.dir.FS().ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -153,21 +159,4 @@ func (s *Store) loadStatSnapshot(path string) error {
 		s.stat[ident] = st
 	}
 	return nil
-}
-
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
 }

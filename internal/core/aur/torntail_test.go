@@ -1,0 +1,138 @@
+package aur
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowkv/internal/faultfs"
+	"flowkv/internal/window"
+)
+
+// TestIndexLogTornTailRecovery tears an index-log write mid-record (the
+// data-log write of the same flush lands first and succeeds) and then
+// restores the surviving files into a fresh store. The index log is the
+// authority: its torn tail must be truncated on reopen, so batch-1
+// states read back exactly and batch-2 states — whose data bytes may
+// sit unindexed in the data log — are simply absent, never corrupt.
+func TestIndexLogTornTailRecovery(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	dir := filepath.Join(t.TempDir(), "aur")
+	s, err := Open(Options{
+		Dir:              dir,
+		WriteBufferBytes: 1, // flush on every append
+		ReadBatchRatio:   0,
+		Predictor:        window.SessionPredictor{Gap: 100},
+		FS:               inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	state := func(i int) (key []byte, w window.Window) {
+		return []byte(fmt.Sprintf("s%02d", i)),
+			window.Window{Start: int64(i * 10), End: int64(i*10 + 100)}
+	}
+
+	// Batch 1: ten states durably flushed to both logs.
+	for i := 0; i < 10; i++ {
+		k, w := state(i)
+		if err := s.Append(k, []byte(fmt.Sprintf("val-%02d", i)), w, w.Start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 2: the index-log write tears after 5 bytes; everything
+	// after (including later data-log writes) is frozen.
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "index-", TornBytes: 5, Crash: true})
+	var failed bool
+	for i := 10; i < 20; i++ {
+		k, w := state(i)
+		if err := s.Append(k, []byte(fmt.Sprintf("val-%02d", i)), w, w.Start); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		if err := s.Flush(); err == nil {
+			t.Fatal("flush through a torn index write unexpectedly succeeded")
+		}
+	}
+	if !inj.Fired() {
+		t.Fatal("fault never fired")
+	}
+	_ = s.Close()
+	inj.Reset()
+
+	// Reboot: assemble a checkpoint from the surviving on-disk files.
+	// (A real core checkpoint would have been rejected mid-write; this
+	// models restoring the instance directory itself after a crash.)
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyAs := func(prefix, dst string) {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), prefix) {
+				b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(ckpt, dst), b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no %s* file in %s", prefix, dir)
+	}
+	copyAs("data-", "data.log")
+	copyAs("index-", "index.log")
+	if err := os.WriteFile(filepath.Join(ckpt, statSnapshotName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Open(Options{
+		Dir:              filepath.Join(t.TempDir(), "fresh"),
+		WriteBufferBytes: 1,
+		ReadBatchRatio:   0,
+		Predictor:        window.SessionPredictor{Gap: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Destroy()
+	if err := fresh.Restore(ckpt); err != nil {
+		t.Fatalf("restore of torn-index checkpoint: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		k, w := state(i)
+		vals, err := fresh.Get(k, w)
+		if err != nil {
+			t.Fatalf("get batch-1 state %s: %v", k, err)
+		}
+		if len(vals) != 1 || string(vals[0]) != fmt.Sprintf("val-%02d", i) {
+			t.Fatalf("state %s = %q, want [val-%02d]", k, vals, i)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		k, w := state(i)
+		vals, err := fresh.Get(k, w)
+		if err != nil {
+			t.Fatalf("get batch-2 state %s after torn index: %v", k, err)
+		}
+		if vals != nil {
+			t.Fatalf("unindexed batch-2 state %s resurrected: %q", k, vals)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"path/filepath"
 )
 
@@ -12,32 +14,100 @@ import (
 // then be shipped to reliable storage while processing resumes. Windows
 // consumed (fetched & removed) before the checkpoint stay consumed after
 // a restore.
+//
+// The snapshot is crash-consistent. Everything is first written into
+// "<dir>.tmp": the per-instance files (each fsynced by the instance
+// checkpoint), then a MANIFEST recording every file's size and CRC32C,
+// fsynced along with the directory. Only then is the temporary directory
+// atomically renamed onto dir and the parent directory fsynced. The
+// previous checkpoint is never deleted before the commit: it is renamed
+// aside to "<dir>.old" (deleting it file-by-file would open a window
+// where a crash leaves only a partial — though still manifest-rejected —
+// directory at dir). So at every instant a complete snapshot exists at
+// dir, "<dir>.old", or "<dir>.tmp", and a crash leaves at worst stale
+// ".tmp"/".old" directories that the next Checkpoint clears. If any step
+// fails, the temporary directory is removed so no partial state lingers.
 func (s *Store) Checkpoint(dir string) error {
+	fsys := s.opts.FS
+	tmp := dir + ".tmp"
+	old := dir + ".old"
+	if err := fsys.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear stale tmp: %w", err)
+	}
+	if err := fsys.RemoveAll(old); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear stale old: %w", err)
+	}
+	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: %w", err)
+	}
+	if err := s.checkpointInto(tmp); err != nil {
+		// Best-effort cleanup: after a simulated (or real) crash the
+		// removal itself can fail, which the next Checkpoint handles.
+		fsys.RemoveAll(tmp)
+		return err
+	}
+	// Commit: move the previous checkpoint aside (atomic, keeps it
+	// whole for fallback), then rename the complete snapshot onto dir.
+	if err := fsys.Rename(dir, old); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		fsys.RemoveAll(tmp)
+		return fmt.Errorf("flowkv: checkpoint: move previous aside: %w", err)
+	}
+	if err := fsys.Rename(tmp, dir); err != nil {
+		fsys.RemoveAll(tmp)
+		return fmt.Errorf("flowkv: checkpoint: commit: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: sync parent: %w", err)
+	}
+	if err := fsys.RemoveAll(old); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear previous: %w", err)
+	}
+	return nil
+}
+
+// checkpointInto writes every instance's snapshot plus the MANIFEST into
+// tmp, fsyncing each instance subdirectory so the files named by the
+// manifest are durably linked before the commit rename.
+func (s *Store) checkpointInto(tmp string) error {
+	fsys := s.opts.FS
 	for i, st := range s.aars {
-		if err := st.Checkpoint(instDir(dir, i)); err != nil {
+		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
 			return err
 		}
 	}
 	for i, st := range s.aurs {
-		if err := st.Checkpoint(instDir(dir, i)); err != nil {
+		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
 			return err
 		}
 	}
 	for i, st := range s.rmws {
-		if err := st.Checkpoint(instDir(dir, i)); err != nil {
+		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
 			return err
 		}
 	}
-	return nil
+	for i := 0; i < s.opts.Instances; i++ {
+		if err := fsys.SyncDir(instDir(tmp, i)); err != nil {
+			return fmt.Errorf("flowkv: checkpoint: sync instance dir: %w", err)
+		}
+	}
+	return writeManifest(fsys, tmp, s.pattern, s.opts.Instances)
 }
 
 // Restore rebuilds a freshly-opened store from a checkpoint directory
 // written by Checkpoint with the same pattern and instance count. Key
 // routing is deterministic, so each restored instance again owns exactly
 // the keys whose state it holds.
+//
+// Before any instance state is loaded, the checkpoint is verified against
+// its MANIFEST; a partial, truncated, or bit-flipped snapshot is rejected
+// with a CheckpointError (errors.Is ErrCheckpointInvalid) and the store
+// is left untouched, so the caller can fall back to an older checkpoint.
 func (s *Store) Restore(dir string) error {
 	if len(s.aars)+len(s.aurs)+len(s.rmws) != s.opts.Instances {
 		return fmt.Errorf("flowkv: restore: store not fully open")
+	}
+	if err := verifyCheckpoint(s.opts.FS, dir, s.pattern, s.opts.Instances); err != nil {
+		return err
 	}
 	for i, st := range s.aars {
 		if err := st.Restore(instDir(dir, i)); err != nil {

@@ -28,6 +28,7 @@ import (
 	"flowkv/internal/core/aar"
 	"flowkv/internal/core/aur"
 	"flowkv/internal/core/rmw"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/metrics"
 	"flowkv/internal/window"
 )
@@ -134,6 +135,10 @@ type Options struct {
 	FineGrainedAAR bool
 	// SeparateCompactionScan disables integrated compaction (ablation).
 	SeparateCompactionScan bool
+	// FS is the filesystem seam shared by every instance and the
+	// checkpoint machinery; nil means the real OS filesystem.
+	// Fault-injection tests substitute a faultfs.Injector.
+	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
 }
@@ -153,6 +158,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxSpaceAmplification <= 0 {
 		o.MaxSpaceAmplification = 1.5
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 }
 
@@ -204,6 +212,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				WriteBufferBytes:   perInstanceBuf,
 				LoadPartitionBytes: opts.LoadPartitionBytes,
 				FineGrained:        opts.FineGrainedAAR,
+				FS:                 opts.FS,
 				Breakdown:          opts.Breakdown,
 			})
 			if err != nil {
@@ -220,6 +229,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				MaxSpaceAmplification:  opts.MaxSpaceAmplification,
 				Predictor:              pred,
 				SeparateCompactionScan: opts.SeparateCompactionScan,
+				FS:                     opts.FS,
 				Breakdown:              opts.Breakdown,
 			})
 			if err != nil {
@@ -232,6 +242,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				Dir:                   dir,
 				WriteBufferBytes:      perInstanceBuf,
 				MaxSpaceAmplification: opts.MaxSpaceAmplification,
+				FS:                    opts.FS,
 				Breakdown:             opts.Breakdown,
 			})
 			if err != nil {

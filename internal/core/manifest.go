@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"path/filepath"
+	"sort"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
+)
+
+// manifestName is the file committing a checkpoint directory: a checkpoint
+// without a valid MANIFEST is not a checkpoint.
+const manifestName = "MANIFEST"
+
+// manifestMagic identifies the manifest format; bump the suffix on
+// incompatible changes.
+const manifestMagic = "flowkv-checkpoint-v1"
+
+// ErrCheckpointInvalid is the sentinel matched (via errors.Is) by every
+// rejection of a partial, corrupted, or mismatched checkpoint directory.
+var ErrCheckpointInvalid = errors.New("flowkv: invalid checkpoint")
+
+// CheckpointError reports why a checkpoint directory was rejected. It
+// unwraps to ErrCheckpointInvalid so callers can branch on the class
+// while logging the specifics.
+type CheckpointError struct {
+	// Dir is the checkpoint directory that was rejected.
+	Dir string
+	// File is the offending file relative to Dir, empty for
+	// directory-level problems (missing or unreadable manifest).
+	File string
+	// Reason describes the failed check.
+	Reason string
+}
+
+// Error formats the rejection.
+func (e *CheckpointError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("flowkv: invalid checkpoint %s: %s", e.Dir, e.Reason)
+	}
+	return fmt.Sprintf("flowkv: invalid checkpoint %s: file %s: %s", e.Dir, e.File, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCheckpointInvalid) hold.
+func (e *CheckpointError) Unwrap() error { return ErrCheckpointInvalid }
+
+// manifestEntry records one checkpointed file: its slash-separated path
+// relative to the checkpoint root, its exact size, and the CRC32C of its
+// contents.
+type manifestEntry struct {
+	path string
+	size int64
+	crc  uint32
+}
+
+// snapshotDir walks root through fsys and returns one entry per regular
+// file (the manifest itself excluded), sorted by path.
+func snapshotDir(fsys faultfs.FS, root string) ([]manifestEntry, error) {
+	var out []manifestEntry
+	var walk func(dir, rel string) error
+	walk = func(dir, rel string) error {
+		ents, err := fsys.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			relName := path.Join(rel, e.Name())
+			if e.IsDir() {
+				if err := walk(filepath.Join(dir, e.Name()), relName); err != nil {
+					return err
+				}
+				continue
+			}
+			if relName == manifestName {
+				continue
+			}
+			b, err := fsys.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			out = append(out, manifestEntry{path: relName, size: int64(len(b)), crc: binio.Checksum(b)})
+		}
+		return nil
+	}
+	if err := walk(root, ""); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out, nil
+}
+
+// writeManifest snapshots dir and writes its MANIFEST: a header record
+// (magic, pattern, instance count) followed by one record per file, all
+// CRC-framed through binio. The manifest file and the directory entry are
+// fsynced, so after writeManifest returns the checkpoint contents are
+// fully described and durable — ready for the atomic rename commit.
+func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error {
+	entries, err := snapshotDir(fsys, dir)
+	if err != nil {
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	var buf, payload []byte
+	payload = binio.PutString(payload[:0], manifestMagic)
+	payload = binio.PutUvarint(payload, uint64(p))
+	payload = binio.PutUvarint(payload, uint64(instances))
+	buf = binio.AppendRecord(buf, payload)
+	for _, e := range entries {
+		payload = binio.PutString(payload[:0], e.path)
+		payload = binio.PutUvarint(payload, uint64(e.size))
+		payload = binio.PutUint32(payload, e.crc)
+		buf = binio.AppendRecord(buf, payload)
+	}
+	f, err := fsys.Create(filepath.Join(dir, manifestName))
+	if err != nil {
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	return fsys.SyncDir(dir)
+}
+
+// readManifest parses dir's MANIFEST, validating the magic and that the
+// checkpoint was taken with the same pattern and instance count.
+func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) ([]manifestEntry, error) {
+	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
+	}
+	bad := func(reason string) ([]manifestEntry, error) {
+		return nil, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
+	}
+	header, n, err := binio.ReadRecord(b)
+	if err != nil {
+		return bad(fmt.Sprintf("corrupt header: %v", err))
+	}
+	b = b[n:]
+	magic, hn, err := binio.String(header)
+	if err != nil || magic != manifestMagic {
+		return bad("bad magic")
+	}
+	header = header[hn:]
+	pat, hn, err := binio.Uvarint(header)
+	if err != nil {
+		return bad("truncated header")
+	}
+	header = header[hn:]
+	inst, _, err := binio.Uvarint(header)
+	if err != nil {
+		return bad("truncated header")
+	}
+	if Pattern(pat) != p || int(inst) != instances {
+		return bad(fmt.Sprintf("checkpoint is %v/%d instances, store is %v/%d",
+			Pattern(pat), inst, p, instances))
+	}
+	var entries []manifestEntry
+	for len(b) > 0 {
+		rec, n, err := binio.ReadRecord(b)
+		if err != nil {
+			return bad(fmt.Sprintf("corrupt entry: %v", err))
+		}
+		b = b[n:]
+		name, fn, err := binio.String(rec)
+		if err != nil {
+			return bad("truncated entry")
+		}
+		rec = rec[fn:]
+		size, fn, err := binio.Uvarint(rec)
+		if err != nil {
+			return bad("truncated entry")
+		}
+		rec = rec[fn:]
+		crc, err := binio.Uint32(rec)
+		if err != nil {
+			return bad("truncated entry")
+		}
+		entries = append(entries, manifestEntry{path: name, size: int64(size), crc: crc})
+	}
+	return entries, nil
+}
+
+// verifyCheckpoint rejects dir unless its current contents match its
+// MANIFEST exactly: every listed file present with the recorded size and
+// CRC32C, and no unlisted files. Any deviation — a truncated copy, a
+// bit-flip, a file from a half-finished later attempt — yields a
+// CheckpointError rather than a silently partial restore.
+func verifyCheckpoint(fsys faultfs.FS, dir string, p Pattern, instances int) error {
+	want, err := readManifest(fsys, dir, p, instances)
+	if err != nil {
+		return err
+	}
+	got, err := snapshotDir(fsys, dir)
+	if err != nil {
+		return &CheckpointError{Dir: dir, Reason: fmt.Sprintf("unreadable contents: %v", err)}
+	}
+	byPath := make(map[string]manifestEntry, len(got))
+	for _, e := range got {
+		byPath[e.path] = e
+	}
+	for _, w := range want {
+		g, ok := byPath[w.path]
+		if !ok {
+			return &CheckpointError{Dir: dir, File: w.path, Reason: "listed in MANIFEST but missing"}
+		}
+		if g.size != w.size {
+			return &CheckpointError{Dir: dir, File: w.path,
+				Reason: fmt.Sprintf("size %d, manifest says %d", g.size, w.size)}
+		}
+		if g.crc != w.crc {
+			return &CheckpointError{Dir: dir, File: w.path, Reason: "checksum mismatch"}
+		}
+		delete(byPath, w.path)
+	}
+	for p := range byPath {
+		return &CheckpointError{Dir: dir, File: p, Reason: "not listed in MANIFEST"}
+	}
+	return nil
+}

@@ -2,20 +2,22 @@ package rmw
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
+
+	"flowkv/internal/faultfs"
 )
 
 // Checkpoint writes a consistent snapshot of the instance into dir. It
 // flushes the write buffer, compacts unconditionally so the log holds
 // exactly the live aggregates (consumed entries must not resurrect on
-// restore), and copies the log. The hash index is not persisted: it is
-// rebuilt from the compacted log on restore, where every record is live.
+// restore), and copies the log, fsyncing the copy. The hash index is not
+// persisted: it is rebuilt from the compacted log on restore, where every
+// record is live.
 func (s *Store) Checkpoint(dir string) error {
 	if s.closed {
 		return ErrClosed
 	}
+	fsys := s.dir.FS()
 	if err := s.flush(); err != nil {
 		return err
 	}
@@ -25,10 +27,10 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := s.log.Flush(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("rmw: checkpoint: %w", err)
 	}
-	return copyFile(s.log.Path(), filepath.Join(dir, "rmw.log"))
+	return faultfs.CopyFile(fsys, s.log.Path(), filepath.Join(dir, "rmw.log"))
 }
 
 // Restore rebuilds a freshly-opened (empty) instance from a checkpoint
@@ -40,10 +42,11 @@ func (s *Store) Restore(dir string) error {
 	if len(s.buf) != 0 || len(s.index) != 0 || s.log.Size() != 0 {
 		return fmt.Errorf("rmw: restore into a non-empty store")
 	}
+	fsys := s.dir.FS()
 	oldLog := s.log
 	gen := s.gen + 1
 	name := fmt.Sprintf("rmw-%06d.log", gen)
-	if err := copyFile(filepath.Join(dir, "rmw.log"), filepath.Join(s.dir.Root(), name)); err != nil {
+	if err := faultfs.CopyFile(fsys, filepath.Join(dir, "rmw.log"), filepath.Join(s.dir.Root(), name)); err != nil {
 		return err
 	}
 	l, err := s.dir.Open(name)
@@ -81,21 +84,4 @@ func (s *Store) Restore(dir string) error {
 		}
 	}
 	return nil
-}
-
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
 	"flowkv/internal/window"
@@ -36,6 +37,9 @@ type Options struct {
 	// MaxSpaceAmplification (MSA) triggers compaction when
 	// total/(total-dead) log bytes exceed it. Default 1.5.
 	MaxSpaceAmplification float64
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	// Fault-injection tests substitute a faultfs.Injector.
+	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
 }
@@ -46,6 +50,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxSpaceAmplification <= 0 {
 		o.MaxSpaceAmplification = 1.5
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 }
 
@@ -82,7 +89,7 @@ type Store struct {
 // Open creates an RMW store instance rooted at opts.Dir.
 func Open(opts Options) (*Store, error) {
 	opts.fill()
-	dir, err := logfile.OpenDir(opts.Dir, opts.Breakdown)
+	dir, err := logfile.OpenDirFS(opts.FS, opts.Dir, opts.Breakdown)
 	if err != nil {
 		return nil, err
 	}

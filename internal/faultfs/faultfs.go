@@ -1,0 +1,441 @@
+// Package faultfs is the filesystem seam under every persistent store in
+// this repository. Production code runs against OS, a trivial wrapper over
+// the os package; tests run against an Injector, which wraps another FS
+// and deterministically fails a chosen operation — fail the Nth mutating
+// op outright, return an error on sync, tear a write after K bytes, or
+// simulate a crash by freezing all subsequent mutations — so crash
+// consistency of the checkpoint and log paths can be exercised without
+// real power loss.
+//
+// Only mutating operations (creates, writes, syncs, renames, removes,
+// truncates, mkdirs) are counted and failable; reads always pass through,
+// matching the failure model of a kernel that loses or tears writes but
+// serves back whatever bytes reached the disk.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error returned by an Injector's target op.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed reports a mutating operation attempted after a simulated
+// crash froze the filesystem.
+var ErrCrashed = errors.New("faultfs: simulated crash (filesystem frozen)")
+
+// File is the subset of *os.File the storage layer uses.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS abstracts the filesystem operations of the storage layer.
+type FS interface {
+	// Create creates (or truncates) a read-write file at path.
+	Create(path string) (File, error)
+	// OpenFile is the generalized open call, mirroring os.OpenFile.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	// SyncDir fsyncs the directory itself, making entry creations,
+	// removals and renames within it durable.
+	SyncDir(path string) error
+}
+
+// OS is the production FS, a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+// osFile embeds *os.File so io.Copy into it still finds ReadFrom and
+// lowers to copy_file_range (the zero-copy transfer path).
+type osFile struct{ *os.File }
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CopyFile copies src to dst through fsys, fsyncing dst before close so a
+// checkpointed file is durable before the checkpoint commits.
+func CopyFile(fsys FS, src, dst string) error {
+	in, err := fsys.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := fsys.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Op classifies a mutating filesystem operation for rule matching.
+type Op int
+
+const (
+	// OpAny matches every mutating operation.
+	OpAny Op = iota
+	// OpCreate matches Create and OpenFile calls that may create or
+	// truncate a file.
+	OpCreate
+	// OpWrite matches File.Write.
+	OpWrite
+	// OpSync matches File.Sync and FS.SyncDir.
+	OpSync
+	// OpTruncate matches File.Truncate.
+	OpTruncate
+	// OpRename matches FS.Rename.
+	OpRename
+	// OpRemove matches FS.Remove and FS.RemoveAll.
+	OpRemove
+	// OpMkdir matches FS.MkdirAll.
+	OpMkdir
+)
+
+// String returns the op name.
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdir:
+		return "mkdir"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Rule selects exactly one mutating operation to fail. Two addressing
+// modes exist: AtOp picks by the injector's global mutating-op index
+// (deterministic replay of "crash at operation N"); otherwise the rule
+// matches the Nth operation with the given kind and path substring.
+type Rule struct {
+	// AtOp, when positive, fires on the AtOp'th mutating operation
+	// counted since the injector was created (1-based), ignoring the
+	// kind and path filters.
+	AtOp int64
+	// Op filters by operation kind (OpAny matches all).
+	Op Op
+	// PathContains filters by substring of the operation's path; empty
+	// matches every path.
+	PathContains string
+	// Nth fires on the Nth match of the filters (1-based; 0 means 1).
+	Nth int64
+	// TornBytes, for a matched OpWrite, writes that many bytes of the
+	// payload through to the underlying file before failing — a torn
+	// write. 0 writes nothing.
+	TornBytes int
+	// Err is the error returned by the failed operation; nil means
+	// ErrInjected.
+	Err error
+	// Crash freezes the filesystem after the fault fires: every later
+	// mutating operation returns ErrCrashed until Reset.
+	Crash bool
+}
+
+// Injector wraps an FS and fails one chosen mutating operation. The zero
+// rule never fires, so an Injector with no rule armed is a transparent
+// (but counting) passthrough; Ops() then measures how many mutating ops a
+// workload performs, which callers use to pick crash points.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	ops     int64
+	matched int64
+	rule    Rule
+	armed   bool
+	fired   bool
+	crashed bool
+}
+
+// NewInjector returns a transparent, counting injector over base.
+func NewInjector(base FS) *Injector {
+	return &Injector{base: base}
+}
+
+// SetRule arms the injector with r, clearing any fired state; the global
+// op counter keeps running.
+func (i *Injector) SetRule(r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rule = r
+	i.armed = true
+	i.fired = false
+	i.matched = 0
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (i *Injector) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// Fired reports whether the armed rule has fired.
+func (i *Injector) Fired() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// Crashed reports whether the filesystem is frozen by a simulated crash.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// Reset disarms the rule and thaws a crashed filesystem. The op counter
+// is preserved.
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rule = Rule{}
+	i.armed = false
+	i.fired = false
+	i.crashed = false
+	i.matched = 0
+}
+
+// check records one mutating operation and decides its fate. A negative
+// torn value means no partial write; err non-nil means the operation must
+// fail with err after writing torn bytes (OpWrite only).
+func (i *Injector) check(op Op, path string) (torn int, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return -1, ErrCrashed
+	}
+	i.ops++
+	if !i.armed || i.fired {
+		return -1, nil
+	}
+	match := false
+	if i.rule.AtOp > 0 {
+		match = i.ops == i.rule.AtOp
+	} else if (i.rule.Op == OpAny || i.rule.Op == op) &&
+		(i.rule.PathContains == "" || strings.Contains(path, i.rule.PathContains)) {
+		i.matched++
+		nth := i.rule.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		match = i.matched == nth
+	}
+	if !match {
+		return -1, nil
+	}
+	i.fired = true
+	if i.rule.Crash {
+		i.crashed = true
+	}
+	err = i.rule.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if op == OpWrite && i.rule.TornBytes > 0 {
+		return i.rule.TornBytes, err
+	}
+	return -1, err
+}
+
+func (i *Injector) Create(path string) (File, error) {
+	if _, err := i.check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	f, err := i.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: path}, nil
+}
+
+func (i *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	// Opening with creation or truncation flags mutates the namespace;
+	// a pure read-write open of an existing file does not.
+	if flag&(os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0 {
+		if _, err := i.check(OpCreate, path); err != nil {
+			return nil, err
+		}
+	}
+	f, err := i.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: path}, nil
+}
+
+func (i *Injector) Open(path string) (File, error) {
+	f, err := i.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: path}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if _, err := i.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(path string) error {
+	if _, err := i.check(OpRemove, path); err != nil {
+		return err
+	}
+	return i.base.Remove(path)
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	if _, err := i.check(OpRemove, path); err != nil {
+		return err
+	}
+	return i.base.RemoveAll(path)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := i.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return i.base.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	return i.base.ReadDir(path)
+}
+
+func (i *Injector) ReadFile(path string) ([]byte, error) {
+	return i.base.ReadFile(path)
+}
+
+func (i *Injector) SyncDir(path string) error {
+	if _, err := i.check(OpSync, path); err != nil {
+		return err
+	}
+	return i.base.SyncDir(path)
+}
+
+// injFile wraps a File, routing mutating calls through the injector.
+// Reads and closes pass through: a crash does not revoke already-open
+// descriptors, it only prevents further mutation.
+type injFile struct {
+	inj  *Injector
+	f    File
+	path string
+}
+
+func (f *injFile) Read(p []byte) (int, error)                { return f.f.Read(p) }
+func (f *injFile) ReadAt(p []byte, off int64) (int, error)   { return f.f.ReadAt(p, off) }
+func (f *injFile) Seek(off int64, whence int) (int64, error) { return f.f.Seek(off, whence) }
+func (f *injFile) Name() string                              { return f.path }
+func (f *injFile) Close() error                              { return f.f.Close() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	torn, err := f.inj.check(OpWrite, f.path)
+	if err != nil {
+		n := 0
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ = f.f.Write(p[:torn])
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.inj.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if _, err := f.inj.check(OpTruncate, f.path); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}

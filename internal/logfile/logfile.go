@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/faultfs"
 	"flowkv/internal/metrics"
 )
 
@@ -32,8 +33,9 @@ var ErrClosed = errors.New("logfile: closed")
 // single goroutine (the store instance that created it), matching the
 // paper's single-threaded worker model; it performs no locking.
 type Log struct {
+	fs     faultfs.FS
 	path   string
-	f      *os.File
+	f      faultfs.File
 	w      *bufio.Writer
 	rw     *binio.RecordWriter
 	bd     *metrics.Breakdown
@@ -43,17 +45,28 @@ type Log struct {
 // Create creates (or truncates) an append-only log at path. The breakdown
 // may be nil, in which case I/O is not accounted.
 func Create(path string, bd *metrics.Breakdown) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	return CreateFS(faultfs.OS, path, bd)
+}
+
+// CreateFS is Create against an explicit filesystem, the seam used by
+// fault-injection tests.
+func CreateFS(fsys faultfs.FS, path string, bd *metrics.Breakdown) (*Log, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("logfile: create: %w", err)
 	}
-	return newLog(path, f, 0, bd), nil
+	return newLog(fsys, path, f, 0, bd), nil
 }
 
 // Open opens an existing log for appending; new records go after any valid
 // prefix. Torn trailing records from a crash are truncated away.
 func Open(path string, bd *metrics.Breakdown) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenFS(faultfs.OS, path, bd)
+}
+
+// OpenFS is Open against an explicit filesystem.
+func OpenFS(fsys faultfs.FS, path string, bd *metrics.Breakdown) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logfile: open: %w", err)
 	}
@@ -70,11 +83,11 @@ func Open(path string, bd *metrics.Breakdown) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("logfile: seek: %w", err)
 	}
-	return newLog(path, f, end, bd), nil
+	return newLog(fsys, path, f, end, bd), nil
 }
 
 // recoverEnd scans f and returns the offset one past its last valid record.
-func recoverEnd(f *os.File) (int64, error) {
+func recoverEnd(f faultfs.File) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
@@ -87,9 +100,9 @@ func recoverEnd(f *os.File) (int64, error) {
 	return sc.Offset(), nil
 }
 
-func newLog(path string, f *os.File, off int64, bd *metrics.Breakdown) *Log {
+func newLog(fsys faultfs.FS, path string, f faultfs.File, off int64, bd *metrics.Breakdown) *Log {
 	w := bufio.NewWriterSize(f, 256*1024)
-	return &Log{path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd}
+	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd}
 }
 
 // Path returns the file path of the log.
@@ -124,6 +137,9 @@ func (l *Log) Flush() error {
 // durability (paper §8: persistency features are disabled and recovery
 // replays from the source), so stores call Sync only at checkpoints.
 func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
 	if err := l.Flush(); err != nil {
 		return err
 	}
@@ -231,10 +247,13 @@ func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
 	return nil
 }
 
-// Close flushes and closes the log file. The file remains on disk.
+// Close flushes and closes the log file. The file remains on disk. A
+// second Close returns ErrClosed, consistent with every other method on a
+// closed log, so latent double-close bugs surface instead of passing
+// silently.
 func (l *Log) Close() error {
 	if l.closed {
-		return nil
+		return ErrClosed
 	}
 	l.closed = true
 	if err := l.w.Flush(); err != nil {
@@ -244,11 +263,16 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// Remove closes the log and unlinks its file (the AAR store's "clean the
-// per-window log after the read" step).
+// Remove closes the log (if still open) and unlinks its file (the AAR
+// store's "clean the per-window log after the read" step). Unlike Close,
+// Remove on an already-closed log is not an error: the unlink still
+// happens, so cleanup paths that run after an error-path Close converge.
 func (l *Log) Remove() error {
-	err := l.Close()
-	if rerr := os.Remove(l.path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) && err == nil {
+	var err error
+	if !l.closed {
+		err = l.Close()
+	}
+	if rerr := l.fs.Remove(l.path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) && err == nil {
 		err = rerr
 	}
 	return err
@@ -292,6 +316,7 @@ func (s *Scanner) Err() error {
 // generations of data and index logs.
 type Dir struct {
 	mu   sync.Mutex
+	fs   faultfs.FS
 	root string
 	bd   *metrics.Breakdown
 	seq  int64
@@ -299,26 +324,38 @@ type Dir struct {
 
 // OpenDir creates (if needed) and opens a log directory rooted at root.
 func OpenDir(root string, bd *metrics.Breakdown) (*Dir, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return OpenDirFS(faultfs.OS, root, bd)
+}
+
+// OpenDirFS is OpenDir against an explicit filesystem; every log created
+// or opened through the Dir inherits it.
+func OpenDirFS(fsys faultfs.FS, root string, bd *metrics.Breakdown) (*Dir, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("logfile: open dir: %w", err)
 	}
-	return &Dir{root: root, bd: bd}, nil
+	return &Dir{fs: fsys, root: root, bd: bd}, nil
 }
 
 // Root returns the directory path.
 func (d *Dir) Root() string { return d.root }
+
+// FS returns the filesystem the directory operates against.
+func (d *Dir) FS() faultfs.FS { return d.fs }
 
 // Breakdown returns the directory's metrics sink (may be nil).
 func (d *Dir) Breakdown() *metrics.Breakdown { return d.bd }
 
 // Create creates a log with the exact name within the directory.
 func (d *Dir) Create(name string) (*Log, error) {
-	return Create(filepath.Join(d.root, name), d.bd)
+	return CreateFS(d.fs, filepath.Join(d.root, name), d.bd)
 }
 
 // Open opens an existing named log, recovering its tail.
 func (d *Dir) Open(name string) (*Log, error) {
-	return Open(filepath.Join(d.root, name), d.bd)
+	return OpenFS(d.fs, filepath.Join(d.root, name), d.bd)
 }
 
 // NextName returns a fresh "<prefix>-<seq>.log" name, unique within this
@@ -334,7 +371,7 @@ func (d *Dir) NextName(prefix string) string {
 // List returns the names of logs in the directory with the given prefix,
 // sorted by sequence number.
 func (d *Dir) List(prefix string) ([]string, error) {
-	ents, err := os.ReadDir(d.root)
+	ents, err := d.fs.ReadDir(d.root)
 	if err != nil {
 		return nil, fmt.Errorf("logfile: list: %w", err)
 	}
@@ -361,7 +398,7 @@ func seqOf(name string) int64 {
 
 // Remove unlinks the named log file.
 func (d *Dir) Remove(name string) error {
-	err := os.Remove(filepath.Join(d.root, name))
+	err := d.fs.Remove(filepath.Join(d.root, name))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -371,7 +408,7 @@ func (d *Dir) Remove(name string) error {
 // DiskUsage returns the total size in bytes of all files in the directory,
 // used for space-amplification accounting in the MSA experiments.
 func (d *Dir) DiskUsage() (int64, error) {
-	ents, err := os.ReadDir(d.root)
+	ents, err := d.fs.ReadDir(d.root)
 	if err != nil {
 		return 0, err
 	}
@@ -387,4 +424,4 @@ func (d *Dir) DiskUsage() (int64, error) {
 }
 
 // RemoveAll deletes the directory and everything under it.
-func (d *Dir) RemoveAll() error { return os.RemoveAll(d.root) }
+func (d *Dir) RemoveAll() error { return d.fs.RemoveAll(d.root) }

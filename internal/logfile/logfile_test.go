@@ -246,8 +246,14 @@ func TestClosedOperations(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Close(); err != nil {
-		t.Errorf("double close: %v", err)
+	if err := l.Close(); err != ErrClosed {
+		t.Errorf("double close: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Errorf("Sync on closed: %v, want ErrClosed", err)
+	}
+	if err := l.Flush(); err != ErrClosed {
+		t.Errorf("Flush on closed: %v, want ErrClosed", err)
 	}
 	if _, _, err := l.Append(nil); err != ErrClosed {
 		t.Errorf("Append on closed: %v", err)
@@ -257,6 +263,28 @@ func TestClosedOperations(t *testing.T) {
 	}
 	if _, err := l.Scanner(0); err != ErrClosed {
 		t.Errorf("Scanner on closed: %v", err)
+	}
+}
+
+func TestRemoveOnClosedLogStillUnlinks(t *testing.T) {
+	// The AAR unlink-after-read path may race an error-path Close with the
+	// final Remove; Remove must stay effective (and non-erroring) on an
+	// already-closed log even though Close itself reports ErrClosed.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.log")
+	l, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("x"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(); err != nil {
+		t.Errorf("Remove on closed log: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("file still exists after Remove on closed log")
 	}
 }
 
