@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race fuzz bench bench-core
 
 all: vet build test
 
@@ -13,10 +13,24 @@ vet:
 test:
 	$(GO) test ./...
 
+# The stress battery interleaves differently at different GOMAXPROCS;
+# CI runs this at 2 and 8.
 race:
 	$(GO) test -race ./...
+
+# Short smoke run of every fuzz target (CI cadence); raise FUZZTIME for a
+# real hunt.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/binio/ -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzParseManifest -fuzztime $(FUZZTIME)
 
 # One testing.B benchmark per paper figure lives in bench_test.go;
 # store microbenchmarks live under the internal packages.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Concurrent composite-store benchmark: 1 vs 8 workers on one core.Store,
+# results recorded in BENCH_core.json.
+bench-core:
+	$(GO) run ./cmd/storebench -parallel 8 -syncEvery 250 -json BENCH_core.json

@@ -8,6 +8,9 @@
 //
 //	storebench                 # all workloads, default size
 //	storebench -ops 500000     # bigger run
+//	storebench -parallel 8 -json BENCH_core.json
+//	                           # concurrent composite-store benchmark:
+//	                           # 1 vs 8 workers on one core.Store
 package main
 
 import (
@@ -29,8 +32,11 @@ import (
 
 func main() {
 	var (
-		ops = flag.Int("ops", 100_000, "operations per workload")
-		dir = flag.String("dir", "", "state directory (default: temp)")
+		ops       = flag.Int("ops", 100_000, "operations per workload")
+		dir       = flag.String("dir", "", "state directory (default: temp)")
+		parallel  = flag.Int("parallel", 0, "run the concurrent composite-store benchmark with this many workers (plus a 1-worker baseline), skipping the baseline store comparison")
+		syncEvery = flag.Int("syncEvery", 2000, "ops between Sync calls in the -parallel benchmark (0 disables)")
+		jsonOut   = flag.String("json", "", "write -parallel results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +48,11 @@ func main() {
 			fatal(err)
 		}
 		defer os.RemoveAll(base)
+	}
+
+	if *parallel > 0 {
+		runParallelBench(base, *ops, *parallel, *syncEvery, *jsonOut)
+		return
 	}
 
 	tb := metrics.NewTable("workload", "store", "ops", "elapsed", "ops/sec")

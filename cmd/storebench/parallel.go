@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowkv/internal/core"
+	"flowkv/internal/metrics"
+	"flowkv/internal/window"
+)
+
+// The -parallel benchmark measures what the composite store's internal
+// concurrency buys: N workers drive one core.Store (disjoint key ranges,
+// as SPE workers sharing a backend do), with a Sync issued every
+// -syncEvery operations globally to model periodic durability. At one
+// worker every fsync stalls ingestion; at N workers the stalled worker
+// waits alone while the rest keep appending through the per-instance
+// fast paths, and the Sync itself fans across instances. The same total
+// op and Sync counts make the two runs directly comparable.
+
+type parallelResult struct {
+	Pattern   string  `json:"pattern"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type parallelReport struct {
+	Ops       int                `json:"ops"`
+	SyncEvery int                `json:"sync_every"`
+	Instances int                `json:"instances"`
+	Results   []parallelResult   `json:"results"`
+	Speedup   map[string]float64 `json:"speedup"`
+}
+
+func runParallelBench(base string, ops, workers, syncEvery int, jsonPath string) {
+	const instances = 8
+	tb := metrics.NewTable("pattern", "workers", "ops", "elapsed", "ops/sec", "p99")
+	rep := parallelReport{Ops: ops, SyncEvery: syncEvery, Instances: instances, Speedup: map[string]float64{}}
+	counts := []int{1}
+	if workers > 1 {
+		counts = append(counts, workers)
+	}
+	for _, p := range []core.Pattern{core.PatternAAR, core.PatternAUR, core.PatternRMW} {
+		var serial float64
+		for _, n := range counts {
+			r := runCoreWorkload(base, p, ops, n, syncEvery, instances)
+			tb.AddRow(r.Pattern, r.Workers, r.Ops,
+				time.Duration(r.ElapsedMS*float64(time.Millisecond)).Round(time.Millisecond),
+				fmt.Sprintf("%.0f", r.OpsPerSec),
+				time.Duration(r.P99Micros*float64(time.Microsecond)).Round(time.Microsecond))
+			rep.Results = append(rep.Results, r)
+			if n == 1 {
+				serial = r.OpsPerSec
+			} else if serial > 0 {
+				rep.Speedup[r.Pattern] = r.OpsPerSec / serial
+			}
+		}
+	}
+	fmt.Print(tb)
+	for p, s := range rep.Speedup {
+		fmt.Printf("%s: %d-worker speedup %.2fx\n", p, workers, s)
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runCoreWorkload(base string, p core.Pattern, ops, workers, syncEvery, instances int) parallelResult {
+	dir := filepath.Join(base, fmt.Sprintf("core-%s-w%d", p, workers))
+	wkind := window.Fixed
+	if p == core.PatternAUR {
+		wkind = window.Session
+	}
+	st, err := core.OpenPattern(p, wkind, core.Options{
+		Dir:              dir,
+		Instances:        instances,
+		Parallelism:      workers,
+		WriteBufferBytes: 4 << 20,
+		Predictor:        window.SessionPredictor{Gap: 1000},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Destroy()
+
+	val := make([]byte, 84)
+	w := window.Window{Start: 0, End: 1 << 40}
+	perWorker := ops / workers
+	var opCount atomic.Int64
+	lat := make([][]time.Duration, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ls := make([]time.Duration, 0, perWorker)
+			var agg [8]byte
+			for i := 0; i < perWorker; i++ {
+				key := []byte(fmt.Sprintf("w%02d-key-%04d", g, i%64))
+				t0 := time.Now()
+				var err error
+				switch p {
+				case core.PatternAAR, core.PatternAUR:
+					err = st.Append(key, val, w, int64(i))
+				case core.PatternRMW:
+					var old []byte
+					var ok bool
+					old, ok, err = st.GetAggregate(key, w)
+					if err == nil {
+						var c uint64
+						if ok {
+							c = binary.LittleEndian.Uint64(old)
+						}
+						binary.LittleEndian.PutUint64(agg[:], c+1)
+						err = st.PutAggregate(key, w, agg[:])
+					}
+				}
+				if err == nil && syncEvery > 0 {
+					if n := opCount.Add(1); n%int64(syncEvery) == 0 {
+						err = st.Sync()
+					}
+				}
+				ls = append(ls, time.Since(t0))
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			lat[g] = ls
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		fatal(err)
+	default:
+	}
+
+	var all []time.Duration
+	for _, ls := range lat {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var p99 time.Duration
+	if len(all) > 0 {
+		p99 = all[len(all)*99/100]
+	}
+	total := perWorker * workers
+	return parallelResult{
+		Pattern:   p.String(),
+		Workers:   workers,
+		Ops:       total,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		P99Micros: float64(p99) / float64(time.Microsecond),
+	}
+}

@@ -12,11 +12,21 @@
 //
 // Reads use gradual state loading: GetWindow returns one bounded partition
 // per call so only one non-aggregated partition resides in memory.
+//
+// # Concurrency
+//
+// A Store instance is safe for concurrent use. Appends take only mu (the
+// write-buffer lock); everything that touches files — flushes, window
+// scans, drops, checkpoints — serializes on ioMu, with the buffer
+// detached under mu and written with only ioMu held, so ingestion never
+// stalls behind disk. The lock order is ioMu before mu; mu is never held
+// across I/O or while acquiring ioMu.
 package aar
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"flowkv/internal/binio"
 	"flowkv/internal/faultfs"
@@ -89,18 +99,23 @@ type readState struct {
 	sc  *logfile.Scanner
 }
 
-// Store is a single AAR store instance. A Store is owned by one worker
-// goroutine and performs no locking (§2.1: states are accessed by a
-// single-threaded worker).
+// Store is a single AAR store instance, safe for concurrent use.
 type Store struct {
-	opts     Options
-	dir      *logfile.Dir
-	bd       *metrics.Breakdown
+	opts Options
+	dir  *logfile.Dir
+	bd   *metrics.Breakdown
+
+	// mu guards the write buffer; appends take only this lock.
+	mu       sync.Mutex
 	buf      map[window.Window]*bucket
 	bufBytes int64
-	files    map[window.Window]*logfile.Log
-	reads    map[window.Window]*readState
 	closed   bool
+
+	// ioMu serializes file state: flushes, scans, drops, checkpoints.
+	// Never acquired while holding mu.
+	ioMu  sync.Mutex
+	files map[window.Window]*logfile.Log
+	reads map[window.Window]*readState
 
 	// Stats counted for the evaluation harness.
 	appends  metrics.Counter
@@ -128,9 +143,6 @@ func Open(opts Options) (*Store, error) {
 // Append adds the KV tuple to window w (paper API: Append(K, V, W)). The
 // key and value are copied; callers may reuse their buffers.
 func (s *Store) Append(key, value []byte, w window.Window) error {
-	if s.closed {
-		return ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpWrite)
@@ -143,40 +155,63 @@ func (s *Store) Append(key, value []byte, w window.Window) error {
 }
 
 func (s *Store) append(key, value []byte, w window.Window) error {
+	kc := make([]byte, len(key))
+	copy(kc, key)
+	vc := make([]byte, len(value))
+	copy(vc, value)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	b := s.buf[w]
 	if b == nil {
 		b = &bucket{}
 		s.buf[w] = b
 	}
-	kc := make([]byte, len(key))
-	copy(kc, key)
-	vc := make([]byte, len(value))
-	copy(vc, value)
 	b.entries = append(b.entries, kvPair{kc, vc})
 	sz := int64(len(key) + len(value) + 32)
 	b.bytes += sz
 	s.bufBytes += sz
+	need := s.bufBytes > s.opts.WriteBufferBytes
+	s.mu.Unlock()
 	s.appends.Inc()
 	s.tuplesIn.Inc()
-	if s.bufBytes > s.opts.WriteBufferBytes {
-		return s.flushAll()
+	if !need {
+		return nil
 	}
-	return nil
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.flushAllLocked()
 }
 
-// flushAll spills every buffered bucket to its window's log file.
-func (s *Store) flushAll() error {
-	for w, b := range s.buf {
+// flushAllLocked detaches the whole write buffer under mu and spills
+// every bucket to its window's log file. Caller holds ioMu; ingestion
+// into the fresh buffer proceeds while the batch is written.
+func (s *Store) flushAllLocked() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	batch := s.buf
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.buf = make(map[window.Window]*bucket)
+	s.bufBytes = 0
+	s.mu.Unlock()
+	for w, b := range batch {
 		if err := s.flushBucket(w, b); err != nil {
 			return err
 		}
-		delete(s.buf, w)
 	}
-	s.bufBytes = 0
 	s.flushes.Inc()
 	return nil
 }
 
+// flushBucket writes one window's bucket; caller holds ioMu.
 func (s *Store) flushBucket(w window.Window, b *bucket) error {
 	if len(b.entries) == 0 {
 		return nil
@@ -259,10 +294,9 @@ func flushFine(l *logfile.Log, entries []kvPair) error {
 // key, or nil when the window is exhausted — at which point its on-disk
 // log has been unlinked (paper API: GetWindow(W), fetch & remove). The
 // same key may appear in multiple partitions; the consumer merges.
+// Concurrent GetWindow calls for the same window serialize on ioMu and
+// each receive a distinct partition.
 func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
-	if s.closed {
-		return nil, ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpRead)
@@ -275,16 +309,27 @@ func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
 }
 
 func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	rs := s.reads[w]
 	if rs == nil {
 		// First call for this window: spill any buffered tuples so the
 		// read is a single sequential file scan.
-		if b := s.buf[w]; b != nil {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		b := s.buf[w]
+		if b != nil {
+			s.bufBytes -= b.bytes
+			delete(s.buf, w)
+		}
+		s.mu.Unlock()
+		if b != nil {
 			if err := s.flushBucket(w, b); err != nil {
 				return nil, err
 			}
-			s.bufBytes -= b.bytes
-			delete(s.buf, w)
 		}
 		l := s.files[w]
 		if l == nil {
@@ -348,13 +393,18 @@ func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
 // DropWindow discards all state of window w without reading it, used when
 // the SPE expires a window unseen (e.g. allowed-lateness cleanup).
 func (s *Store) DropWindow(w window.Window) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	if b := s.buf[w]; b != nil {
 		s.bufBytes -= b.bytes
 		delete(s.buf, w)
 	}
+	s.mu.Unlock()
 	delete(s.reads, w)
 	if l := s.files[w]; l != nil {
 		delete(s.files, w)
@@ -364,10 +414,18 @@ func (s *Store) DropWindow(w window.Window) error {
 }
 
 // BufferedBytes returns the current in-memory write buffer size.
-func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+func (s *Store) BufferedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bufBytes
+}
 
 // LiveWindows returns the number of windows with buffered or on-disk state.
 func (s *Store) LiveWindows() int {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	live := make(map[window.Window]struct{}, len(s.buf)+len(s.files))
 	for w := range s.buf {
 		live[w] = struct{}{}
@@ -387,6 +445,8 @@ func (s *Store) Flushes() int64 { return s.flushes.Load() }
 // DiskUsage returns the logical bytes of the instance's per-window logs,
 // including appends still in their write-through buffers.
 func (s *Store) DiskUsage() (int64, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	var total int64
 	for _, l := range s.files {
 		total += l.Size()
@@ -396,10 +456,9 @@ func (s *Store) DiskUsage() (int64, error) {
 
 // Flush spills all buffered data to disk (checkpoint support, §8).
 func (s *Store) Flush() error {
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.flushAll(); err != nil {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushAllLocked(); err != nil {
 		return err
 	}
 	for _, l := range s.files {
@@ -410,12 +469,33 @@ func (s *Store) Flush() error {
 	return nil
 }
 
+// Sync flushes all buffered data and fsyncs every per-window log, making
+// every acknowledged Append durable.
+func (s *Store) Sync() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushAllLocked(); err != nil {
+		return err
+	}
+	for _, l := range s.files {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close closes all open log files, leaving state on disk.
 func (s *Store) Close() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
 	var first error
 	for _, l := range s.files {
 		if err := l.Close(); err != nil && first == nil {

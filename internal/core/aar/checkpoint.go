@@ -16,12 +16,16 @@ import (
 // and then copies each per-window log; every copy is fsynced before it
 // counts, so a later atomic commit (internal/core's tmp+rename) can rely
 // on the bytes being durable.
+//
+// Checkpoint holds only ioMu, so concurrent Appends proceed while the
+// snapshot is written; the cut is the instant the buffer is detached
+// inside the flush. Tuples appended after that instant are not in the
+// snapshot.
 func (s *Store) Checkpoint(dir string) error {
-	if s.closed {
-		return ErrClosed
-	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	fsys := s.dir.FS()
-	if err := s.flushAll(); err != nil {
+	if err := s.flushAllLocked(); err != nil {
 		return err
 	}
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
@@ -42,10 +46,19 @@ func (s *Store) Checkpoint(dir string) error {
 // written by Checkpoint. The store must be freshly opened (empty).
 // Window boundaries are recovered from the per-window file names.
 func (s *Store) Restore(dir string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if len(s.files) != 0 || len(s.buf) != 0 {
+	if len(s.buf) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("aar: restore into a non-empty store")
+	}
+	s.mu.Unlock()
+	if len(s.files) != 0 {
 		return fmt.Errorf("aar: restore into a non-empty store")
 	}
 	fsys := s.dir.FS()

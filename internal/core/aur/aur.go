@@ -27,6 +27,26 @@
 // fresh data log with zero-copy file transfer and writing a fresh index
 // log. The SeparateCompactionScan option disables the integration for
 // ablation, issuing a dedicated scan instead.
+//
+// # Concurrency
+//
+// A Store instance is safe for concurrent use. Two locks split the state:
+//
+//   - mu guards the in-memory maps: write buffer, Stat table, prefetch
+//     buffer and the per-id on-disk byte accounting. Appends, and
+//     Get/Read/Drop of state that lives only in the buffer, take mu
+//     alone, so ingestion never waits for disk.
+//   - ioMu serializes everything involving the data and index logs:
+//     flushes, index scans, span loads, compaction, checkpoints — plus
+//     the consumed set and dead-byte counter, which only disk-touching
+//     paths mutate. mu is never held across I/O; a flush detaches the
+//     buffer under mu, writes with only ioMu held, and installs the
+//     on-disk accounting under mu again.
+//
+// The lock order is ioMu before mu; mu is never held while acquiring
+// ioMu. Operations on an identity with on-disk state, or one mid-flight
+// in a flush, divert to the slow path (which waits on ioMu) so a
+// fetch-&-remove can never miss values between buffer and log.
 package aur
 
 import (
@@ -34,6 +54,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"flowkv/internal/binio"
 	"flowkv/internal/faultfs"
@@ -74,6 +95,10 @@ type Options struct {
 	// CoalesceGapBytes is the maximum dead gap bridged when batching
 	// adjacent range reads. Default 32 KiB.
 	CoalesceGapBytes int64
+	// ReadParallelism bounds the worker goroutines fanning the coalesced
+	// range reads of one predictive batch read across the data log.
+	// 1 reads serially. Default 4.
+	ReadParallelism int
 	// FS is the filesystem seam; nil means the real OS filesystem.
 	// Fault-injection tests substitute a faultfs.Injector.
 	FS faultfs.FS
@@ -93,6 +118,9 @@ func (o *Options) fill() {
 	}
 	if o.MinBatchWindows <= 0 {
 		o.MinBatchWindows = 64
+	}
+	if o.ReadParallelism <= 0 {
+		o.ReadParallelism = 4
 	}
 	if o.FS == nil {
 		o.FS = faultfs.OS
@@ -125,31 +153,35 @@ type span struct {
 	n   int
 }
 
-// Store is a single AUR store instance, owned by one worker goroutine.
+// Store is a single AUR store instance, safe for concurrent use.
 type Store struct {
 	opts Options
 	dir  *logfile.Dir
 	bd   *metrics.Breakdown
 
+	// mu guards the in-memory state below.
+	mu       sync.Mutex
 	buf      map[id]*bufEntry
 	bufBytes int64
-
-	stat   map[id]*statEntry
-	onDisk map[id]int64 // bytes of flushed record data per live id
-	// consumed is keyed by the canonical (key, window) byte encoding —
-	// the same prefix every index entry starts with — so the index scan
-	// can test deadness without allocating an id per entry.
-	consumed map[string]struct{}
+	stat     map[id]*statEntry
+	onDisk   map[id]int64 // bytes of flushed record data per live id
+	flushing map[id]*bufEntry
+	closed   bool
 
 	prefetch      map[id][][]byte
 	prefetchBytes int64
 
+	// ioMu serializes log I/O and the state only disk paths touch.
+	// Never acquired while holding mu.
+	ioMu sync.Mutex
+	// consumed is keyed by the canonical (key, window) byte encoding —
+	// the same prefix every index entry starts with — so the index scan
+	// can test deadness without allocating an id per entry.
+	consumed map[string]struct{}
 	dataLog  *logfile.Log
 	indexLog *logfile.Log
 	gen      int
 	dead     int64 // dead bytes in the current data log
-
-	closed bool
 
 	// Evaluation metrics.
 	ratio       metrics.Ratio
@@ -182,6 +214,7 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
+// openGen swaps in fresh log generations; caller holds ioMu (or is Open).
 func (s *Store) openGen(gen int) error {
 	data, err := s.dir.Create(fmt.Sprintf("data-%06d.log", gen))
 	if err != nil {
@@ -200,9 +233,6 @@ func (s *Store) openGen(gen int) error {
 // Append(K, V, W, T)). The timestamp feeds the window's ETT. Key and
 // value are copied.
 func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
-	if s.closed {
-		return ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpWrite)
@@ -216,12 +246,19 @@ func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
 
 func (s *Store) append(key, value []byte, w window.Window, ts int64) error {
 	ident := id{key: string(key), w: w}
+	vc := make([]byte, len(value))
+	copy(vc, value)
 
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	// A new tuple for a prefetched window proves its ETT estimate wrong:
 	// evict the stale prefetched state (§4.2); it will be re-read when
 	// the window actually triggers.
 	if _, ok := s.prefetch[ident]; ok {
-		s.dropPrefetch(ident)
+		s.dropPrefetchLocked(ident)
 		s.evictions.Inc()
 	}
 
@@ -230,8 +267,6 @@ func (s *Store) append(key, value []byte, w window.Window, ts int64) error {
 		e = &bufEntry{}
 		s.buf[ident] = e
 	}
-	vc := make([]byte, len(value))
-	copy(vc, value)
 	e.values = append(e.values, vc)
 	sz := int64(len(value) + 24)
 	e.bytes += sz
@@ -250,40 +285,86 @@ func (s *Store) append(key, value []byte, w window.Window, ts int64) error {
 			st.ett, st.hasETT = ett, true
 		}
 	}
+	need := s.bufBytes > s.opts.WriteBufferBytes
+	s.mu.Unlock()
 
-	if s.bufBytes > s.opts.WriteBufferBytes {
-		if err := s.flush(); err != nil {
-			return err
-		}
-		if s.opts.SeparateCompactionScan {
-			return s.maybeCompactSeparate()
-		}
+	if !need {
+		return nil
+	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if s.opts.SeparateCompactionScan {
+		return s.maybeCompactSeparateLocked()
 	}
 	return nil
 }
 
-// flush spills the write buffer: one data record and one index entry per
-// buffered (key, window) batch (step ③).
-func (s *Store) flush() error {
+// flushLocked spills the write buffer: one data record and one index
+// entry per buffered (key, window) batch (step ③). Caller holds ioMu.
+// The buffer is detached under mu and written with only ioMu held, so
+// ingestion proceeds; ids in the detached batch are marked in-flight,
+// diverting their reads to the slow path until the on-disk accounting is
+// installed.
+func (s *Store) flushLocked() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	batch := s.buf
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.buf = make(map[id]*bufEntry)
+	s.bufBytes = 0
+	s.flushing = batch
+	s.mu.Unlock()
+
+	type wrec struct {
+		ident id
+		n     int64
+	}
+	written := make([]wrec, 0, len(batch))
 	var payload, idxPayload []byte
-	for ident, e := range s.buf {
+	var werr error
+	for ident, e := range batch {
 		payload = binio.PutUvarint(payload[:0], uint64(len(e.values)))
 		for _, v := range e.values {
 			payload = binio.PutBytes(payload, v)
 		}
 		off, n, err := s.dataLog.Append(payload)
 		if err != nil {
-			return err
+			werr = err
+			break
 		}
 		idxPayload = encodeIndexEntry(idxPayload[:0], ident, span{off, n})
 		if _, _, err := s.indexLog.Append(idxPayload); err != nil {
-			return err
+			werr = err
+			break
 		}
-		s.onDisk[ident] += int64(n)
-		delete(s.buf, ident)
+		written = append(written, wrec{ident, int64(n)})
 	}
-	s.bufBytes = 0
-	return nil
+
+	s.mu.Lock()
+	s.flushing = nil
+	for _, wr := range written {
+		s.onDisk[wr.ident] += wr.n
+		// A prefetch entry covers every flushed span of its id at the
+		// instant it was installed; the span just written is not among
+		// them, so the entry (installed by a batch read that targeted a
+		// different id while this one sat in the buffer) is now stale
+		// and must go, exactly as an append evicts it.
+		if _, ok := s.prefetch[wr.ident]; ok {
+			s.dropPrefetchLocked(wr.ident)
+			s.evictions.Inc()
+		}
+	}
+	s.mu.Unlock()
+	return werr
 }
 
 // identBytes returns the canonical byte encoding of an identity, equal
@@ -330,13 +411,20 @@ func decodeIndexEntry(b []byte) (ident id, sp span, err error) {
 	return id{key: string(k), w: w}, span{off: int64(off), n: int(ln)}, nil
 }
 
+// fastPathLocked reports whether ident can be served under mu alone:
+// no on-disk state and no copy mid-flight in a flush. Caller holds mu.
+func (s *Store) fastPathLocked(ident id) bool {
+	if s.onDisk[ident] > 0 {
+		return false
+	}
+	_, inflight := s.flushing[ident]
+	return !inflight
+}
+
 // Get fetches and removes the values of (key, window) (paper API:
 // Get(K, W)). Values are returned in append order. A nil slice means the
 // state does not exist.
 func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
-	if s.closed {
-		return nil, ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpRead)
@@ -350,28 +438,58 @@ func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
 
 func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
 	ident := id{key: string(key), w: w}
-	var diskVals [][]byte
 
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.fastPathLocked(ident) {
+		var bufVals [][]byte
+		if e, ok := s.buf[ident]; ok {
+			bufVals = e.values
+			s.bufBytes -= e.bytes
+			delete(s.buf, ident)
+		}
+		delete(s.stat, ident)
+		s.mu.Unlock()
+		return bufVals, nil
+	}
+	s.mu.Unlock()
+
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	// Any flush that was in flight has completed: state is buffer + disk.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var diskVals [][]byte
 	if s.onDisk[ident] > 0 {
 		if pv, ok := s.prefetch[ident]; ok {
 			// Step ④: served from the prefetch buffer.
 			s.ratio.Hit()
 			diskVals = pv
-			s.dropPrefetch(ident)
 		} else {
-			// Miss: predictive batch read (steps ⑤–⑦).
+			// Miss: predictive batch read (steps ⑤–⑦). The values come
+			// back directly: a concurrent Append to this id while mu is
+			// released would evict its fresh prefetch entry, so the map
+			// cannot be re-read here.
 			s.ratio.Miss()
-			if err := s.batchRead(ident); err != nil {
+			s.mu.Unlock()
+			vals, err := s.batchReadLocked(ident)
+			if err != nil {
 				return nil, err
 			}
-			diskVals = s.prefetch[ident]
-			s.dropPrefetch(ident)
+			s.mu.Lock()
+			diskVals = vals
 		}
+		s.dropPrefetchLocked(ident)
 		s.dead += s.onDisk[ident]
 		delete(s.onDisk, ident)
 		s.consumed[string(identBytes(ident))] = struct{}{}
 	}
-
 	var bufVals [][]byte
 	if e, ok := s.buf[ident]; ok {
 		bufVals = e.values
@@ -379,6 +497,7 @@ func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
 		delete(s.buf, ident)
 	}
 	delete(s.stat, ident)
+	s.mu.Unlock()
 
 	if diskVals == nil && bufVals == nil {
 		return nil, nil
@@ -392,9 +511,6 @@ func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
 // that probe state repeatedly before discarding it wholesale — e.g.
 // interval joins (§8) — while preserving the AUR layout.
 func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
-	if s.closed {
-		return nil, ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpRead)
@@ -408,6 +524,29 @@ func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
 
 func (s *Store) read(key []byte, w window.Window) ([][]byte, error) {
 	ident := id{key: string(key), w: w}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.fastPathLocked(ident) {
+		var out [][]byte
+		if e, ok := s.buf[ident]; ok {
+			out = append(out, e.values...)
+		}
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.mu.Unlock()
+
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	var diskVals [][]byte
 	if s.onDisk[ident] > 0 {
 		if pv, ok := s.prefetch[ident]; ok {
@@ -415,16 +554,21 @@ func (s *Store) read(key []byte, w window.Window) ([][]byte, error) {
 			diskVals = pv
 		} else {
 			s.ratio.Miss()
-			if err := s.batchRead(ident); err != nil {
+			s.mu.Unlock()
+			vals, err := s.batchReadLocked(ident)
+			if err != nil {
 				return nil, err
 			}
-			diskVals = s.prefetch[ident]
+			s.mu.Lock()
+			diskVals = vals
 		}
 	}
 	var bufVals [][]byte
 	if e, ok := s.buf[ident]; ok {
 		bufVals = e.values
 	}
+	s.mu.Unlock()
+
 	if diskVals == nil && bufVals == nil {
 		return nil, nil
 	}
@@ -437,6 +581,8 @@ func (s *Store) read(key []byte, w window.Window) ([][]byte, error) {
 // for (key, window) without consuming them. Diagnostic/testing hook.
 func (s *Store) Peek(key []byte, w window.Window) (buffered, onDisk int64, prefetched bool) {
 	ident := id{key: string(key), w: w}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e, ok := s.buf[ident]; ok {
 		buffered = e.bytes
 	}
@@ -446,25 +592,48 @@ func (s *Store) Peek(key []byte, w window.Window) (buffered, onDisk int64, prefe
 
 // Drop discards all state of (key, window) without reading it.
 func (s *Store) Drop(key []byte, w window.Window) error {
+	ident := id{key: string(key), w: w}
+
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	ident := id{key: string(key), w: w}
+	if s.fastPathLocked(ident) {
+		if e, ok := s.buf[ident]; ok {
+			s.bufBytes -= e.bytes
+			delete(s.buf, ident)
+		}
+		delete(s.stat, ident)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	if e, ok := s.buf[ident]; ok {
 		s.bufBytes -= e.bytes
 		delete(s.buf, ident)
 	}
-	s.dropPrefetch(ident)
+	s.dropPrefetchLocked(ident)
 	if n := s.onDisk[ident]; n > 0 {
 		s.dead += n
 		delete(s.onDisk, ident)
 		s.consumed[string(identBytes(ident))] = struct{}{}
 	}
 	delete(s.stat, ident)
+	s.mu.Unlock()
 	return nil
 }
 
-func (s *Store) dropPrefetch(ident id) {
+// dropPrefetchLocked removes ident's prefetched values; caller holds mu.
+func (s *Store) dropPrefetchLocked(ident id) {
 	if vs, ok := s.prefetch[ident]; ok {
 		for _, v := range vs {
 			s.prefetchBytes -= int64(len(v))
@@ -473,29 +642,38 @@ func (s *Store) dropPrefetch(ident id) {
 	}
 }
 
-// batchRead performs one predictive batch read targeting ident: scan the
-// index log, select the target plus the N live windows nearest their ETT,
-// load them into the prefetch buffer with coalesced range reads, and — in
-// integrated mode — run compaction off the same scan if space
-// amplification exceeds MSA.
-func (s *Store) batchRead(target id) error {
+// batchReadLocked performs one predictive batch read targeting ident:
+// scan the index log, select the target plus the N live windows nearest
+// their ETT, load them into the prefetch buffer with coalesced range
+// reads, and — in integrated mode — run compaction off the same scan if
+// space amplification exceeds MSA. Caller holds ioMu (not mu).
+//
+// The target's values are returned directly rather than via the
+// prefetch buffer: a concurrent Append to the target between the
+// prefetch install and the caller's next mu acquisition evicts the
+// entry, so a caller that re-read s.prefetch[target] could find nothing
+// and lose the on-disk values it is about to consume.
+func (s *Store) batchReadLocked(target id) ([][]byte, error) {
 	// No flush here: the index only needs to cover flushed state — a
 	// Get serves still-buffered values straight from the write buffer,
 	// and onDisk bytes are by definition already indexed.
-	live, order, err := s.scanIndex()
+	live, order, err := s.scanIndexLocked()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.batchReads.Inc()
 
 	// Select candidates: the target plus the N ids with the smallest
 	// time-to-ETT, N = ceil(ratio × live states) so any positive ratio
 	// prefetches at least one upcoming window. Ids without an ETT cannot
-	// be predicted and are only loaded on demand.
+	// be predicted and are only loaded on demand. The Stat table and
+	// prefetch membership are read under mu; the spans themselves are
+	// stable while ioMu is held.
 	var selected []*liveEntry
 	if e := live[string(identBytes(target))]; e != nil {
 		selected = append(selected, e)
 	}
+	s.mu.Lock()
 	n := int(math.Ceil(s.opts.ReadBatchRatio * float64(len(s.stat))))
 	if s.opts.ReadBatchRatio > 0 && n < s.opts.MinBatchWindows {
 		n = s.opts.MinBatchWindows
@@ -527,24 +705,29 @@ func (s *Store) batchRead(target id) error {
 			selected = append(selected, c.e)
 		}
 	}
+	s.mu.Unlock()
 
-	if err := s.loadSpans(selected); err != nil {
-		return err
+	targetVals, err := s.loadSpansLocked(selected, target)
+	if err != nil {
+		return nil, err
 	}
 
 	// Step ⑦: integrated compaction rides the scan we just did.
-	if !s.opts.SeparateCompactionScan && s.spaceAmp() > s.opts.MaxSpaceAmplification {
-		return s.compact(live, order)
+	if !s.opts.SeparateCompactionScan && s.spaceAmpLocked() > s.opts.MaxSpaceAmplification {
+		if err := s.compact(live, order); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return targetVals, nil
 }
 
-// scanIndex reads the index log once and returns the live spans grouped
-// by identity, in first-appearance (chronological) order. The scan is
+// scanIndexLocked reads the index log once and returns the live spans
+// grouped by identity, in first-appearance (chronological) order. Caller
+// holds ioMu, under which the consumed set is stable. The scan is
 // allocation-light: each entry's identity prefix is matched against the
 // live and consumed maps without constructing an id; parsing happens
 // once per unique live identity.
-func (s *Store) scanIndex() (map[string]*liveEntry, []*liveEntry, error) {
+func (s *Store) scanIndexLocked() (map[string]*liveEntry, []*liveEntry, error) {
 	s.indexScans.Inc()
 	var stop func()
 	if s.bd != nil {
@@ -617,22 +800,35 @@ func splitIndexEntry(b []byte) (prefix []byte, sp span, err error) {
 	return prefix, span{off: int64(off), n: int(ln)}, nil
 }
 
-// loadSpans reads the data-log spans of every selected id into the
-// prefetch buffer, coalescing adjacent ranges into single reads.
-func (s *Store) loadSpans(selected []*liveEntry) error {
-	type task struct {
-		ident id
-		sp    span
-		seq   int
-	}
-	var tasks []task
+// loadTask is one data-log span to load during a batch read.
+type loadTask struct {
+	ident id
+	sp    span
+	seq   int
+	vals  [][]byte
+}
+
+// loadRun is a coalesced range of adjacent tasks read with one I/O.
+type loadRun struct {
+	base, end int64
+	lo, hi    int // inclusive task range
+}
+
+// loadSpansLocked reads the data-log spans of every selected id into the
+// prefetch buffer, coalescing adjacent ranges into single reads and
+// fanning independent ranges across ReadParallelism worker goroutines
+// (positional reads on the flushed log are independent). Caller holds
+// ioMu (not mu); the decoded values are installed under mu at the end.
+// The target's values are also returned directly (see batchReadLocked).
+func (s *Store) loadSpansLocked(selected []*liveEntry, target id) ([][]byte, error) {
+	var tasks []*loadTask
 	for _, e := range selected {
 		for i, sp := range e.spans {
-			tasks = append(tasks, task{e.ident, sp, i})
+			tasks = append(tasks, &loadTask{ident: e.ident, sp: sp, seq: i})
 		}
 	}
 	if len(tasks) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(tasks, func(i, j int) bool {
 		if tasks[i].sp.off != tasks[j].sp.off {
@@ -644,6 +840,7 @@ func (s *Store) loadSpans(selected []*liveEntry) error {
 	// Values must land in flush order per id; spans were recorded
 	// per-id chronologically, and since the data log is append-only,
 	// ascending offset order coincides with chronological order.
+	var runs []loadRun
 	i := 0
 	for i < len(tasks) {
 		// Coalesce a run of tasks whose byte ranges are near-adjacent.
@@ -655,14 +852,18 @@ func (s *Store) loadSpans(selected []*liveEntry) error {
 				end = e
 			}
 		}
-		base := tasks[i].sp.off
-		raw, err := s.dataLog.ReadRangeAt(base, int(end-base))
+		runs = append(runs, loadRun{base: tasks[i].sp.off, end: end, lo: i, hi: j})
+		i = j + 1
+	}
+
+	loadRun := func(r loadRun, read func(off int64, n int) ([]byte, error)) error {
+		raw, err := read(r.base, int(r.end-r.base))
 		if err != nil {
 			return err
 		}
-		for k := i; k <= j; k++ {
+		for k := r.lo; k <= r.hi; k++ {
 			t := tasks[k]
-			rec := raw[t.sp.off-base : t.sp.off-base+int64(t.sp.n)]
+			rec := raw[t.sp.off-r.base : t.sp.off-r.base+int64(t.sp.n)]
 			payload, _, err := binio.ReadRecord(rec)
 			if err != nil {
 				return fmt.Errorf("aur: data record at %d: %w", t.sp.off, err)
@@ -671,14 +872,87 @@ func (s *Store) loadSpans(selected []*liveEntry) error {
 			if err != nil {
 				return err
 			}
-			for _, v := range vals {
-				s.prefetchBytes += int64(len(v))
-			}
-			s.prefetch[t.ident] = append(s.prefetch[t.ident], vals...)
+			t.vals = vals
 		}
-		i = j + 1
+		return nil
 	}
-	return nil
+
+	if workers := s.opts.ReadParallelism; workers > 1 && len(runs) > 1 {
+		if workers > len(runs) {
+			workers = len(runs)
+		}
+		// One explicit flush, then lock-free positional reads: the
+		// workers only touch the flushed file through ReadRangeAtRaw.
+		if err := s.dataLog.Flush(); err != nil {
+			return nil, err
+		}
+		var (
+			wg   sync.WaitGroup
+			next int64
+			emu  sync.Mutex
+			ferr error
+		)
+		nextRun := func() int {
+			emu.Lock()
+			defer emu.Unlock()
+			if ferr != nil || next >= int64(len(runs)) {
+				return -1
+			}
+			n := next
+			next++
+			return int(n)
+		}
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ri := nextRun()
+					if ri < 0 {
+						return
+					}
+					if err := loadRun(runs[ri], s.dataLog.ReadRangeAtRaw); err != nil {
+						emu.Lock()
+						if ferr == nil {
+							ferr = err
+						}
+						emu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if ferr != nil {
+			return nil, ferr
+		}
+	} else {
+		for _, r := range runs {
+			if err := loadRun(r, s.dataLog.ReadRangeAt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Install in global offset order so per-id value order is
+	// chronological. A concurrent Append may already have evicted and
+	// re-created state for an id; re-installing is harmless — Get merges
+	// prefetched disk values with newer buffered ones. The target's
+	// values are also collected into a caller-owned slice that no
+	// concurrent eviction can take away.
+	var targetVals [][]byte
+	s.mu.Lock()
+	for _, t := range tasks {
+		for _, v := range t.vals {
+			s.prefetchBytes += int64(len(v))
+		}
+		s.prefetch[t.ident] = append(s.prefetch[t.ident], t.vals...)
+		if t.ident == target {
+			targetVals = append(targetVals, t.vals...)
+		}
+	}
+	s.mu.Unlock()
+	return targetVals, nil
 }
 
 func decodeValues(payload []byte) ([][]byte, error) {
@@ -701,9 +975,9 @@ func decodeValues(payload []byte) ([][]byte, error) {
 	return vals, nil
 }
 
-// spaceAmp returns the data log's current space amplification
-// total/(total-dead); 1.0 when the log is empty.
-func (s *Store) spaceAmp() float64 {
+// spaceAmpLocked returns the data log's current space amplification
+// total/(total-dead); 1.0 when the log is empty. Caller holds ioMu.
+func (s *Store) spaceAmpLocked() float64 {
 	total := s.dataLog.Size()
 	if total == 0 || total == s.dead {
 		return 1.0
@@ -711,13 +985,14 @@ func (s *Store) spaceAmp() float64 {
 	return float64(total) / float64(total-s.dead)
 }
 
-// maybeCompactSeparate is the ablation path: a dedicated index scan is
-// issued whenever the space-amplification threshold is crossed.
-func (s *Store) maybeCompactSeparate() error {
-	if s.spaceAmp() <= s.opts.MaxSpaceAmplification {
+// maybeCompactSeparateLocked is the ablation path: a dedicated index
+// scan is issued whenever the space-amplification threshold is crossed.
+// Caller holds ioMu.
+func (s *Store) maybeCompactSeparateLocked() error {
+	if s.spaceAmpLocked() <= s.opts.MaxSpaceAmplification {
 		return nil
 	}
-	live, order, err := s.scanIndex()
+	live, order, err := s.scanIndexLocked()
 	if err != nil {
 		return err
 	}
@@ -727,7 +1002,8 @@ func (s *Store) maybeCompactSeparate() error {
 // compact builds a fresh data log holding only live bytes (moved with
 // zero-copy transfer) and a fresh index log, then removes the old
 // generation (§4.2 "Integrated Compaction", §5 "Zero-copy Byte
-// Transfer").
+// Transfer"). Caller holds ioMu; the live set cannot change underneath
+// (consuming state requires ioMu) and appends only touch the buffer.
 func (s *Store) compact(live map[string]*liveEntry, order []*liveEntry) error {
 	var stop func()
 	if s.bd != nil {
@@ -814,16 +1090,29 @@ func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error 
 
 // Flush spills all buffered data to disk (checkpoint support).
 func (s *Store) Flush() error {
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.flush(); err != nil {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
 		return err
 	}
 	if err := s.dataLog.Flush(); err != nil {
 		return err
 	}
 	return s.indexLog.Flush()
+}
+
+// Sync flushes all buffered data and fsyncs both logs, making every
+// acknowledged Append durable.
+func (s *Store) Sync() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.dataLog.Sync(); err != nil {
+		return err
+	}
+	return s.indexLog.Sync()
 }
 
 // HitRatio returns the prefetch buffer hit ratio (Figure 11b metric).
@@ -843,29 +1132,52 @@ func (s *Store) Compactions() int64 { return s.compactions.Load() }
 func (s *Store) IndexScans() int64 { return s.indexScans.Load() }
 
 // SpaceAmplification returns the data log's current space amplification.
-func (s *Store) SpaceAmplification() float64 { return s.spaceAmp() }
+func (s *Store) SpaceAmplification() float64 {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.spaceAmpLocked()
+}
 
 // BufferedBytes returns the current write-buffer occupancy.
-func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+func (s *Store) BufferedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bufBytes
+}
 
 // PrefetchedBytes returns the current prefetch-buffer occupancy.
-func (s *Store) PrefetchedBytes() int64 { return s.prefetchBytes }
+func (s *Store) PrefetchedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prefetchBytes
+}
 
 // LiveStates returns the number of live (key, window) states tracked.
-func (s *Store) LiveStates() int { return len(s.stat) }
+func (s *Store) LiveStates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stat)
+}
 
 // DiskUsage returns the logical bytes of the instance's data and index
 // logs, including appends still in their write-through buffers.
 func (s *Store) DiskUsage() (int64, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	return s.dataLog.Size() + s.indexLog.Size(), nil
 }
 
 // Close closes the store's log files, leaving state on disk.
 func (s *Store) Close() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
 	err := s.dataLog.Close()
 	if e := s.indexLog.Close(); e != nil && err == nil {
 		err = e

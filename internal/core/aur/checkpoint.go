@@ -18,15 +18,28 @@ const statSnapshotName = "stat.snap"
 // log, index log, and a snapshot of the Stat table (per-window maximum
 // timestamps, from which ETTs are re-derived). Every file written into
 // dir is fsynced before Checkpoint returns.
+//
+// Checkpoint holds only ioMu, so concurrent Appends and buffer-served
+// reads proceed while the snapshot is written; the cut is the instant the
+// buffer is detached inside the flush, and the Stat table is snapshotted
+// at that same instant so the two agree.
 func (s *Store) Checkpoint(dir string) error {
-	if s.closed {
-		return ErrClosed
-	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	fsys := s.dir.FS()
-	if err := s.flush(); err != nil {
+	if err := s.flushLocked(); err != nil {
 		return err
 	}
-	live, order, err := s.scanIndex()
+	// Snapshot the Stat table right at the cut: ids appended after the
+	// buffer detach may add Stat rows, but those tuples are not in the
+	// snapshot either.
+	s.mu.Lock()
+	statSnap := make(map[id]int64, len(s.stat))
+	for ident, st := range s.stat {
+		statSnap[ident] = st.maxTS
+	}
+	s.mu.Unlock()
+	live, order, err := s.scanIndexLocked()
 	if err != nil {
 		return err
 	}
@@ -48,19 +61,19 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := faultfs.CopyFile(fsys, s.indexLog.Path(), filepath.Join(dir, "index.log")); err != nil {
 		return err
 	}
-	return s.writeStatSnapshot(filepath.Join(dir, statSnapshotName))
+	return s.writeStatSnapshot(filepath.Join(dir, statSnapshotName), statSnap)
 }
 
-func (s *Store) writeStatSnapshot(path string) error {
+func (s *Store) writeStatSnapshot(path string, statSnap map[id]int64) error {
 	f, err := s.dir.FS().Create(path)
 	if err != nil {
 		return err
 	}
 	var buf, payload []byte
-	for ident, st := range s.stat {
+	for ident, maxTS := range statSnap {
 		payload = binio.PutBytes(payload[:0], []byte(ident.key))
 		payload = ident.w.AppendTo(payload)
-		payload = binio.PutVarint(payload, st.maxTS)
+		payload = binio.PutVarint(payload, maxTS)
 		buf = binio.AppendRecord(buf, payload)
 	}
 	if _, err := f.Write(buf); err != nil {
@@ -78,10 +91,19 @@ func (s *Store) writeStatSnapshot(path string) error {
 // directory. On-disk locations come back from the copied index log; the
 // Stat table and ETTs come back from the snapshot.
 func (s *Store) Restore(dir string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if len(s.buf) != 0 || len(s.onDisk) != 0 || s.dataLog.Size() != 0 {
+	if len(s.buf) != 0 || len(s.onDisk) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("aur: restore into a non-empty store")
+	}
+	s.mu.Unlock()
+	if s.dataLog.Size() != 0 {
 		return fmt.Errorf("aur: restore into a non-empty store")
 	}
 	fsys := s.dir.FS()
@@ -110,44 +132,58 @@ func (s *Store) Restore(dir string) error {
 	oldIndex.Remove()
 
 	// Rebuild onDisk byte accounting from the index log.
-	_, order, err := s.scanIndex()
+	_, order, err := s.scanIndexLocked()
 	if err != nil {
 		return err
 	}
+	newOnDisk := make(map[id]int64, len(order))
 	for _, e := range order {
 		var n int64
 		for _, sp := range e.spans {
 			n += int64(sp.n)
 		}
-		s.onDisk[e.ident] = n
+		newOnDisk[e.ident] = n
 	}
-	return s.loadStatSnapshot(filepath.Join(dir, statSnapshotName))
-}
-
-func (s *Store) loadStatSnapshot(path string) error {
-	b, err := s.dir.FS().ReadFile(path)
+	newStat, err := s.loadStatSnapshot(filepath.Join(dir, statSnapshotName))
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	for ident, n := range newOnDisk {
+		s.onDisk[ident] = n
+	}
+	for ident, st := range newStat {
+		s.stat[ident] = st
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) loadStatSnapshot(path string) (map[id]*statEntry, error) {
+	b, err := s.dir.FS().ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[id]*statEntry)
 	for len(b) > 0 {
 		payload, n, err := binio.ReadRecord(b)
 		if err != nil {
-			return fmt.Errorf("aur: stat snapshot: %w", err)
+			return nil, fmt.Errorf("aur: stat snapshot: %w", err)
 		}
 		b = b[n:]
 		k, kn, err := binio.Bytes(payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		payload = payload[kn:]
 		w, wn, err := window.Decode(payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		payload = payload[wn:]
 		maxTS, _, err := binio.Varint(payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ident := id{key: string(k), w: w}
 		st := &statEntry{maxTS: maxTS}
@@ -156,7 +192,7 @@ func (s *Store) loadStatSnapshot(path string) error {
 				st.ett, st.hasETT = ett, true
 			}
 		}
-		s.stat[ident] = st
+		out[ident] = st
 	}
-	return nil
+	return out, nil
 }

@@ -67,28 +67,33 @@ func (s *Store) Checkpoint(dir string) error {
 
 // checkpointInto writes every instance's snapshot plus the MANIFEST into
 // tmp, fsyncing each instance subdirectory so the files named by the
-// manifest are durably linked before the commit rename.
+// manifest are durably linked before the commit rename. Instances
+// snapshot in parallel (bounded by Options.Parallelism); each instance's
+// Checkpoint holds only that instance's I/O lock, so ingestion proceeds
+// while the snapshot is written. The cut is per-instance — the instant
+// each instance detaches its buffer — which is consistent per key because
+// one instance owns all of a key's state.
 func (s *Store) checkpointInto(tmp string) error {
 	fsys := s.opts.FS
-	for i, st := range s.aars {
-		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
+	if err := s.eachInstance(func(i int) error {
+		var err error
+		switch s.pattern {
+		case PatternAAR:
+			err = s.aars[i].Checkpoint(instDir(tmp, i))
+		case PatternAUR:
+			err = s.aurs[i].Checkpoint(instDir(tmp, i))
+		default:
+			err = s.rmws[i].Checkpoint(instDir(tmp, i))
+		}
+		if err != nil {
 			return err
 		}
-	}
-	for i, st := range s.aurs {
-		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
-			return err
-		}
-	}
-	for i, st := range s.rmws {
-		if err := st.Checkpoint(instDir(tmp, i)); err != nil {
-			return err
-		}
-	}
-	for i := 0; i < s.opts.Instances; i++ {
 		if err := fsys.SyncDir(instDir(tmp, i)); err != nil {
 			return fmt.Errorf("flowkv: checkpoint: sync instance dir: %w", err)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	return writeManifest(fsys, tmp, s.pattern, s.opts.Instances)
 }

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"flowkv/internal/core/aar"
 	"flowkv/internal/core/aur"
@@ -131,6 +133,10 @@ type Options struct {
 	// Assigner is the operator's window assigner, used to derive the
 	// default predictor (e.g. the session gap).
 	Assigner window.Assigner
+	// Parallelism bounds the worker goroutines used for cross-instance
+	// fan-out: GetWindow drains, Flush, Sync, and checkpoint writes.
+	// 1 runs those serially. Default min(4, Instances).
+	Parallelism int
 	// FineGrainedAAR enables the fine-grained AAR layout (ablation).
 	FineGrainedAAR bool
 	// SeparateCompactionScan disables integrated compaction (ablation).
@@ -159,6 +165,12 @@ func (o *Options) fill() {
 	if o.MaxSpaceAmplification <= 0 {
 		o.MaxSpaceAmplification = 1.5
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	if o.Parallelism > o.Instances {
+		o.Parallelism = o.Instances
+	}
 	if o.FS == nil {
 		o.FS = faultfs.OS
 	}
@@ -168,9 +180,15 @@ func (o *Options) fill() {
 type KeyValues = aar.KeyValues
 
 // Store is the composite FlowKV store for one physical window operator:
-// a pattern chosen at launch plus m single-threaded store instances.
-// Only the methods matching the pattern may be called; others return
-// ErrWrongPattern. A Store, like its instances, is owned by one worker.
+// a pattern chosen at launch plus m concurrent store instances. Only the
+// methods matching the pattern may be called; others return
+// ErrWrongPattern.
+//
+// A Store is safe for concurrent use: per-key operations go straight to
+// the owning instance (each instance carries its own locks), and
+// cross-instance operations — GetWindow drains, Flush, Sync, Checkpoint —
+// fan across instances with at most Options.Parallelism worker
+// goroutines.
 type Store struct {
 	pattern Pattern
 	opts    Options
@@ -179,9 +197,36 @@ type Store struct {
 	aurs []*aur.Store
 	rmws []*rmw.Store
 
-	// getWindowCursor tracks the instance being drained per window for
-	// gradual loading across instances.
-	getWindowCursor map[window.Window]int
+	// mu guards the drain registry below.
+	mu     sync.Mutex
+	drains map[window.Window]*windowDrain
+}
+
+// windowDrain is an in-progress parallel GetWindow drain of one window:
+// worker goroutines pull whole instances (each instance is drained by
+// exactly one worker, preserving its partition order) and feed the parts
+// channel, which successive GetWindow calls pop.
+type windowDrain struct {
+	parts      chan []KeyValues
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	done       chan struct{} // closed once all workers exited and parts is closed
+
+	mu  sync.Mutex
+	err error
+}
+
+func (d *windowDrain) stop() {
+	d.cancelOnce.Do(func() { close(d.cancel) })
+}
+
+func (d *windowDrain) fail(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+	d.stop()
 }
 
 // Open classifies the operation and deploys the composite store.
@@ -194,9 +239,9 @@ func Open(agg AggKind, wk window.Kind, opts Options) (*Store, error) {
 func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 	opts.fill()
 	s := &Store{
-		pattern:         p,
-		opts:            opts,
-		getWindowCursor: make(map[window.Window]int),
+		pattern: p,
+		opts:    opts,
+		drains:  make(map[window.Window]*windowDrain),
 	}
 	perInstanceBuf := opts.WriteBufferBytes / int64(opts.Instances)
 	pred := opts.Predictor
@@ -288,27 +333,130 @@ func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
 	}
 }
 
-// GetWindow returns the next partition of window w's state, draining the
-// m instances in turn, or nil when the window is exhausted everywhere
-// (AAR only).
+// GetWindow returns the next partition of window w's state, or nil when
+// the window is exhausted everywhere (AAR only). The first call starts a
+// drain that fans the m instances across Options.Parallelism worker
+// goroutines; each instance is drained by exactly one worker, so the
+// gradual-loading bound (one partition's bytes in memory per instance
+// being read, §4.1) scales by at most the parallelism. Partitions from
+// different instances interleave in arrival order. Concurrent callers may
+// pop partitions of the same window; each partition is delivered once.
 func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
 	if s.pattern != PatternAAR {
 		return nil, ErrWrongPattern
 	}
-	cur := s.getWindowCursor[w]
-	for cur < len(s.aars) {
-		part, err := s.aars[cur].GetWindow(w)
-		if err != nil {
-			return nil, err
-		}
-		if part != nil {
-			s.getWindowCursor[w] = cur
-			return part, nil
-		}
-		cur++
+	s.mu.Lock()
+	d := s.drains[w]
+	if d == nil {
+		d = s.startDrain(w)
+		s.drains[w] = d
 	}
-	delete(s.getWindowCursor, w)
-	return nil, nil
+	s.mu.Unlock()
+
+	if part, ok := <-d.parts; ok {
+		return part, nil
+	}
+	// parts closed: the drain finished (exhausted or failed).
+	<-d.done
+	d.mu.Lock()
+	err := d.err
+	d.mu.Unlock()
+	s.mu.Lock()
+	if s.drains[w] == d {
+		delete(s.drains, w)
+	}
+	s.mu.Unlock()
+	return nil, err
+}
+
+// startDrain launches the worker goroutines draining window w. Caller
+// holds s.mu.
+func (s *Store) startDrain(w window.Window) *windowDrain {
+	workers := s.opts.Parallelism
+	if workers > len(s.aars) {
+		workers = len(s.aars)
+	}
+	d := &windowDrain{
+		parts:  make(chan []KeyValues, workers),
+		cancel: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(s.aars) {
+					return
+				}
+				for {
+					select {
+					case <-d.cancel:
+						return
+					default:
+					}
+					part, err := s.aars[i].GetWindow(w)
+					if err != nil {
+						d.fail(err)
+						return
+					}
+					if part == nil {
+						break // instance i exhausted; pull the next one
+					}
+					select {
+					case d.parts <- part:
+					case <-d.cancel:
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(d.parts)
+		close(d.done)
+	}()
+	return d
+}
+
+// stopDrain detaches and cancels window w's drain, if any, and waits for
+// its workers to exit.
+func (s *Store) stopDrain(w window.Window) {
+	s.mu.Lock()
+	d := s.drains[w]
+	delete(s.drains, w)
+	s.mu.Unlock()
+	if d == nil {
+		return
+	}
+	d.stop()
+	// Discard buffered parts so no worker stays blocked on a full
+	// channel (workers also select on cancel, so this is belt and
+	// braces for parts already in flight).
+	for range d.parts {
+	}
+	<-d.done
+}
+
+// stopAllDrains cancels every in-progress drain (Close/Destroy path).
+func (s *Store) stopAllDrains() {
+	s.mu.Lock()
+	ds := make([]*windowDrain, 0, len(s.drains))
+	for _, d := range s.drains {
+		ds = append(ds, d)
+	}
+	s.drains = make(map[window.Window]*windowDrain)
+	s.mu.Unlock()
+	for _, d := range ds {
+		d.stop()
+		for range d.parts {
+		}
+		<-d.done
+	}
 }
 
 // Get fetches and removes the appended values of (key, w) (AUR only).
@@ -344,18 +492,17 @@ func (s *Store) PutAggregate(key []byte, w window.Window, agg []byte) error {
 	return s.rmws[s.route(key)].Put(key, w, agg)
 }
 
-// DropWindow discards window w's state in every instance (AAR only).
+// DropWindow discards window w's state in every instance (AAR only). An
+// in-progress GetWindow drain of w is cancelled first; concurrent
+// GetWindow callers observe the window as exhausted.
 func (s *Store) DropWindow(w window.Window) error {
 	if s.pattern != PatternAAR {
 		return ErrWrongPattern
 	}
-	delete(s.getWindowCursor, w)
-	for _, st := range s.aars {
-		if err := st.DropWindow(w); err != nil {
-			return err
-		}
-	}
-	return nil
+	s.stopDrain(w)
+	return s.eachInstance(func(i int) error {
+		return s.aars[i].DropWindow(w)
+	})
 }
 
 // Drop discards the state of (key, w) without reading it (AUR only).
@@ -366,26 +513,84 @@ func (s *Store) Drop(key []byte, w window.Window) error {
 	return s.aurs[s.route(key)].Drop(key, w)
 }
 
+// eachInstance runs f(i) for every instance index, fanning across at
+// most Options.Parallelism worker goroutines. It returns the first error
+// observed; a worker that errors stops pulling further instances, but
+// workers already running continue to completion.
+func (s *Store) eachInstance(f func(i int) error) error {
+	n := s.opts.Instances
+	workers := s.opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
 // Flush spills all instances' buffers to disk (checkpoint support, §8:
 // in-memory data is flushed before a snapshot so on-disk files can be
-// transferred asynchronously).
+// transferred asynchronously). Instances flush in parallel.
 func (s *Store) Flush() error {
-	for _, st := range s.aars {
-		if err := st.Flush(); err != nil {
-			return err
+	return s.eachInstance(func(i int) error {
+		switch s.pattern {
+		case PatternAAR:
+			return s.aars[i].Flush()
+		case PatternAUR:
+			return s.aurs[i].Flush()
+		default:
+			return s.rmws[i].Flush()
 		}
-	}
-	for _, st := range s.aurs {
-		if err := st.Flush(); err != nil {
-			return err
+	})
+}
+
+// Sync flushes all instances and fsyncs their logs, making every
+// acknowledged write durable. Instances sync in parallel, overlapping
+// their fsync waits.
+func (s *Store) Sync() error {
+	return s.eachInstance(func(i int) error {
+		switch s.pattern {
+		case PatternAAR:
+			return s.aars[i].Sync()
+		case PatternAUR:
+			return s.aurs[i].Sync()
+		default:
+			return s.rmws[i].Sync()
 		}
-	}
-	for _, st := range s.rmws {
-		if err := st.Flush(); err != nil {
-			return err
-		}
-	}
-	return nil
+	})
 }
 
 // Stats aggregates evaluation metrics across instances.
@@ -443,8 +648,10 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close closes every instance, leaving state on disk.
+// Close closes every instance, leaving state on disk. In-progress
+// GetWindow drains are cancelled first.
 func (s *Store) Close() error {
+	s.stopAllDrains()
 	var first error
 	for _, st := range s.aars {
 		if err := st.Close(); err != nil && first == nil {
@@ -466,6 +673,7 @@ func (s *Store) Close() error {
 
 // Destroy closes every instance and deletes all on-disk state.
 func (s *Store) Destroy() error {
+	s.stopAllDrains()
 	var first error
 	for _, st := range s.aars {
 		if err := st.Destroy(); err != nil && first == nil {

@@ -92,16 +92,10 @@ func snapshotDir(fsys faultfs.FS, root string) ([]manifestEntry, error) {
 	return out, nil
 }
 
-// writeManifest snapshots dir and writes its MANIFEST: a header record
-// (magic, pattern, instance count) followed by one record per file, all
-// CRC-framed through binio. The manifest file and the directory entry are
-// fsynced, so after writeManifest returns the checkpoint contents are
-// fully described and durable — ready for the atomic rename commit.
-func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error {
-	entries, err := snapshotDir(fsys, dir)
-	if err != nil {
-		return fmt.Errorf("flowkv: manifest: %w", err)
-	}
+// encodeManifest serializes a manifest: a header record (magic, pattern,
+// instance count) followed by one record per file, all CRC-framed through
+// binio.
+func encodeManifest(p Pattern, instances int, entries []manifestEntry) []byte {
 	var buf, payload []byte
 	payload = binio.PutString(payload[:0], manifestMagic)
 	payload = binio.PutUvarint(payload, uint64(p))
@@ -113,6 +107,67 @@ func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error 
 		payload = binio.PutUint32(payload, e.crc)
 		buf = binio.AppendRecord(buf, payload)
 	}
+	return buf
+}
+
+// parseManifest decodes a serialized manifest. On rejection it returns a
+// non-empty reason and zero values; it never panics, whatever the input
+// (fuzzed by FuzzParseManifest).
+func parseManifest(b []byte) (p Pattern, instances int, entries []manifestEntry, reason string) {
+	header, n, err := binio.ReadRecord(b)
+	if err != nil {
+		return 0, 0, nil, fmt.Sprintf("corrupt header: %v", err)
+	}
+	b = b[n:]
+	magic, hn, err := binio.String(header)
+	if err != nil || magic != manifestMagic {
+		return 0, 0, nil, "bad magic"
+	}
+	header = header[hn:]
+	pat, hn, err := binio.Uvarint(header)
+	if err != nil {
+		return 0, 0, nil, "truncated header"
+	}
+	header = header[hn:]
+	inst, _, err := binio.Uvarint(header)
+	if err != nil {
+		return 0, 0, nil, "truncated header"
+	}
+	for len(b) > 0 {
+		rec, n, err := binio.ReadRecord(b)
+		if err != nil {
+			return 0, 0, nil, fmt.Sprintf("corrupt entry: %v", err)
+		}
+		b = b[n:]
+		name, fn, err := binio.String(rec)
+		if err != nil {
+			return 0, 0, nil, "truncated entry"
+		}
+		rec = rec[fn:]
+		size, fn, err := binio.Uvarint(rec)
+		if err != nil {
+			return 0, 0, nil, "truncated entry"
+		}
+		rec = rec[fn:]
+		crc, err := binio.Uint32(rec)
+		if err != nil {
+			return 0, 0, nil, "truncated entry"
+		}
+		entries = append(entries, manifestEntry{path: name, size: int64(size), crc: crc})
+	}
+	return Pattern(pat), int(inst), entries, ""
+}
+
+// writeManifest snapshots dir and writes its MANIFEST. The manifest file
+// and the directory entry are fsynced, so after writeManifest returns the
+// checkpoint contents are fully described and durable — ready for the
+// atomic rename commit.
+func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error {
+	entries, err := snapshotDir(fsys, dir)
+	if err != nil {
+		return fmt.Errorf("flowkv: manifest: %w", err)
+	}
+	buf := encodeManifest(p, instances, entries)
 	f, err := fsys.Create(filepath.Join(dir, manifestName))
 	if err != nil {
 		return fmt.Errorf("flowkv: manifest: %w", err)
@@ -141,51 +196,13 @@ func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) ([]mani
 	bad := func(reason string) ([]manifestEntry, error) {
 		return nil, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
 	}
-	header, n, err := binio.ReadRecord(b)
-	if err != nil {
-		return bad(fmt.Sprintf("corrupt header: %v", err))
+	pat, inst, entries, reason := parseManifest(b)
+	if reason != "" {
+		return bad(reason)
 	}
-	b = b[n:]
-	magic, hn, err := binio.String(header)
-	if err != nil || magic != manifestMagic {
-		return bad("bad magic")
-	}
-	header = header[hn:]
-	pat, hn, err := binio.Uvarint(header)
-	if err != nil {
-		return bad("truncated header")
-	}
-	header = header[hn:]
-	inst, _, err := binio.Uvarint(header)
-	if err != nil {
-		return bad("truncated header")
-	}
-	if Pattern(pat) != p || int(inst) != instances {
+	if pat != p || inst != instances {
 		return bad(fmt.Sprintf("checkpoint is %v/%d instances, store is %v/%d",
-			Pattern(pat), inst, p, instances))
-	}
-	var entries []manifestEntry
-	for len(b) > 0 {
-		rec, n, err := binio.ReadRecord(b)
-		if err != nil {
-			return bad(fmt.Sprintf("corrupt entry: %v", err))
-		}
-		b = b[n:]
-		name, fn, err := binio.String(rec)
-		if err != nil {
-			return bad("truncated entry")
-		}
-		rec = rec[fn:]
-		size, fn, err := binio.Uvarint(rec)
-		if err != nil {
-			return bad("truncated entry")
-		}
-		rec = rec[fn:]
-		crc, err := binio.Uint32(rec)
-		if err != nil {
-			return bad("truncated entry")
-		}
-		entries = append(entries, manifestEntry{path: name, size: int64(size), crc: crc})
+			pat, inst, p, instances))
 	}
 	return entries, nil
 }

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseManifest feeds arbitrary bytes to the checkpoint MANIFEST
+// parser. The parser is the gate between a possibly-corrupted checkpoint
+// directory and Restore, so it must reject garbage with a reason rather
+// than panic, and anything it accepts must survive an encode/parse round
+// trip unchanged (the manifest format is canonical).
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeManifest(PatternAAR, 4, nil))
+	f.Add(encodeManifest(PatternAUR, 2, []manifestEntry{
+		{path: "inst-0000/data-000000.log", size: 4096, crc: 0xdeadbeef},
+		{path: "inst-0000/index-000000.log", size: 128, crc: 1},
+	}))
+	f.Add(encodeManifest(PatternRMW, 1, []manifestEntry{{path: "inst-0000/rmw.log", size: 0, crc: 0}}))
+	// Truncated and bit-flipped variants of a valid manifest.
+	full := encodeManifest(PatternAUR, 8, []manifestEntry{{path: "x", size: 7, crc: 9}})
+	f.Add(full[:len(full)-3])
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, inst, entries, reason := parseManifest(b)
+		if reason != "" {
+			return
+		}
+		re := encodeManifest(p, inst, entries)
+		p2, inst2, entries2, reason2 := parseManifest(re)
+		if reason2 != "" {
+			t.Fatalf("re-encoded manifest rejected: %s", reason2)
+		}
+		if p2 != p || inst2 != inst || len(entries2) != len(entries) {
+			t.Fatalf("round trip changed header: %v/%d/%d -> %v/%d/%d",
+				p, inst, len(entries), p2, inst2, len(entries2))
+		}
+		for i := range entries {
+			if entries2[i] != entries[i] {
+				t.Fatalf("round trip changed entry %d: %+v -> %+v", i, entries[i], entries2[i])
+			}
+		}
+	})
+}

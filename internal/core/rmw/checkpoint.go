@@ -5,41 +5,103 @@ import (
 	"path/filepath"
 
 	"flowkv/internal/faultfs"
+	"flowkv/internal/logfile"
 )
 
-// Checkpoint writes a consistent snapshot of the instance into dir. It
-// flushes the write buffer, compacts unconditionally so the log holds
-// exactly the live aggregates (consumed entries must not resurrect on
-// restore), and copies the log, fsyncing the copy. The hash index is not
-// persisted: it is rebuilt from the compacted log on restore, where every
-// record is live.
+// Checkpoint writes a consistent snapshot of the instance into dir. The
+// cut is one mu critical section that snapshots the live state directly:
+// every buffered aggregate (aliased, not copied — Put installs fresh
+// slices, never mutates in place) and every index span not superseded by
+// a buffered copy. The snapshot is then written to a fresh log in dir —
+// live spans re-read from the instance log, buffered values encoded — and
+// fsynced. The hash index is not persisted: it is rebuilt by scanning the
+// checkpoint log on restore, where every record is live (consumed entries
+// were absent from the cut, so they cannot resurrect).
+//
+// Writing the checkpoint from the snapshot, rather than compacting the
+// live log and copying it, is what makes the cut exact under concurrent
+// writers: a Put that lands after the cut retires its identity's index
+// entry immediately (under mu alone), so any scheme that re-reads the
+// live index after the cut can miss an aggregate that was acknowledged
+// before it. The snapshot taken inside the cut is immune — spans stay
+// readable because compaction needs ioMu, which Checkpoint holds.
+//
+// Checkpoint holds only ioMu, so concurrent Puts and buffer-served Gets
+// proceed while the snapshot is written. Aggregates put after the cut are
+// not in the snapshot.
 func (s *Store) Checkpoint(dir string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	fsys := s.dir.FS()
+
+	// The cut. flushing is always nil here: flushes run under ioMu.
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	fsys := s.dir.FS()
-	if err := s.flush(); err != nil {
-		return err
+	bufSnap := make(map[id][]byte, len(s.buf))
+	for ident, v := range s.buf {
+		bufSnap[ident] = v
 	}
-	if err := s.compact(); err != nil {
-		return err
+	spanSnap := make(map[id]span, len(s.index))
+	for ident, sp := range s.index {
+		if _, buffered := bufSnap[ident]; buffered {
+			continue // the buffered copy is newer
+		}
+		spanSnap[ident] = sp
 	}
-	if err := s.log.Flush(); err != nil {
-		return err
-	}
+	s.mu.Unlock()
+
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("rmw: checkpoint: %w", err)
 	}
-	return faultfs.CopyFile(fsys, s.log.Path(), filepath.Join(dir, "rmw.log"))
+	ck, err := logfile.CreateFS(fsys, filepath.Join(dir, "rmw.log"), s.bd)
+	if err != nil {
+		return err
+	}
+	for ident, sp := range spanSnap {
+		payload, err := s.log.ReadRecordAt(sp.off, sp.n)
+		if err != nil {
+			ck.Close()
+			return fmt.Errorf("rmw: checkpoint %q: %w", ident.key, err)
+		}
+		if _, _, err := ck.Append(payload); err != nil {
+			ck.Close()
+			return err
+		}
+	}
+	var payload []byte
+	for ident, v := range bufSnap {
+		payload = encodeEntry(payload[:0], ident, v)
+		if _, _, err := ck.Append(payload); err != nil {
+			ck.Close()
+			return err
+		}
+	}
+	if err := ck.Sync(); err != nil {
+		ck.Close()
+		return err
+	}
+	return ck.Close()
 }
 
 // Restore rebuilds a freshly-opened (empty) instance from a checkpoint
 // directory, re-deriving the hash index by scanning the copied log.
 func (s *Store) Restore(dir string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if len(s.buf) != 0 || len(s.index) != 0 || s.log.Size() != 0 {
+	if len(s.buf) != 0 || len(s.index) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("rmw: restore into a non-empty store")
+	}
+	s.mu.Unlock()
+	if s.log.Size() != 0 {
 		return fmt.Errorf("rmw: restore into a non-empty store")
 	}
 	fsys := s.dir.FS()
@@ -60,6 +122,7 @@ func (s *Store) Restore(dir string) error {
 	if err != nil {
 		return err
 	}
+	newIndex := make(map[id]span)
 	prev := int64(0)
 	for sc.Scan() {
 		key, w, _, err := decodeEntry(sc.Record())
@@ -67,14 +130,14 @@ func (s *Store) Restore(dir string) error {
 			return fmt.Errorf("rmw: restore: %w", err)
 		}
 		ident := id{key: string(key), w: w}
-		s.index[ident] = span{off: prev, n: int(sc.Offset() - prev)}
+		newIndex[ident] = span{off: prev, n: int(sc.Offset() - prev)}
 		prev = sc.Offset()
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
 	// Integrity check: the reconstructed spans must decode.
-	for ident, sp := range s.index {
+	for ident, sp := range newIndex {
 		payload, err := s.log.ReadRecordAt(sp.off, sp.n)
 		if err != nil {
 			return fmt.Errorf("rmw: restore verify %q: %w", ident.key, err)
@@ -83,5 +146,8 @@ func (s *Store) Restore(dir string) error {
 			return fmt.Errorf("rmw: restore verify %q: %w", ident.key, err)
 		}
 	}
+	s.mu.Lock()
+	s.index = newIndex
+	s.mu.Unlock()
 	return nil
 }

@@ -6,16 +6,33 @@
 // Because the aggregate is read back on every tuple arrival, read-time
 // prediction is useless; the store is a plain unsorted hash store — an
 // in-memory hash write buffer, an in-memory hash index mapping
-// (key, window) to on-disk locations, and a single append-only log file —
-// but without any of the synchronization machinery concurrent hash stores
-// such as FASTER carry, since each instance is owned by one worker.
+// (key, window) to on-disk locations, and a single append-only log file.
 // Compaction rewrites live entries into a fresh log when space
 // amplification exceeds the MSA threshold.
+//
+// # Concurrency
+//
+// A Store instance is safe for concurrent use. Two locks split the state:
+//
+//   - mu guards the in-memory maps (buf, index, dead-byte accounting and
+//     the in-flight flush marker). Every fast-path operation — Put, and
+//     Get served from the buffer — takes only mu, so ingestion never
+//     waits for disk.
+//   - ioMu serializes everything that touches the log file: flushes,
+//     compaction, indexed reads, checkpoints. mu is never held across
+//     I/O; a flush detaches the buffer under mu, writes the batch with
+//     only ioMu held, then installs the index entries under mu again.
+//
+// The lock order is ioMu before mu; mu is never held while acquiring
+// ioMu. Operations on an identity that is part of an in-flight flush
+// batch divert to the slow path (which waits on ioMu) so a fetch-&-remove
+// can never miss values that are mid-flight between buffer and log.
 package rmw
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"flowkv/internal/binio"
 	"flowkv/internal/faultfs"
@@ -66,20 +83,26 @@ type span struct {
 	n   int
 }
 
-// Store is a single RMW store instance, owned by one worker goroutine.
+// Store is a single RMW store instance, safe for concurrent use.
 type Store struct {
 	opts Options
 	dir  *logfile.Dir
 	bd   *metrics.Breakdown
 
+	// mu guards the in-memory state below.
+	mu       sync.Mutex
 	buf      map[id][]byte // latest aggregate per id, not yet flushed
 	bufBytes int64
-	index    map[id]span // on-disk location of each flushed aggregate
-	log      *logfile.Log
-	gen      int
+	index    map[id]span   // on-disk location of each flushed aggregate
+	flushing map[id][]byte // batch detached by an in-flight flush, nil otherwise
 	dead     int64
+	closed   bool
 
-	closed bool
+	// ioMu serializes log I/O: flush, compaction, indexed reads,
+	// checkpoint/restore. Never acquired while holding mu.
+	ioMu sync.Mutex
+	log  *logfile.Log
+	gen  int
 
 	compactions metrics.Counter
 	puts        metrics.Counter
@@ -106,6 +129,7 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
+// openGen swaps in a fresh log generation; caller holds ioMu (or is Open).
 func (s *Store) openGen(gen int) error {
 	l, err := s.dir.Create(fmt.Sprintf("rmw-%06d.log", gen))
 	if err != nil {
@@ -118,9 +142,6 @@ func (s *Store) openGen(gen int) error {
 // Put stores the updated aggregate for (key, window) (paper API:
 // Put(K, W, A)), replacing any previous aggregate. The value is copied.
 func (s *Store) Put(key []byte, w window.Window, agg []byte) error {
-	if s.closed {
-		return ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpWrite)
@@ -134,11 +155,16 @@ func (s *Store) Put(key []byte, w window.Window, agg []byte) error {
 
 func (s *Store) put(key []byte, w window.Window, agg []byte) error {
 	ident := id{key: string(key), w: w}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	if old, ok := s.buf[ident]; ok {
 		s.bufBytes -= int64(len(old))
 	}
 	// A newer aggregate makes any flushed copy dead; the index entry is
-	// retired at flush time, but the bytes are dead immediately.
+	// retired immediately, the bytes at compaction.
 	if sp, ok := s.index[ident]; ok {
 		s.dead += int64(sp.n)
 		delete(s.index, ident)
@@ -147,22 +173,23 @@ func (s *Store) put(key []byte, w window.Window, agg []byte) error {
 	copy(ac, agg)
 	s.buf[ident] = ac
 	s.bufBytes += int64(len(ac))
+	need := s.bufBytes+int64(len(s.buf))*48 > s.opts.WriteBufferBytes
+	s.mu.Unlock()
 	s.puts.Inc()
-	if s.bufBytes+int64(len(s.buf))*48 > s.opts.WriteBufferBytes {
-		if err := s.flush(); err != nil {
-			return err
-		}
-		return s.maybeCompact()
+	if !need {
+		return nil
 	}
-	return nil
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked()
 }
 
 // Get fetches and removes the aggregate of (key, window) (paper API:
 // Get(K, W)). ok is false when no aggregate exists.
 func (s *Store) Get(key []byte, w window.Window) (agg []byte, ok bool, err error) {
-	if s.closed {
-		return nil, false, ErrClosed
-	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpRead)
@@ -176,12 +203,47 @@ func (s *Store) Get(key []byte, w window.Window) (agg []byte, ok bool, err error
 
 func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 	ident := id{key: string(key), w: w}
+
+	// Fast path under mu alone: possible whenever the identity has no
+	// copy in flight to disk — either a pure buffer hit (put invariant:
+	// a buffered id is never also indexed) or a definitive miss.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if _, inflight := s.flushing[ident]; !inflight {
+		if v, ok := s.buf[ident]; ok {
+			s.bufBytes -= int64(len(v))
+			delete(s.buf, ident)
+			s.mu.Unlock()
+			s.gets.Inc()
+			return v, true, nil
+		}
+		if _, ok := s.index[ident]; !ok {
+			s.mu.Unlock()
+			return nil, false, nil
+		}
+	}
+	s.mu.Unlock()
+
+	// Slow path: wait for any in-flight flush, then read from the log.
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
 	if v, ok := s.buf[ident]; ok {
 		s.bufBytes -= int64(len(v))
 		delete(s.buf, ident)
+		s.mu.Unlock()
+		s.gets.Inc()
 		return v, true, nil
 	}
 	sp, ok := s.index[ident]
+	s.mu.Unlock()
 	if !ok {
 		return nil, false, nil
 	}
@@ -193,8 +255,14 @@ func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	delete(s.index, ident)
-	s.dead += int64(sp.n)
+	s.mu.Lock()
+	// A concurrent Put may have retired the entry (and accounted its dead
+	// bytes) while the record was being read; only account it once.
+	if cur, still := s.index[ident]; still && cur == sp {
+		delete(s.index, ident)
+		s.dead += int64(sp.n)
+	}
+	s.mu.Unlock()
 	s.gets.Inc()
 	return v, true, nil
 }
@@ -220,39 +288,80 @@ func decodeEntry(b []byte) (key []byte, w window.Window, agg []byte, err error) 
 	return key, w, agg, err
 }
 
-// flush spills every buffered aggregate to the log and indexes it.
-func (s *Store) flush() error {
+// flushLocked spills every buffered aggregate to the log and indexes it.
+// Caller holds ioMu. The buffer is detached under mu, written with only
+// ioMu held (so ingestion proceeds), and installed under mu again; an id
+// re-put while its batch was in flight keeps the newer buffered value and
+// the flushed copy is born dead.
+func (s *Store) flushLocked() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	batch := s.buf
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.buf = make(map[id][]byte)
+	s.bufBytes = 0
+	s.flushing = batch
+	s.mu.Unlock()
+
+	type wrec struct {
+		ident id
+		sp    span
+	}
+	written := make([]wrec, 0, len(batch))
 	var payload []byte
-	for ident, v := range s.buf {
+	var werr error
+	for ident, v := range batch {
 		payload = encodeEntry(payload[:0], ident, v)
 		off, n, err := s.log.Append(payload)
 		if err != nil {
-			return err
+			werr = err
+			break
 		}
-		s.index[ident] = span{off: off, n: n}
-		delete(s.buf, ident)
+		written = append(written, wrec{ident, span{off: off, n: n}})
 	}
-	s.bufBytes = 0
-	return nil
+
+	s.mu.Lock()
+	s.flushing = nil
+	for _, wr := range written {
+		if _, newer := s.buf[wr.ident]; newer {
+			s.dead += int64(wr.sp.n)
+			continue
+		}
+		s.index[wr.ident] = wr.sp
+	}
+	s.mu.Unlock()
+	return werr
 }
 
-func (s *Store) spaceAmp() float64 {
+// spaceAmpLocked reports the log's space amplification; caller holds ioMu.
+func (s *Store) spaceAmpLocked() float64 {
 	total := s.log.Size()
-	if total == 0 || total == s.dead {
+	s.mu.Lock()
+	dead := s.dead
+	s.mu.Unlock()
+	if total == 0 || total == dead {
 		return 1.0
 	}
-	return float64(total) / float64(total-s.dead)
+	return float64(total) / float64(total-dead)
 }
 
-func (s *Store) maybeCompact() error {
-	if s.spaceAmp() <= s.opts.MaxSpaceAmplification {
+// maybeCompactLocked compacts when amplification exceeds MSA; caller
+// holds ioMu.
+func (s *Store) maybeCompactLocked() error {
+	if s.spaceAmpLocked() <= s.opts.MaxSpaceAmplification {
 		return nil
 	}
 	var stop func()
 	if s.bd != nil {
 		stop = s.bd.Start(metrics.OpCompact)
 	}
-	err := s.compact()
+	err := s.compactLocked()
 	if stop != nil {
 		stop()
 	}
@@ -262,16 +371,26 @@ func (s *Store) maybeCompact() error {
 	return err
 }
 
-// compact rewrites all live (indexed) aggregates into a fresh log, as
-// hash KV stores do (§4.3), and removes the old generation.
-func (s *Store) compact() error {
+// compactLocked rewrites all live (indexed) aggregates into a fresh log,
+// as hash KV stores do (§4.3), and removes the old generation. Caller
+// holds ioMu. The index is snapshotted under mu; entries retired by
+// concurrent Puts or Gets while the rewrite ran are not re-installed, and
+// their rewritten bytes are accounted dead in the new log.
+func (s *Store) compactLocked() error {
+	s.mu.Lock()
+	snap := make(map[id]span, len(s.index))
+	for ident, sp := range s.index {
+		snap[ident] = sp
+	}
+	s.mu.Unlock()
+
 	oldLog := s.log
 	if err := s.openGen(s.gen + 1); err != nil {
 		s.log = oldLog
 		return err
 	}
-	newIndex := make(map[id]span, len(s.index))
-	for ident, sp := range s.index {
+	newIndex := make(map[id]span, len(snap))
+	for ident, sp := range snap {
 		payload, err := oldLog.ReadRecordAt(sp.off, sp.n)
 		if err != nil {
 			return err
@@ -282,44 +401,97 @@ func (s *Store) compact() error {
 		}
 		newIndex[ident] = span{off: off, n: n}
 	}
-	s.index = newIndex
-	s.dead = 0
+
+	s.mu.Lock()
+	var newDead int64
+	for ident, nsp := range newIndex {
+		if cur, ok := s.index[ident]; ok && cur == snap[ident] {
+			s.index[ident] = nsp
+		} else {
+			// Consumed or superseded mid-compaction: the copy just
+			// written to the new log is already dead.
+			newDead += int64(nsp.n)
+		}
+	}
+	s.dead = newDead
+	s.mu.Unlock()
 	return oldLog.Remove()
 }
 
 // Flush spills all buffered data to disk (checkpoint support).
 func (s *Store) Flush() error {
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.flush(); err != nil {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
 		return err
 	}
 	return s.log.Flush()
+}
+
+// Sync flushes all buffered data and fsyncs the log, making every
+// acknowledged Put durable.
+func (s *Store) Sync() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.log.Sync()
 }
 
 // Compactions returns the number of compactions performed.
 func (s *Store) Compactions() int64 { return s.compactions.Load() }
 
 // SpaceAmplification returns the log's current space amplification.
-func (s *Store) SpaceAmplification() float64 { return s.spaceAmp() }
+func (s *Store) SpaceAmplification() float64 {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.spaceAmpLocked()
+}
 
 // BufferedBytes returns the current write-buffer occupancy.
-func (s *Store) BufferedBytes() int64 { return s.bufBytes }
+func (s *Store) BufferedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bufBytes
+}
 
 // LiveStates returns the number of live (key, window) aggregates.
-func (s *Store) LiveStates() int { return len(s.buf) + len(s.index) }
+func (s *Store) LiveStates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf) + len(s.index)
+	for ident := range s.flushing {
+		if _, ok := s.buf[ident]; ok {
+			continue
+		}
+		if _, ok := s.index[ident]; ok {
+			continue
+		}
+		n++
+	}
+	return n
+}
 
 // DiskUsage returns the logical bytes of the instance's log, including
 // appends still in its write-through buffer.
-func (s *Store) DiskUsage() (int64, error) { return s.log.Size(), nil }
+func (s *Store) DiskUsage() (int64, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.log.Size(), nil
+}
 
 // Close closes the store's log file, leaving state on disk.
 func (s *Store) Close() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
 	return s.log.Close()
 }
 

@@ -29,9 +29,10 @@ import (
 // ErrClosed reports an operation on a closed log.
 var ErrClosed = errors.New("logfile: closed")
 
-// Log is a single append-only file of framed records. A Log is owned by a
-// single goroutine (the store instance that created it), matching the
-// paper's single-threaded worker model; it performs no locking.
+// Log is a single append-only file of framed records. A Log performs no
+// locking: it is owned by whichever goroutine holds its store instance's
+// I/O lock, and the only method safe to call outside that ownership is
+// ReadRangeAtRaw (a positional read that touches no mutable state).
 type Log struct {
 	fs     faultfs.FS
 	path   string
@@ -185,6 +186,25 @@ func (l *Log) ReadRangeAt(off int64, n int) ([]byte, error) {
 	if err := l.w.Flush(); err != nil {
 		return nil, err
 	}
+	buf := make([]byte, n)
+	start := time.Now()
+	if _, err := l.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("logfile: read range at %d: %w", off, err)
+	}
+	if l.bd != nil {
+		l.bd.Observe(metrics.OpIOWait, time.Since(start))
+		l.bd.AddBytesRead(int64(n))
+	}
+	return buf, nil
+}
+
+// ReadRangeAtRaw reads n raw bytes starting at off without touching the
+// write buffer. Unlike ReadRangeAt it is safe to call from several
+// goroutines at once — it lowers to a positional pread and mutates no Log
+// state — provided the caller has flushed the log once beforehand and no
+// append, flush, or close runs concurrently. The AUR store uses it to fan
+// one batch read's coalesced ranges across worker goroutines.
+func (l *Log) ReadRangeAtRaw(off int64, n int) ([]byte, error) {
 	buf := make([]byte, n)
 	start := time.Now()
 	if _, err := l.f.ReadAt(buf, off); err != nil {

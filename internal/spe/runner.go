@@ -23,6 +23,17 @@ type Stage struct {
 	NewBackend func(workerID int) (statebackend.Backend, error)
 	// Join describes an interval-join operator (uses NewBackend too).
 	Join *IntervalJoinSpec
+	// ShareBackend makes every worker of the stage share one backend,
+	// constructed by NewBackend(0), instead of one private backend per
+	// worker — the arrangement that exercises a concurrent store. The
+	// FlowKV backend is used as-is (core.Store is internally concurrent);
+	// other kinds are wrapped with statebackend.Synchronized. Workers
+	// still own disjoint key ranges (tuples are routed by key hash), so
+	// per-key state never interleaves across workers. Holistic aggregates
+	// over aligned windows are rejected in this mode: their trigger path
+	// bulk-reads a whole window, which would steal the keys of workers
+	// whose watermark has not yet passed the window end.
+	ShareBackend bool
 	// Map is a stateless transform; it may emit zero or more tuples.
 	Map func(t Tuple, emit func(Tuple))
 }
@@ -120,10 +131,11 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 
 	// Build channels: one input channel per worker per stage.
 	type stageRT struct {
-		stage Stage
-		par   int
-		in    []chan Message
-		ops   []statefulOperator
+		stage  Stage
+		par    int
+		in     []chan Message
+		ops    []statefulOperator
+		shared statebackend.Backend // non-nil in ShareBackend mode
 	}
 	rts := make([]*stageRT, len(p.Stages))
 	for i := range p.Stages {
@@ -181,12 +193,27 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 		// stage watermark stream.
 		fw := newWatermarkForwarder(rt.par, emitWM)
 		rt.ops = make([]statefulOperator, rt.par)
+		if rt.stage.ShareBackend && (rt.stage.Window != nil || rt.stage.Join != nil) {
+			if rt.stage.Window != nil && rt.stage.Window.IsHolistic() &&
+				rt.stage.Window.Assigner.Kind().Aligned() {
+				return nil, fmt.Errorf("spe: stage %s: ShareBackend does not support holistic aggregates over aligned windows (bulk window reads cross worker key ranges)", rt.stage.Name)
+			}
+			b, err := rt.stage.NewBackend(0)
+			if err != nil {
+				return nil, fmt.Errorf("spe: stage %s shared backend: %w", rt.stage.Name, err)
+			}
+			rt.shared = statebackend.Synchronized(b)
+		}
 		for w := 0; w < rt.par; w++ {
 			var op statefulOperator
 			if rt.stage.Window != nil || rt.stage.Join != nil {
-				backend, err := rt.stage.NewBackend(w)
-				if err != nil {
-					return nil, fmt.Errorf("spe: stage %s worker %d: %w", rt.stage.Name, w, err)
+				var err error
+				backend := rt.shared
+				if backend == nil {
+					backend, err = rt.stage.NewBackend(w)
+					if err != nil {
+						return nil, fmt.Errorf("spe: stage %s worker %d: %w", rt.stage.Name, w, err)
+					}
 				}
 				if rt.stage.Window != nil {
 					op, err = NewWindowOperator(*rt.stage.Window, backend, emitTuple)
@@ -279,7 +306,8 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 		res.ThroughputTPS = float64(tuplesIn) / res.Elapsed.Seconds()
 	}
 
-	// Collect operator stats and close backends.
+	// Collect operator stats and close backends. A shared backend is
+	// counted and destroyed once per stage, not once per worker.
 	for _, rt := range rts {
 		var agg OperatorStats
 		for _, op := range rt.ops {
@@ -297,6 +325,9 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 				agg.ResultsEmitted += st.Results
 				agg.LateDropped += st.LateDropped
 			}
+			if rt.shared != nil {
+				continue
+			}
 			if fs, ok := statebackend.FlowKVStats(op.Backend()); ok {
 				res.FlowKV.Hits += fs.Hits
 				res.FlowKV.Misses += fs.Misses
@@ -304,6 +335,17 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 				res.FlowKV.Compactions += fs.Compactions
 			}
 			if err := op.Backend().Destroy(); err != nil {
+				fail(err)
+			}
+		}
+		if rt.shared != nil {
+			if fs, ok := statebackend.FlowKVStats(rt.shared); ok {
+				res.FlowKV.Hits += fs.Hits
+				res.FlowKV.Misses += fs.Misses
+				res.FlowKV.Evictions += fs.Evictions
+				res.FlowKV.Compactions += fs.Compactions
+			}
+			if err := rt.shared.Destroy(); err != nil {
 				fail(err)
 			}
 		}

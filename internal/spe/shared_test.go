@@ -1,0 +1,219 @@
+package spe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"flowkv/internal/core"
+	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
+)
+
+// sessionSource emits rounds sessions of 5 tuples for each of keys keys,
+// interleaved so global timestamps are non-decreasing. Sessions of one
+// key are 1000 apart, far beyond the 20 gap, so every key produces
+// exactly rounds results of "5".
+func sessionSource(keys, rounds int) Source {
+	return func(emit func(Tuple)) {
+		for r := 0; r < rounds; r++ {
+			base := int64(r) * 1000
+			for i := 0; i < 5; i++ {
+				for k := 0; k < keys; k++ {
+					emit(Tuple{
+						Key:   []byte(fmt.Sprintf("k%02d", k)),
+						Value: []byte(strings.Repeat("v", 32)),
+						TS:    base + int64(i)*2,
+					})
+				}
+			}
+		}
+	}
+}
+
+func collectSink() (func(Tuple), func() map[string][]string) {
+	var mu sync.Mutex
+	got := make(map[string][]string)
+	sink := func(t Tuple) {
+		mu.Lock()
+		got[string(t.Key)] = append(got[string(t.Key)], string(t.Value))
+		mu.Unlock()
+	}
+	return sink, func() map[string][]string {
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+}
+
+func checkSessions(t *testing.T, got map[string][]string, keys, rounds int) {
+	t.Helper()
+	if len(got) != keys {
+		t.Fatalf("results for %d keys, want %d", len(got), keys)
+	}
+	for k, vs := range got {
+		if len(vs) != rounds {
+			t.Errorf("key %s: %d results, want %d: %v", k, len(vs), rounds, vs)
+			continue
+		}
+		for _, v := range vs {
+			if v != "5" {
+				t.Errorf("key %s: session size %s, want 5", k, v)
+			}
+		}
+	}
+}
+
+// TestSharedBackendFlowKVSession runs 4 workers against one shared FlowKV
+// AUR store (session windows, holistic aggregate). Workers own disjoint
+// key ranges but hit the same composite store concurrently; the tiny
+// write buffer forces flushes, predictive batch reads, and compactions
+// under that concurrency.
+func TestSharedBackendFlowKVSession(t *testing.T) {
+	const keys, rounds = 32, 3
+	assigner := window.SessionAssigner{Gap: 20}
+	pipe := &Pipeline{
+		WatermarkEvery: 64,
+		Stages: []Stage{{
+			Name:         "session",
+			Parallelism:  4,
+			ShareBackend: true,
+			Window:       &OperatorSpec{Assigner: assigner, Holistic: listLenAgg},
+			NewBackend: func(int) (statebackend.Backend, error) {
+				return statebackend.Open(statebackend.Config{
+					Kind:       statebackend.KindFlowKV,
+					Dir:        filepath.Join(t.TempDir(), "shared-aur"),
+					Agg:        core.AggHolistic,
+					WindowKind: window.Session,
+					Assigner:   assigner,
+					FlowKV: core.Options{
+						WriteBufferBytes:      4 << 10, // force the disk path
+						Instances:             4,
+						MaxSpaceAmplification: 1.2,
+					},
+				})
+			},
+		}},
+	}
+	sink, got := collectSink()
+	if _, err := Run(pipe, sessionSource(keys, rounds), sink); err != nil {
+		t.Fatal(err)
+	}
+	checkSessions(t, got(), keys, rounds)
+}
+
+// TestSharedBackendFlowKVIncremental runs 4 workers against one shared
+// FlowKV RMW store (fixed windows, incremental count): every tuple is a
+// read-modify-write against the shared store.
+func TestSharedBackendFlowKVIncremental(t *testing.T) {
+	const keys = 32
+	assigner := window.FixedAssigner{Size: 100}
+	spec := OperatorSpec{
+		Assigner: assigner,
+		Incremental: IncrementalFunc{AddFunc: countAgg.AddFunc, MergeFunc: countAgg.MergeFunc,
+			ResultFunc: func(acc []byte) []byte {
+				return []byte(strconv.FormatUint(binary.LittleEndian.Uint64(acc), 10))
+			}},
+	}
+	pipe := &Pipeline{
+		WatermarkEvery: 64,
+		Stages: []Stage{{
+			Name:         "count",
+			Parallelism:  4,
+			ShareBackend: true,
+			Window:       &spec,
+			NewBackend: func(int) (statebackend.Backend, error) {
+				return statebackend.Open(statebackend.Config{
+					Kind:       statebackend.KindFlowKV,
+					Dir:        filepath.Join(t.TempDir(), "shared-rmw"),
+					Agg:        core.AggIncremental,
+					WindowKind: window.Fixed,
+					Assigner:   assigner,
+					FlowKV: core.Options{
+						WriteBufferBytes: 4 << 10,
+						Instances:        4,
+					},
+				})
+			},
+		}},
+	}
+	source := func(emit func(Tuple)) {
+		for ts := 0; ts < 300; ts++ {
+			for k := 0; k < keys; k++ {
+				emit(Tuple{Key: []byte(fmt.Sprintf("k%02d", k)), TS: int64(ts)})
+			}
+		}
+	}
+	sink, got := collectSink()
+	if _, err := Run(pipe, source, sink); err != nil {
+		t.Fatal(err)
+	}
+	res := got()
+	if len(res) != keys {
+		t.Fatalf("results for %d keys, want %d", len(res), keys)
+	}
+	for k, vs := range res {
+		if len(vs) != 3 {
+			t.Errorf("key %s: %d windows, want 3: %v", k, len(vs), vs)
+			continue
+		}
+		for i, v := range vs {
+			if v != "100" {
+				t.Errorf("key %s window %d: count %s, want 100", k, i, v)
+			}
+		}
+	}
+}
+
+// TestSharedBackendRejectsHolisticAligned: the holistic+aligned trigger
+// path bulk-reads a whole window, which in shared mode would consume keys
+// owned by workers whose watermark has not passed yet. Run must refuse
+// the configuration up front.
+func TestSharedBackendRejectsHolisticAligned(t *testing.T) {
+	pipe := &Pipeline{
+		Stages: []Stage{{
+			Name:         "bad",
+			Parallelism:  2,
+			ShareBackend: true,
+			Window:       &OperatorSpec{Assigner: window.FixedAssigner{Size: 100}, Holistic: listLenAgg},
+			NewBackend: func(int) (statebackend.Backend, error) {
+				return memBackend(t), nil
+			},
+		}},
+	}
+	if _, err := Run(pipe, func(func(Tuple)) {}, nil); err == nil {
+		t.Fatal("holistic aligned windows with a shared backend must be rejected")
+	}
+}
+
+// TestSharedBackendSynchronizedLSM: a non-FlowKV backend shared across
+// workers goes through the Synchronized wrapper and must still produce
+// exact results.
+func TestSharedBackendSynchronizedLSM(t *testing.T) {
+	const keys, rounds = 16, 2
+	assigner := window.SessionAssigner{Gap: 20}
+	pipe := &Pipeline{
+		WatermarkEvery: 64,
+		Stages: []Stage{{
+			Name:         "session-lsm",
+			Parallelism:  4,
+			ShareBackend: true,
+			Window:       &OperatorSpec{Assigner: assigner, Holistic: listLenAgg},
+			NewBackend: func(int) (statebackend.Backend, error) {
+				return statebackend.Open(statebackend.Config{
+					Kind: statebackend.KindRocksDB,
+					Dir:  filepath.Join(t.TempDir(), "shared-lsm"),
+				})
+			},
+		}},
+	}
+	sink, got := collectSink()
+	if _, err := Run(pipe, sessionSource(keys, rounds), sink); err != nil {
+		t.Fatal(err)
+	}
+	checkSessions(t, got(), keys, rounds)
+}

@@ -24,8 +24,11 @@ import (
 )
 
 // Backend is the windowed-state interface used by the SPE's window
-// operator. One Backend instance belongs to one physical operator worker
-// and is used from that worker's goroutine only.
+// operator. One Backend instance belongs to one physical operator; in the
+// default one-worker-per-operator arrangement it is used from that
+// worker's goroutine only. The FlowKV backend is safe for concurrent use
+// (core.Store carries its own locks); the other kinds are not — wrap them
+// with Synchronized before sharing across workers.
 //
 // Aggregate contract: GetAgg logically consumes the value — the caller
 // must write it back with PutAgg after aggregating (FlowKV's RMW store

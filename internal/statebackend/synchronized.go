@@ -1,0 +1,106 @@
+package statebackend
+
+import (
+	"sync"
+
+	"flowkv/internal/window"
+)
+
+// Synchronized wraps a backend with a single mutex, making it safe to
+// share across operator workers. The FlowKV backend is returned as-is:
+// core.Store is internally concurrent (per-instance locks, parallel
+// fan-out), and serializing it from the outside would forfeit exactly the
+// concurrency this repository measures. The wrapper exists for the
+// baseline stores (LSM, hash-log, in-memory), whose single-owner designs
+// mirror their real counterparts' per-worker embedding.
+//
+// ReadWindow holds the mutex across the whole drain, emit callbacks
+// included, so bulk reads stay atomic with respect to other workers; the
+// callback must not call back into the backend.
+func Synchronized(b Backend) Backend {
+	if _, ok := b.(*flowkvBackend); ok {
+		return b
+	}
+	if _, ok := b.(*syncBackend); ok {
+		return b
+	}
+	return &syncBackend{b: b}
+}
+
+type syncBackend struct {
+	mu sync.Mutex
+	b  Backend
+}
+
+func (s *syncBackend) Name() string { return s.b.Name() }
+
+func (s *syncBackend) Append(key, value []byte, w window.Window, ts int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Append(key, value, w, ts)
+}
+
+func (s *syncBackend) ReadAppended(key []byte, w window.Window) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.ReadAppended(key, w)
+}
+
+func (s *syncBackend) PeekAppended(key []byte, w window.Window) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.PeekAppended(key, w)
+}
+
+func (s *syncBackend) ReadWindow(w window.Window, emit func(key []byte, values [][]byte) error) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.ReadWindow(w, emit)
+}
+
+func (s *syncBackend) DropAppended(key []byte, w window.Window) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.DropAppended(key, w)
+}
+
+func (s *syncBackend) GetAgg(key []byte, w window.Window) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.GetAgg(key, w)
+}
+
+func (s *syncBackend) PutAgg(key []byte, w window.Window, agg []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.PutAgg(key, w, agg)
+}
+
+func (s *syncBackend) TakeAgg(key []byte, w window.Window) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.TakeAgg(key, w)
+}
+
+func (s *syncBackend) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Flush()
+}
+
+func (s *syncBackend) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Close()
+}
+
+func (s *syncBackend) Destroy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Destroy()
+}
+
+// Unwrap returns the wrapped backend (used by FlowKVStats-style probes).
+func (s *syncBackend) Unwrap() Backend { return s.b }
+
+var _ Backend = (*syncBackend)(nil)
