@@ -38,6 +38,12 @@ import (
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("aar: store closed")
 
+// DisableFlushReattach, when set, restores the historical behaviour of
+// dropping the detached write buffer when a flush fails. It exists only
+// so the error-injection battery can demonstrate that the re-attach is
+// load-bearing; production code must never set it.
+var DisableFlushReattach bool
+
 // Options configures an AAR store instance.
 type Options struct {
 	// Dir is the directory holding the instance's per-window log files.
@@ -97,6 +103,15 @@ type bucket struct {
 type readState struct {
 	log *logfile.Log
 	sc  *logfile.Scanner
+	// off is the absolute offset of the first record not yet served in a
+	// returned partition. On a scan error the scanner is dropped and
+	// recreated here, so a transient read fault is retryable without
+	// duplicating or skipping records.
+	off int64
+	// mem holds entries that could not be spilled to the log (degraded
+	// mode: the flush on first read failed); they are served after the
+	// on-disk records so no acked append is lost.
+	mem []kvPair
 }
 
 // Store is a single AAR store instance, safe for concurrent use.
@@ -187,7 +202,10 @@ func (s *Store) append(key, value []byte, w window.Window) error {
 
 // flushAllLocked detaches the whole write buffer under mu and spills
 // every bucket to its window's log file. Caller holds ioMu; ingestion
-// into the fresh buffer proceeds while the batch is written.
+// into the fresh buffer proceeds while the batch is written. Flush
+// failure is atomic with respect to acked appends: entries the log did
+// not accept are re-attached to the live buffer under mu, so an error
+// here degrades the store without losing acknowledged writes.
 func (s *Store) flushAllLocked() error {
 	s.mu.Lock()
 	if s.closed {
@@ -203,25 +221,58 @@ func (s *Store) flushAllLocked() error {
 	s.bufBytes = 0
 	s.mu.Unlock()
 	for w, b := range batch {
-		if err := s.flushBucket(w, b); err != nil {
+		remaining, err := s.flushBucket(w, b)
+		if err != nil {
+			if !DisableFlushReattach {
+				b.entries = remaining
+				s.reattach(batch)
+			}
 			return err
 		}
+		delete(batch, w)
 	}
 	s.flushes.Inc()
 	return nil
 }
 
-// flushBucket writes one window's bucket; caller holds ioMu.
-func (s *Store) flushBucket(w window.Window, b *bucket) error {
+// reattach returns the unflushed entries of a failed batch to the live
+// write buffer, prepended so arrival order is preserved relative to
+// appends that raced in since the detach.
+func (s *Store) reattach(batch map[window.Window]*bucket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w, b := range batch {
+		if len(b.entries) == 0 {
+			continue
+		}
+		var sz int64
+		for _, e := range b.entries {
+			sz += int64(len(e.k) + len(e.v) + 32)
+		}
+		cur := s.buf[w]
+		if cur == nil {
+			s.buf[w] = &bucket{entries: b.entries, bytes: sz}
+		} else {
+			cur.entries = append(b.entries, cur.entries...)
+			cur.bytes += sz
+		}
+		s.bufBytes += sz
+	}
+}
+
+// flushBucket writes one window's bucket; caller holds ioMu. On error it
+// returns the entries the log did not accept (entries already appended
+// live in the log's retained tail and survive recovery).
+func (s *Store) flushBucket(w window.Window, b *bucket) ([]kvPair, error) {
 	if len(b.entries) == 0 {
-		return nil
+		return nil, nil
 	}
 	l := s.files[w]
 	if l == nil {
 		var err error
 		l, err = s.dir.Create(windowFileName(w))
 		if err != nil {
-			return err
+			return b.entries, err
 		}
 		s.files[w] = l
 	}
@@ -233,9 +284,11 @@ func (s *Store) flushBucket(w window.Window, b *bucket) error {
 
 // flushCoarse writes the bucket as chunked multi-tuple records — the
 // paper's coarse-grained layout: data organized by window, not by key.
-func flushCoarse(l *logfile.Log, entries []kvPair, chunkBytes int64) error {
+// On error it returns the entries not accepted by the log.
+func flushCoarse(l *logfile.Log, entries []kvPair, chunkBytes int64) ([]kvPair, error) {
 	payload := make([]byte, 0, chunkBytes+1024)
 	count := 0
+	done := 0
 	var body []byte
 	emit := func() error {
 		if count == 0 {
@@ -244,6 +297,9 @@ func flushCoarse(l *logfile.Log, entries []kvPair, chunkBytes int64) error {
 		payload = binio.PutUvarint(payload[:0], uint64(count))
 		payload = append(payload, body...)
 		_, _, err := l.Append(payload)
+		if err == nil {
+			done += count
+		}
 		body = body[:0]
 		count = 0
 		return err
@@ -254,16 +310,22 @@ func flushCoarse(l *logfile.Log, entries []kvPair, chunkBytes int64) error {
 		count++
 		if int64(len(body)) >= chunkBytes {
 			if err := emit(); err != nil {
-				return err
+				return entries[done:], err
 			}
 		}
 	}
-	return emit()
+	if err := emit(); err != nil {
+		return entries[done:], err
+	}
+	return nil, nil
 }
 
 // flushFine writes one record per key (grouping the bucket by key first),
-// the naive fine-grained layout used by the ablation in §4.1.
-func flushFine(l *logfile.Log, entries []kvPair) error {
+// the naive fine-grained layout used by the ablation in §4.1. On error
+// it returns the entries of the groups not accepted by the log (group
+// order, which loses the original arrival interleaving — acceptable for
+// an ablation-only layout).
+func flushFine(l *logfile.Log, entries []kvPair) ([]kvPair, error) {
 	groups := make(map[string][][]byte)
 	var order []string
 	for _, e := range entries {
@@ -274,7 +336,7 @@ func flushFine(l *logfile.Log, entries []kvPair) error {
 		groups[k] = append(groups[k], e.v)
 	}
 	var payload []byte
-	for _, k := range order {
+	for gi, k := range order {
 		vs := groups[k]
 		// One single-key record per value group: count=len(vs) entries of
 		// the same key, preserving the record wire format.
@@ -284,10 +346,16 @@ func flushFine(l *logfile.Log, entries []kvPair) error {
 			payload = binio.PutBytes(payload, v)
 		}
 		if _, _, err := l.Append(payload); err != nil {
-			return err
+			var rem []kvPair
+			for _, k2 := range order[gi:] {
+				for _, v := range groups[k2] {
+					rem = append(rem, kvPair{[]byte(k2), v})
+				}
+			}
+			return rem, err
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // GetWindow returns the next partition of window w's state, grouped by
@@ -326,27 +394,34 @@ func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
 			delete(s.buf, w)
 		}
 		s.mu.Unlock()
+		var mem []kvPair
 		if b != nil {
-			if err := s.flushBucket(w, b); err != nil {
-				return nil, err
+			// A flush failure here must not fail the read: the store is
+			// degraded, but the unspilled entries are still in hand —
+			// serve them from memory after the on-disk records.
+			if remaining, err := s.flushBucket(w, b); err != nil {
+				mem = remaining
 			}
 		}
 		l := s.files[w]
-		if l == nil {
+		if l == nil && len(mem) == 0 {
 			return nil, nil // window has no state
 		}
-		sc, err := l.Scanner(0)
+		rs = &readState{log: l, mem: mem}
+		s.reads[w] = rs
+	}
+	if rs.sc == nil && rs.log != nil {
+		sc, err := rs.log.Scanner(rs.off)
 		if err != nil {
 			return nil, err
 		}
-		rs = &readState{log: l, sc: sc}
-		s.reads[w] = rs
+		rs.sc = sc
 	}
 
 	groups := make(map[string]int)
 	var part []KeyValues
 	var read int64
-	for read < s.opts.LoadPartitionBytes && rs.sc.Scan() {
+	for read < s.opts.LoadPartitionBytes && rs.sc != nil && rs.sc.Scan() {
 		rec := rs.sc.Record()
 		read += int64(len(rec))
 		n, used, err := binio.Uvarint(rec)
@@ -378,14 +453,42 @@ func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
 			part[idx].Values = append(part[idx].Values, vc)
 		}
 	}
-	if err := rs.sc.Err(); err != nil {
-		return nil, err
+	if rs.sc != nil {
+		if err := rs.sc.Err(); err != nil {
+			// Drop the broken scanner; a retry recreates it at rs.off, the
+			// first record of this (discarded) partition attempt.
+			rs.sc = nil
+			return nil, err
+		}
+		rs.off = rs.sc.Offset()
+	}
+	// Serve entries the degraded-mode flush kept in memory after the
+	// on-disk records are exhausted.
+	for read < s.opts.LoadPartitionBytes && len(rs.mem) > 0 {
+		e := rs.mem[0]
+		rs.mem = rs.mem[1:]
+		read += int64(len(e.k) + len(e.v))
+		idx, seen := groups[string(e.k)]
+		if !seen {
+			part = append(part, KeyValues{Key: e.k})
+			idx = len(part) - 1
+			groups[string(e.k)] = idx
+		}
+		part[idx].Values = append(part[idx].Values, e.v)
 	}
 	if len(part) == 0 {
 		// Exhausted: clean the per-window log from disk (step ④).
 		delete(s.reads, w)
 		delete(s.files, w)
-		return nil, rs.log.Remove()
+		if rs.log == nil {
+			return nil, nil
+		}
+		if err := rs.log.Remove(); err != nil && !errors.Is(err, logfile.ErrPoisoned) {
+			// A poisoned log's close error is expected in degraded mode;
+			// the unlink still happened and the data was fully served.
+			return nil, err
+		}
+		return nil, nil
 	}
 	return part, nil
 }
@@ -483,6 +586,41 @@ func (s *Store) Sync() error {
 		}
 	}
 	return nil
+}
+
+// Recover reopens every poisoned per-window log from its durable offset,
+// rewriting the retained unsynced tail, so the write path works again
+// after the underlying fault has cleared. In-progress window scans are
+// not preserved across a Recover.
+// Poisoned returns the first poisoning error among the instance's open
+// window logs, or nil when every log is healthy.
+func (s *Store) Poisoned() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	for _, l := range s.files {
+		if err := l.Poisoned(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) Recover() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var first error
+	for w, l := range s.files {
+		if l.Poisoned() == nil {
+			continue
+		}
+		if rs := s.reads[w]; rs != nil {
+			rs.sc = nil // the scanner holds the stale fd; recreate at rs.off
+		}
+		if err := l.ReopenAtDurable(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close closes all open log files, leaving state on disk.

@@ -66,6 +66,12 @@ import (
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("aur: store closed")
 
+// DisableFlushReattach, when set, restores the historical behaviour of
+// dropping the unwritten remainder of a detached batch when a flush
+// fails. It exists only so the error-injection battery can demonstrate
+// that the re-attach is load-bearing; production code must never set it.
+var DisableFlushReattach bool
+
 // Options configures an AUR store instance.
 type Options struct {
 	// Dir is the directory holding the instance's data and index logs.
@@ -343,6 +349,9 @@ func (s *Store) flushLocked() error {
 		}
 		idxPayload = encodeIndexEntry(idxPayload[:0], ident, span{off, n})
 		if _, _, err := s.indexLog.Append(idxPayload); err != nil {
+			// The data record just written has no index entry referencing
+			// it; account the orphan dead so compaction reclaims it.
+			s.dead += int64(n)
 			werr = err
 			break
 		}
@@ -352,6 +361,7 @@ func (s *Store) flushLocked() error {
 	s.mu.Lock()
 	s.flushing = nil
 	for _, wr := range written {
+		delete(batch, wr.ident)
 		s.onDisk[wr.ident] += wr.n
 		// A prefetch entry covers every flushed span of its id at the
 		// instant it was installed; the span just written is not among
@@ -361,6 +371,26 @@ func (s *Store) flushLocked() error {
 		if _, ok := s.prefetch[wr.ident]; ok {
 			s.dropPrefetchLocked(wr.ident)
 			s.evictions.Inc()
+		}
+	}
+	if werr != nil && !DisableFlushReattach {
+		// Flush failure is atomic: batches the logs did not fully accept
+		// go back into the live buffer, prepended so value order per id
+		// stays chronological relative to appends that raced in since
+		// the detach. No acked Append is lost.
+		for ident, e := range batch {
+			cur := s.buf[ident]
+			if cur == nil {
+				s.buf[ident] = e
+			} else {
+				cur.values = append(e.values, cur.values...)
+				cur.bytes += e.bytes
+			}
+			s.bufBytes += e.bytes
+			if _, ok := s.prefetch[ident]; ok {
+				s.dropPrefetchLocked(ident)
+				s.evictions.Inc()
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -775,10 +805,12 @@ func splitIndexEntry(b []byte) (prefix []byte, sp span, err error) {
 	if err != nil {
 		return nil, span{}, err
 	}
-	p := n + int(kl)
-	if len(b) < p {
+	// Compare in uint64 space: a corrupt length near MaxUint64 would
+	// overflow n+int(kl) to a negative slice bound.
+	if kl > uint64(len(b)-n) {
 		return nil, span{}, binio.ErrShortBuffer
 	}
+	p := n + int(kl)
 	// Skip the two window varints.
 	for i := 0; i < 2; i++ {
 		_, n, err := binio.Varint(b[p:])
@@ -877,14 +909,19 @@ func (s *Store) loadSpansLocked(selected []*liveEntry, target id) ([][]byte, err
 		return nil
 	}
 
-	if workers := s.opts.ReadParallelism; workers > 1 && len(runs) > 1 {
+	// A poisoned data log cannot serve raw positional reads (part of the
+	// range may live only in its retained in-memory tail); the serial
+	// path below goes through ReadRangeAt, which stitches the durable
+	// prefix with the tail, keeping degraded reads working. The same
+	// fallback catches a flush that fails (and poisons the log) here.
+	parallel := s.opts.ReadParallelism > 1 && len(runs) > 1 && s.dataLog.Poisoned() == nil
+	if parallel && s.dataLog.Flush() != nil {
+		parallel = false
+	}
+	if parallel {
+		workers := s.opts.ReadParallelism
 		if workers > len(runs) {
 			workers = len(runs)
-		}
-		// One explicit flush, then lock-free positional reads: the
-		// workers only touch the flushed file through ReadRangeAtRaw.
-		if err := s.dataLog.Flush(); err != nil {
-			return nil, err
 		}
 		var (
 			wg   sync.WaitGroup
@@ -1025,6 +1062,14 @@ func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error 
 		s.dataLog, s.indexLog, s.gen = oldData, oldIndex, oldGen
 		return err
 	}
+	abort := func() {
+		// Revert to the old generation: nothing references the half-built
+		// new logs yet, and the old ones still hold every live byte.
+		badData, badIndex := s.dataLog, s.indexLog
+		s.dataLog, s.indexLog, s.gen = oldData, oldIndex, oldGen
+		badData.Remove() // best effort; the fault may also block the unlinks
+		badIndex.Remove()
+	}
 
 	// Gather live spans in offset order and transfer contiguous runs in
 	// single zero-copy operations.
@@ -1053,6 +1098,7 @@ func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error 
 		base := tasks[i].sp.off
 		newBase := s.dataLog.Size()
 		if err := oldData.TransferTo(s.dataLog, base, end-base); err != nil {
+			abort()
 			return err
 		}
 		for k := i; k <= j; k++ {
@@ -1072,20 +1118,21 @@ func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error 
 		for _, sp := range sps {
 			idxPayload = encodeIndexEntry(idxPayload[:0], e.ident, sp)
 			if _, _, err := s.indexLog.Append(idxPayload); err != nil {
+				abort()
 				return err
 			}
 		}
 	}
 
+	// The new generation is fully built and referenced from here on, so
+	// the accounting resets even if unlinking the old files fails (they
+	// are garbage either way; the error still surfaces).
+	s.dead = 0
+	s.consumed = make(map[string]struct{})
 	if err := oldData.Remove(); err != nil {
 		return err
 	}
-	if err := oldIndex.Remove(); err != nil {
-		return err
-	}
-	s.dead = 0
-	s.consumed = make(map[string]struct{})
-	return nil
+	return oldIndex.Remove()
 }
 
 // Flush spills all buffered data to disk (checkpoint support).
@@ -1113,6 +1160,37 @@ func (s *Store) Sync() error {
 		return err
 	}
 	return s.indexLog.Sync()
+}
+
+// Recover reopens the data and index logs from their durable offsets if
+// poisoned, rewriting their retained unsynced tails, so the write path
+// works again after the underlying fault has cleared.
+// Poisoned returns the first poisoning error among the instance's data
+// and index logs, or nil when both are healthy.
+func (s *Store) Poisoned() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	for _, l := range []*logfile.Log{s.dataLog, s.indexLog} {
+		if err := l.Poisoned(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) Recover() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var first error
+	for _, l := range []*logfile.Log{s.dataLog, s.indexLog} {
+		if l.Poisoned() == nil {
+			continue
+		}
+		if err := l.ReopenAtDurable(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // HitRatio returns the prefetch buffer hit ratio (Figure 11b metric).

@@ -1,0 +1,79 @@
+package aur
+
+import (
+	"bytes"
+	"testing"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/window"
+)
+
+// FuzzDecodeIndexEntry throws arbitrary bytes at both index-log entry
+// parsers. The index log is replayed on every open, so the parsers are
+// the gate between a crashed writer's on-disk bytes and the in-memory
+// index; they must reject garbage without panicking and must agree with
+// each other — splitIndexEntry is the allocation-free fast path used
+// during compaction scans, and a divergence from decodeIndexEntry would
+// silently corrupt the rewritten index. Anything decodeIndexEntry
+// accepts must survive an encode/decode round trip unchanged.
+func FuzzDecodeIndexEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeIndexEntry(nil, id{key: "k", w: window.Window{Start: 0, End: 100}},
+		span{off: 0, n: 32}))
+	f.Add(encodeIndexEntry(nil, id{key: "user-1234", w: window.Window{Start: -500, End: 1 << 40}},
+		span{off: 1 << 33, n: 4096}))
+	f.Add(encodeIndexEntry(nil, id{key: "", w: window.Window{}}, span{}))
+	full := encodeIndexEntry(nil, id{key: "sess", w: window.Window{Start: 7, End: 8}},
+		span{off: 99, n: 7})
+	f.Add(full[:len(full)-2])
+	flipped := append([]byte(nil), full...)
+	flipped[0] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ident, sp, err := decodeIndexEntry(b)
+		prefix, ssp, serr := splitIndexEntry(b)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("parsers disagree on %x: decode err=%v, split err=%v", b, err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if ssp != sp {
+			t.Fatalf("parsers disagree on span: decode %+v, split %+v", sp, ssp)
+		}
+		// The aliased prefix must be the entry's own leading bytes and
+		// re-parse to the same identity. It need not equal the canonical
+		// identBytes encoding for arbitrary input — binio varints accept
+		// zero-padded forms a writer never produces — which is exactly
+		// why compaction's byte-wise grouping is sound only for entries
+		// the CRC-framed writer put on disk (checked below).
+		if len(prefix) > len(b) || !bytes.Equal(prefix, b[:len(prefix)]) {
+			t.Fatalf("split prefix %x does not alias input %x", prefix, b)
+		}
+		k, kn, kerr := binio.Bytes(prefix)
+		if kerr != nil {
+			t.Fatalf("prefix key re-parse: %v", kerr)
+		}
+		w, wn, werr := window.Decode(prefix[kn:])
+		if werr != nil || kn+wn != len(prefix) {
+			t.Fatalf("prefix %x re-parse consumed %d+%d bytes, err=%v", prefix, kn, wn, werr)
+		}
+		if got := (id{key: string(k), w: w}); got != ident {
+			t.Fatalf("prefix re-parse changed identity: %+v -> %+v", ident, got)
+		}
+		re := encodeIndexEntry(nil, ident, sp)
+		ident2, sp2, err2 := decodeIndexEntry(re)
+		if err2 != nil {
+			t.Fatalf("re-encoded entry rejected: %v", err2)
+		}
+		if ident2 != ident || sp2 != sp {
+			t.Fatalf("round trip changed entry: %+v/%+v -> %+v/%+v", ident, sp, ident2, sp2)
+		}
+		prefix2, _, err3 := splitIndexEntry(re)
+		if err3 != nil || !bytes.Equal(prefix2, identBytes(ident)) {
+			t.Fatalf("canonical entry prefix %x != identBytes %x (err=%v)",
+				prefix2, identBytes(ident), err3)
+		}
+	})
+}

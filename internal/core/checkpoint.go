@@ -28,6 +28,9 @@ import (
 // ".tmp"/".old" directories that the next Checkpoint clears. If any step
 // fails, the temporary directory is removed so no partial state lingers.
 func (s *Store) Checkpoint(dir string) error {
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
 	fsys := s.opts.FS
 	tmp := dir + ".tmp"
 	old := dir + ".old"
@@ -44,6 +47,14 @@ func (s *Store) Checkpoint(dir string) error {
 		// Best-effort cleanup: after a simulated (or real) crash the
 		// removal itself can fail, which the next Checkpoint handles.
 		fsys.RemoveAll(tmp)
+		// The per-instance snapshot flushes the live logs; if that is
+		// what failed the logs are now poisoned and the store degrades
+		// until Recover re-establishes the durable-offset invariant. A
+		// failure confined to the snapshot directory (the common case:
+		// the live logs are untouched) leaves the store Healthy.
+		if perr := s.poisoned(); perr != nil {
+			s.degrade(perr)
+		}
 		return err
 	}
 	// Commit: move the previous checkpoint aside (atomic, keeps it
@@ -61,6 +72,14 @@ func (s *Store) Checkpoint(dir string) error {
 	}
 	if err := fsys.RemoveAll(old); err != nil {
 		return fmt.Errorf("flowkv: checkpoint: clear previous: %w", err)
+	}
+	// The snapshot is committed; retention GC failures are reported but
+	// do not invalidate it (and do not degrade the store — acknowledged
+	// state is unaffected by a failed unlink of an old checkpoint).
+	if k := s.opts.RetainCheckpoints; k > 0 {
+		if err := gcCheckpoints(fsys, dir, k); err != nil {
+			return fmt.Errorf("flowkv: checkpoint: retention gc: %w", err)
+		}
 	}
 	return nil
 }

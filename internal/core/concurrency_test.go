@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"flowkv/internal/faultfs"
+	"flowkv/internal/metrics"
 	"flowkv/internal/window"
 )
 
@@ -50,6 +52,22 @@ type stressWorker struct {
 
 	// RMW: latest aggregate per id.
 	aggs map[cid]string
+
+	// lat holds one latency histogram per key this worker touched
+	// (window-wide operations use a synthetic drain/drop key), so the
+	// battery verdict can report tail latencies and a regression shows
+	// up next to the correctness result instead of only in benchmarks.
+	lat map[string]*metrics.Histogram
+}
+
+// observe records one store operation's latency under the key it touched.
+func (sw *stressWorker) observe(key string, t0 time.Time) {
+	h := sw.lat[key]
+	if h == nil {
+		h = metrics.NewHistogram()
+		sw.lat[key] = h
+	}
+	h.Observe(time.Since(t0))
 }
 
 func (sw *stressWorker) window(n int64) window.Window {
@@ -70,7 +88,9 @@ func (sw *stressWorker) stepAAR(s *Store, ctr int) error {
 		w := ws[sw.rng.Intn(len(ws))]
 		got := map[string][]string{}
 		for {
+			t0 := time.Now()
 			part, err := s.GetWindow(w)
+			sw.observe(fmt.Sprintf("w%d:drain", sw.id), t0)
 			if err != nil {
 				return err
 			}
@@ -105,7 +125,10 @@ func (sw *stressWorker) stepAAR(s *Store, ctr int) error {
 			ws = append(ws, w)
 		}
 		w := ws[sw.rng.Intn(len(ws))]
-		if err := s.DropWindow(w); err != nil {
+		t0 := time.Now()
+		err := s.DropWindow(w)
+		sw.observe(fmt.Sprintf("w%d:drop", sw.id), t0)
+		if err != nil {
 			return err
 		}
 		delete(sw.wins, w)
@@ -114,7 +137,10 @@ func (sw *stressWorker) stepAAR(s *Store, ctr int) error {
 		w := sw.window(int64(ctr/40) + int64(sw.rng.Intn(2)))
 		key := fmt.Sprintf("w%d-k%d", sw.id, sw.rng.Intn(4))
 		val := fmt.Sprintf("v%06d", ctr)
-		if err := s.Append([]byte(key), []byte(val), w, w.Start); err != nil {
+		t0 := time.Now()
+		err := s.Append([]byte(key), []byte(val), w, w.Start)
+		sw.observe(key, t0)
+		if err != nil {
 			return err
 		}
 		if sw.wins[w] == nil {
@@ -137,7 +163,10 @@ func (sw *stressWorker) stepAUR(s *Store, ctr int) error {
 			}
 		}
 		val := fmt.Sprintf("v%06d", ctr)
-		if err := s.Append([]byte(c.key), []byte(val), c.w, c.w.Start); err != nil {
+		t0 := time.Now()
+		err := s.Append([]byte(c.key), []byte(val), c.w, c.w.Start)
+		sw.observe(c.key, t0)
+		if err != nil {
 			return err
 		}
 		if _, ok := sw.vals[c]; !ok {
@@ -151,19 +180,26 @@ func (sw *stressWorker) stepAUR(s *Store, ctr int) error {
 	want := sw.vals[c]
 	switch sw.rng.Intn(3) {
 	case 0: // peek, state stays live
+		t0 := time.Now()
 		got, err := s.Read([]byte(c.key), c.w)
+		sw.observe(c.key, t0)
 		if err != nil {
 			return err
 		}
 		return sw.compare("Read", c, got, want)
 	case 1: // drop unread
-		if err := s.Drop([]byte(c.key), c.w); err != nil {
+		t0 := time.Now()
+		err := s.Drop([]byte(c.key), c.w)
+		sw.observe(c.key, t0)
+		if err != nil {
 			return err
 		}
 		sw.retire(i, c)
 		return nil
 	default: // fetch & remove
+		t0 := time.Now()
 		got, err := s.Get([]byte(c.key), c.w)
+		sw.observe(c.key, t0)
 		if err != nil {
 			return err
 		}
@@ -206,13 +242,18 @@ func (sw *stressWorker) stepRMW(s *Store, ctr int) error {
 	}
 	if sw.rng.Intn(100) < 60 {
 		val := fmt.Sprintf("a%06d", ctr)
-		if err := s.PutAggregate([]byte(c.key), c.w, []byte(val)); err != nil {
+		t0 := time.Now()
+		err := s.PutAggregate([]byte(c.key), c.w, []byte(val))
+		sw.observe(c.key, t0)
+		if err != nil {
 			return err
 		}
 		sw.aggs[c] = val
 		return nil
 	}
+	t0 := time.Now()
 	got, ok, err := s.GetAggregate([]byte(c.key), c.w)
+	sw.observe(c.key, t0)
 	if err != nil {
 		return err
 	}
@@ -338,6 +379,7 @@ func runStress(t *testing.T, pattern Pattern, seed int64) {
 		}
 	}()
 
+	lats := make([]map[string]*metrics.Histogram, stressWorkers)
 	for id := 0; id < stressWorkers; id++ {
 		workersWg.Add(1)
 		go func(id int) {
@@ -348,7 +390,9 @@ func runStress(t *testing.T, pattern Pattern, seed int64) {
 				wins: make(map[window.Window]map[string][]string),
 				vals: make(map[cid][]string),
 				aggs: make(map[cid]string),
+				lat:  make(map[string]*metrics.Histogram),
 			}
+			lats[id] = sw.lat
 			for i := 0; i < stressOps; i++ {
 				var err error
 				switch pattern {
@@ -378,6 +422,45 @@ func runStress(t *testing.T, pattern Pattern, seed int64) {
 	defer failMu.Unlock()
 	for _, err := range fails {
 		t.Error(err)
+	}
+	reportStressLatency(t, pattern, lats, len(fails) == 0)
+}
+
+// reportStressLatency prints the battery's latency verdict: the merged
+// distribution over every per-key histogram plus the worst keys by p99,
+// so a tail regression surfaces in the same output as a correctness
+// failure instead of waiting for a benchmark run.
+func reportStressLatency(t *testing.T, pattern Pattern, lats []map[string]*metrics.Histogram, passed bool) {
+	t.Helper()
+	type keyLat struct {
+		key string
+		h   *metrics.Histogram
+	}
+	overall := metrics.NewHistogram()
+	var keys []keyLat
+	for _, m := range lats {
+		for k, h := range m {
+			overall.Merge(h)
+			keys = append(keys, keyLat{key: k, h: h})
+		}
+	}
+	if overall.Count() == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].h.P99() > keys[j].h.P99() })
+	verdict := "PASS"
+	if !passed {
+		verdict = "FAIL"
+	}
+	t.Logf("%s stress %s: %d ops over %d keys, latency p50=%v p95=%v p99=%v max=%v",
+		pattern, verdict, overall.Count(), len(keys),
+		overall.P50(), overall.P95(), overall.P99(), overall.Max())
+	for i, kl := range keys {
+		if i >= 5 {
+			break
+		}
+		t.Logf("  slowest key %-12s ops=%-4d p50=%v p99=%v max=%v",
+			kl.key, kl.h.Count(), kl.h.P50(), kl.h.P99(), kl.h.Max())
 	}
 }
 

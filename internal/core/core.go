@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flowkv/internal/core/aar"
 	"flowkv/internal/core/aur"
@@ -137,6 +138,16 @@ type Options struct {
 	// fan-out: GetWindow drains, Flush, Sync, and checkpoint writes.
 	// 1 runs those serially. Default min(4, Instances).
 	Parallelism int
+	// RetainCheckpoints keeps the K newest verified checkpoints among the
+	// siblings of each Checkpoint target directory, garbage-collecting
+	// older ones after a successful checkpoint. 0 disables retention GC.
+	RetainCheckpoints int
+	// ReadRetries bounds the retry attempts for transient read I/O
+	// errors before the error surfaces to the caller. Default 3.
+	ReadRetries int
+	// ReadRetryBackoff is the initial backoff between read retries,
+	// doubling per attempt. Default 1ms.
+	ReadRetryBackoff time.Duration
 	// FineGrainedAAR enables the fine-grained AAR layout (ablation).
 	FineGrainedAAR bool
 	// SeparateCompactionScan disables integrated compaction (ablation).
@@ -174,6 +185,12 @@ func (o *Options) fill() {
 	if o.FS == nil {
 		o.FS = faultfs.OS
 	}
+	if o.ReadRetries <= 0 {
+		o.ReadRetries = 3
+	}
+	if o.ReadRetryBackoff <= 0 {
+		o.ReadRetryBackoff = time.Millisecond
+	}
 }
 
 // KeyValues re-exports the AAR group type for consumers of GetWindow.
@@ -200,6 +217,18 @@ type Store struct {
 	// mu guards the drain registry below.
 	mu     sync.Mutex
 	drains map[window.Window]*windowDrain
+
+	// health is the failure-handling state machine (see health.go);
+	// herr retains the first error that left Healthy.
+	health atomic.Int32
+	herrMu sync.Mutex
+	herr   error
+
+	writeErrs   metrics.Counter
+	readErrs    metrics.Counter
+	readRetries metrics.Counter
+	recoveries  metrics.Counter
+	healthGauge metrics.Gauge
 }
 
 // windowDrain is an in-progress parallel GetWindow drain of one window:
@@ -323,11 +352,14 @@ func (s *Store) route(key []byte) int {
 // Append adds a KV tuple to window w. For AUR stores ts feeds the ETT
 // estimate; AAR stores ignore it. RMW stores do not support Append.
 func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
 	switch s.pattern {
 	case PatternAAR:
-		return s.aars[s.route(key)].Append(key, value, w)
+		return s.writeDone(s.aars[s.route(key)].Append(key, value, w))
 	case PatternAUR:
-		return s.aurs[s.route(key)].Append(key, value, w, ts)
+		return s.writeDone(s.aurs[s.route(key)].Append(key, value, w, ts))
 	default:
 		return ErrWrongPattern
 	}
@@ -344,6 +376,9 @@ func (s *Store) Append(key, value []byte, w window.Window, ts int64) error {
 func (s *Store) GetWindow(w window.Window) ([]KeyValues, error) {
 	if s.pattern != PatternAAR {
 		return nil, ErrWrongPattern
+	}
+	if err := s.guardRead(); err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	d := s.drains[w]
@@ -398,7 +433,12 @@ func (s *Store) startDrain(w window.Window) *windowDrain {
 						return
 					default:
 					}
-					part, err := s.aars[i].GetWindow(w)
+					var part []KeyValues
+					err := s.readRetry(func() error {
+						var rerr error
+						part, rerr = s.aars[i].GetWindow(w)
+						return rerr
+					})
 					if err != nil {
 						d.fail(err)
 						return
@@ -460,11 +500,21 @@ func (s *Store) stopAllDrains() {
 }
 
 // Get fetches and removes the appended values of (key, w) (AUR only).
+// Transient read I/O errors are retried with backoff (Options.ReadRetries).
 func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
 	if s.pattern != PatternAUR {
 		return nil, ErrWrongPattern
 	}
-	return s.aurs[s.route(key)].Get(key, w)
+	if err := s.guardRead(); err != nil {
+		return nil, err
+	}
+	var vals [][]byte
+	err := s.readRetry(func() error {
+		var rerr error
+		vals, rerr = s.aurs[s.route(key)].Get(key, w)
+		return rerr
+	})
+	return vals, err
 }
 
 // Read returns the appended values of (key, w) without consuming them
@@ -473,7 +523,16 @@ func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
 	if s.pattern != PatternAUR {
 		return nil, ErrWrongPattern
 	}
-	return s.aurs[s.route(key)].Read(key, w)
+	if err := s.guardRead(); err != nil {
+		return nil, err
+	}
+	var vals [][]byte
+	err := s.readRetry(func() error {
+		var rerr error
+		vals, rerr = s.aurs[s.route(key)].Read(key, w)
+		return rerr
+	})
+	return vals, err
 }
 
 // GetAggregate fetches and removes the aggregate of (key, w) (RMW only).
@@ -481,7 +540,19 @@ func (s *Store) GetAggregate(key []byte, w window.Window) ([]byte, bool, error) 
 	if s.pattern != PatternRMW {
 		return nil, false, ErrWrongPattern
 	}
-	return s.rmws[s.route(key)].Get(key, w)
+	if err := s.guardRead(); err != nil {
+		return nil, false, err
+	}
+	var (
+		agg []byte
+		ok  bool
+	)
+	err := s.readRetry(func() error {
+		var rerr error
+		agg, ok, rerr = s.rmws[s.route(key)].Get(key, w)
+		return rerr
+	})
+	return agg, ok, err
 }
 
 // PutAggregate stores the updated aggregate of (key, w) (RMW only).
@@ -489,7 +560,10 @@ func (s *Store) PutAggregate(key []byte, w window.Window, agg []byte) error {
 	if s.pattern != PatternRMW {
 		return ErrWrongPattern
 	}
-	return s.rmws[s.route(key)].Put(key, w, agg)
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
+	return s.writeDone(s.rmws[s.route(key)].Put(key, w, agg))
 }
 
 // DropWindow discards window w's state in every instance (AAR only). An
@@ -498,6 +572,9 @@ func (s *Store) PutAggregate(key []byte, w window.Window, agg []byte) error {
 func (s *Store) DropWindow(w window.Window) error {
 	if s.pattern != PatternAAR {
 		return ErrWrongPattern
+	}
+	if err := s.guardRead(); err != nil {
+		return err
 	}
 	s.stopDrain(w)
 	return s.eachInstance(func(i int) error {
@@ -509,6 +586,9 @@ func (s *Store) DropWindow(w window.Window) error {
 func (s *Store) Drop(key []byte, w window.Window) error {
 	if s.pattern != PatternAUR {
 		return ErrWrongPattern
+	}
+	if err := s.guardRead(); err != nil {
+		return err
 	}
 	return s.aurs[s.route(key)].Drop(key, w)
 }
@@ -565,7 +645,10 @@ func (s *Store) eachInstance(f func(i int) error) error {
 // in-memory data is flushed before a snapshot so on-disk files can be
 // transferred asynchronously). Instances flush in parallel.
 func (s *Store) Flush() error {
-	return s.eachInstance(func(i int) error {
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
+	return s.writeDone(s.eachInstance(func(i int) error {
 		switch s.pattern {
 		case PatternAAR:
 			return s.aars[i].Flush()
@@ -574,14 +657,17 @@ func (s *Store) Flush() error {
 		default:
 			return s.rmws[i].Flush()
 		}
-	})
+	}))
 }
 
 // Sync flushes all instances and fsyncs their logs, making every
 // acknowledged write durable. Instances sync in parallel, overlapping
 // their fsync waits.
 func (s *Store) Sync() error {
-	return s.eachInstance(func(i int) error {
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
+	return s.writeDone(s.eachInstance(func(i int) error {
 		switch s.pattern {
 		case PatternAAR:
 			return s.aars[i].Sync()
@@ -590,7 +676,7 @@ func (s *Store) Sync() error {
 		default:
 			return s.rmws[i].Sync()
 		}
-	})
+	}))
 }
 
 // Stats aggregates evaluation metrics across instances.
@@ -611,11 +697,31 @@ type Stats struct {
 	DiskBytes int64
 	// LiveStates is the number of live (key, window) states (AUR/RMW).
 	LiveStates int
+	// Health is the failure-handling state (see health.go).
+	Health Health
+	// HealthErr describes the first error that left Healthy, "" if none.
+	HealthErr string
+	// WriteErrors counts write-path I/O failures (each degrades the store).
+	WriteErrors int64
+	// ReadErrors counts read failures that surfaced after retries.
+	ReadErrors int64
+	// ReadRetries counts transient read errors absorbed by retry.
+	ReadRetries int64
+	// Recoveries counts successful Recover calls.
+	Recoveries int64
 }
 
 // Stats returns the store's aggregated evaluation metrics.
 func (s *Store) Stats() Stats {
 	st := Stats{Pattern: s.pattern}
+	st.Health = s.Health()
+	if err := s.Err(); err != nil {
+		st.HealthErr = err.Error()
+	}
+	st.WriteErrors = s.writeErrs.Load()
+	st.ReadErrors = s.readErrs.Load()
+	st.ReadRetries = s.readRetries.Load()
+	st.Recoveries = s.recoveries.Load()
 	for _, a := range s.aars {
 		st.BufferedBytes += a.BufferedBytes()
 		if d, err := a.DiskUsage(); err == nil {

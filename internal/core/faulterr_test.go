@@ -1,0 +1,322 @@
+package core
+
+// The error-injection battery: every mutating filesystem operation kind
+// is failed — once, transiently, persistently, with ENOSPC, and with a
+// torn write — against all three store patterns, and after the fault
+// clears the store must uphold the acked-write contract: every write
+// that was acknowledged is readable again, or the store loudly reports a
+// non-Healthy state. Silent loss is the one outcome that must never
+// happen, and TestFaultBatteryDetectsBrokenReattach proves the battery
+// can actually see it by re-running with the flush re-attach logic
+// deliberately disabled.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"flowkv/internal/core/aar"
+	"flowkv/internal/core/aur"
+	"flowkv/internal/core/rmw"
+	"flowkv/internal/faultfs"
+	"flowkv/internal/window"
+)
+
+// batteryValuePad makes every value large enough that a store flush
+// crosses the logfile's internal 256KiB write buffer, so injected write
+// faults fire in the middle of a flush batch — the hardest atomicity
+// case: some records of the batch land, the rest must be re-attached to
+// the write buffer.
+var batteryValuePad = strings.Repeat("x", 32<<10)
+
+func batteryWindow(n int) window.Window {
+	return window.Window{Start: int64(n) * 100, End: int64(n)*100 + 100}
+}
+
+type faultCase struct {
+	name string
+	rule faultfs.Rule
+	// expectHealthy marks a fault the store must fully absorb (transient
+	// read errors): no operation may fail and the store stays Healthy.
+	expectHealthy bool
+}
+
+func faultScenarios() []faultCase {
+	return []faultCase{
+		{name: "sync-persistent",
+			rule: faultfs.Rule{Op: faultfs.OpSync, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO}},
+		{name: "write-transient",
+			rule: faultfs.Rule{Op: faultfs.OpWrite, Class: faultfs.ClassTransient, Times: 2, Err: faultfs.ErrDiskIO}},
+		{name: "write-persistent",
+			rule: faultfs.Rule{Op: faultfs.OpWrite, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO}},
+		{name: "enospc-any",
+			rule: faultfs.Rule{Op: faultfs.OpAny, Class: faultfs.ClassPersistent, Err: faultfs.ErrNoSpace}},
+		{name: "torn-write",
+			rule: faultfs.Rule{Op: faultfs.OpWrite, TornBytes: 7}},
+		{name: "read-transient",
+			rule:          faultfs.Rule{Op: faultfs.OpRead, Class: faultfs.ClassTransient, Times: 2, Err: faultfs.ErrDiskIO},
+			expectHealthy: true},
+		// Single-shot sweep over every remaining mutating op kind; the
+		// phase-B flush + checkpoint exercises each of them at least once.
+		{name: "once-create", rule: faultfs.Rule{Op: faultfs.OpCreate}},
+		{name: "once-sync", rule: faultfs.Rule{Op: faultfs.OpSync}},
+		{name: "once-write", rule: faultfs.Rule{Op: faultfs.OpWrite}},
+		{name: "once-remove", rule: faultfs.Rule{Op: faultfs.OpRemove}},
+		{name: "once-rename", rule: faultfs.Rule{Op: faultfs.OpRename}},
+		{name: "once-mkdir", rule: faultfs.Rule{Op: faultfs.OpMkdir}},
+	}
+}
+
+// runFaultCase drives one pattern through one injection scenario and
+// returns descriptions of acked writes that were silently lost (the
+// store claimed Healthy but could not serve them). It reports loss
+// instead of failing so the deliberately-broken variant can assert the
+// battery detects it. Everything else — an unrecoverable store, a read
+// failure after recovery — fails the test directly.
+func runFaultCase(t *testing.T, p Pattern, fc faultCase) (lost []string) {
+	t.Helper()
+	inj := faultfs.NewInjector(faultfs.OS)
+	agg, wk, opts := crashConfig(p)
+	opts.Instances = 2
+	opts.WriteBufferBytes = 2 << 20 // 1MiB per instance: no auto-flush mid-phase
+	opts.ReadRetryBackoff = 50 * time.Microsecond
+	opts.FS = inj
+	base := t.TempDir()
+	opts.Dir = filepath.Join(base, "store")
+	s, err := Open(agg, wk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+
+	// Oracles. AAR/AUR: acked appended values per (window, key). RMW:
+	// the last acked aggregate per (window, key) plus every value
+	// attempted after it — an unacked Put may still have been applied,
+	// so any of those is a legal readback, but a value older than the
+	// last ack is loss.
+	type ident struct {
+		w   window.Window
+		key string
+	}
+	acked := make(map[window.Window]map[string][]string)
+	lastAcked := make(map[ident]string)
+	later := make(map[ident]map[string]bool)
+	seq := 0
+	write := func(wi int, key string) error {
+		w := batteryWindow(wi)
+		val := fmt.Sprintf("%s|w%d|s%04d|%s", key, wi, seq, batteryValuePad)
+		seq++
+		if p == PatternRMW {
+			err := s.PutAggregate([]byte(key), w, []byte(val))
+			id := ident{w, key}
+			if err == nil {
+				lastAcked[id] = val
+				delete(later, id)
+			} else {
+				if later[id] == nil {
+					later[id] = make(map[string]bool)
+				}
+				later[id][val] = true
+			}
+			return err
+		}
+		err := s.Append([]byte(key), []byte(val), w, w.Start)
+		if err == nil {
+			if acked[w] == nil {
+				acked[w] = make(map[string][]string)
+			}
+			acked[w][key] = append(acked[w][key], val)
+		}
+		return err
+	}
+
+	// Phase A: a durable baseline; every write must ack.
+	for wi := 0; wi < 3; wi++ {
+		for k := 0; k < 6; k++ {
+			if err := write(wi, fmt.Sprintf("key-%d", k)); err != nil {
+				t.Fatalf("phase A write: %v", err)
+			}
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("phase A sync: %v", err)
+	}
+
+	// Phase B: writes under fire. Windows 3..5 are new (their AAR log
+	// files do not exist yet, exercising create failures); 0..2 extend
+	// existing state. Errors are legal — but err == nil is a promise.
+	inj.SetRule(fc.rule)
+	for wi := 0; wi < 6; wi++ {
+		for k := 0; k < 6; k++ {
+			_ = write(wi, fmt.Sprintf("key-%d", k))
+		}
+	}
+	_ = s.Flush()
+	_ = s.Sync()
+	if fc.rule.Op != faultfs.OpRead {
+		// Exercises create/mkdir/rename/remove/sync against the
+		// checkpoint machinery too; a failed checkpoint must not hurt
+		// the live store.
+		_ = s.Checkpoint(filepath.Join(base, "ckpt"))
+	}
+
+	if fc.rule.Op != faultfs.OpRead {
+		if !inj.Fired() {
+			t.Fatalf("case %s: rule never fired — scenario tests nothing", fc.name)
+		}
+		inj.Reset()
+		if s.Health() != Healthy {
+			if err := s.Recover(); err != nil {
+				t.Fatalf("case %s: recover: %v (health %v)", fc.name, err, s.Health())
+			}
+		}
+		if got := s.Health(); got != Healthy {
+			t.Fatalf("case %s: health after recover = %v", fc.name, got)
+		}
+	}
+
+	// Phase C: readback. Every acked write must be present; extras
+	// (buffered writes whose ack failed in flight) are fine.
+	shorten := func(v string) string {
+		if i := strings.Index(v, "|"+batteryValuePad[:1]); i > 0 && len(v) > 40 {
+			return v[:40]
+		}
+		return v
+	}
+	switch p {
+	case PatternAAR:
+		for wi := 0; wi < 6; wi++ {
+			w := batteryWindow(wi)
+			got := make(map[string]int)
+			for {
+				part, err := s.GetWindow(w)
+				if err != nil {
+					t.Fatalf("case %s: GetWindow(%v): %v", fc.name, w, err)
+				}
+				if part == nil {
+					break
+				}
+				for _, kv := range part {
+					for _, v := range kv.Values {
+						got[string(kv.Key)+"\x00"+string(v)]++
+					}
+				}
+			}
+			for key, vals := range acked[w] {
+				for _, v := range vals {
+					id := key + "\x00" + v
+					if got[id] > 0 {
+						got[id]--
+					} else {
+						lost = append(lost, fmt.Sprintf("aar %v %s: %s", w, key, shorten(v)))
+					}
+				}
+			}
+		}
+	case PatternAUR:
+		for w, keys := range acked {
+			for key, vals := range keys {
+				rv, err := s.Read([]byte(key), w)
+				if err != nil {
+					t.Fatalf("case %s: Read(%s, %v): %v", fc.name, key, w, err)
+				}
+				got := make(map[string]int)
+				for _, v := range rv {
+					got[string(v)]++
+				}
+				for _, v := range vals {
+					if got[v] > 0 {
+						got[v]--
+					} else {
+						lost = append(lost, fmt.Sprintf("aur %v %s: %s", w, key, shorten(v)))
+					}
+				}
+			}
+		}
+	default:
+		for id, want := range lastAcked {
+			got, ok, err := s.GetAggregate([]byte(id.key), id.w)
+			if err != nil {
+				t.Fatalf("case %s: GetAggregate(%s, %v): %v", fc.name, id.key, id.w, err)
+			}
+			switch {
+			case !ok:
+				lost = append(lost, fmt.Sprintf("rmw %v %s: aggregate missing, want %s",
+					id.w, id.key, shorten(want)))
+			case string(got) != want && !later[id][string(got)]:
+				lost = append(lost, fmt.Sprintf("rmw %v %s: got %s, want %s or a later attempt",
+					id.w, id.key, shorten(string(got)), shorten(want)))
+			}
+		}
+	}
+
+	if fc.rule.Op == faultfs.OpRead {
+		if !inj.Fired() {
+			t.Fatalf("case %s: read rule never fired", fc.name)
+		}
+		if got := s.Health(); got != Healthy {
+			t.Errorf("case %s: transient read faults must not change health, got %v", fc.name, got)
+		}
+		if st := s.Stats(); st.ReadRetries == 0 {
+			t.Errorf("case %s: expected absorbed read retries, stats: %+v", fc.name, st)
+		}
+		inj.Reset()
+	}
+	return lost
+}
+
+// TestFaultInjectionBattery sweeps every scenario across every pattern:
+// no acked write may ever be silently lost.
+func TestFaultInjectionBattery(t *testing.T) {
+	for _, p := range []Pattern{PatternAAR, PatternAUR, PatternRMW} {
+		for _, fc := range faultScenarios() {
+			t.Run(fmt.Sprintf("%v/%s", p, fc.name), func(t *testing.T) {
+				if lost := runFaultCase(t, p, fc); len(lost) > 0 {
+					max := len(lost)
+					if max > 5 {
+						max = 5
+					}
+					t.Errorf("%d acked writes silently lost, e.g.:\n  %s",
+						len(lost), strings.Join(lost[:max], "\n  "))
+				}
+			})
+		}
+	}
+}
+
+// TestFaultBatteryDetectsBrokenReattach re-runs the battery's harshest
+// write scenarios with the flush re-attach logic deliberately disabled
+// (acked-but-unflushed entries are dropped on a failed flush instead of
+// being returned to the write buffer). The battery must observe real
+// loss for every pattern — proving the oracle has teeth, and that the
+// re-attach paths are what uphold the no-silent-loss contract.
+func TestFaultBatteryDetectsBrokenReattach(t *testing.T) {
+	aar.DisableFlushReattach = true
+	aur.DisableFlushReattach = true
+	rmw.DisableFlushReattach = true
+	defer func() {
+		aar.DisableFlushReattach = false
+		aur.DisableFlushReattach = false
+		rmw.DisableFlushReattach = false
+	}()
+	cases := map[Pattern]faultCase{
+		// AAR buckets are lost when the per-window log cannot be created.
+		PatternAAR: {name: "broken-create", rule: faultfs.Rule{
+			Op: faultfs.OpCreate, PathContains: "win_", Class: faultfs.ClassPersistent}},
+		// AUR/RMW batches are cut mid-flush by a persistent write fault.
+		PatternAUR: {name: "broken-write", rule: faultfs.Rule{
+			Op: faultfs.OpWrite, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO}},
+		PatternRMW: {name: "broken-write", rule: faultfs.Rule{
+			Op: faultfs.OpWrite, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO}},
+	}
+	for _, p := range []Pattern{PatternAAR, PatternAUR, PatternRMW} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			if lost := runFaultCase(t, p, cases[p]); len(lost) == 0 {
+				t.Fatalf("broken flush re-attach produced no detectable loss — the battery oracle is blind")
+			}
+		})
+	}
+}

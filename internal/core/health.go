@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flowkv/internal/core/aar"
+	"flowkv/internal/core/aur"
+	"flowkv/internal/core/rmw"
+	"flowkv/internal/logfile"
+)
+
+// Health is the store's failure-handling state. The machine has three
+// states and two legal transition edges out of Healthy:
+//
+//	Healthy ──write-path I/O error──▶ Degraded ──Recover() fails──▶ Failed
+//	   ▲                                  │
+//	   └────────Recover() succeeds────────┘
+//
+// Degraded is read-only: acknowledged state stays readable (poisoned logs
+// serve stitched reads from the durable prefix plus the retained
+// in-memory tail) and in-progress GetWindow drains keep draining, but new
+// writes are rejected so no acknowledgement can be issued that the store
+// might not honor. Failed means recovery itself could not restore the
+// durable-offset invariant; every operation is rejected.
+type Health int32
+
+const (
+	// Healthy: all operations available.
+	Healthy Health = iota
+	// Degraded: a write-path I/O failure occurred; reads serve, writes
+	// are rejected until Recover succeeds.
+	Degraded
+	// Failed: recovery failed; the store rejects all operations.
+	Failed
+)
+
+// String returns the health-state name.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("health(%d)", int32(h))
+	}
+}
+
+// ErrDegraded rejects writes while the store is in the Degraded state.
+// The wrapped message carries the original failure; call Recover to
+// attempt the transition back to Healthy.
+var ErrDegraded = errors.New("flowkv: store degraded, writes rejected until Recover")
+
+// ErrFailed rejects every operation after recovery has failed.
+var ErrFailed = errors.New("flowkv: store failed, recovery unsuccessful")
+
+// Health returns the store's current failure-handling state.
+func (s *Store) Health() Health { return Health(s.health.Load()) }
+
+// Err returns the first error that moved the store out of Healthy, or
+// nil. The error is retained across Degraded→Failed; Recover clears it.
+func (s *Store) Err() error {
+	s.herrMu.Lock()
+	defer s.herrMu.Unlock()
+	return s.herr
+}
+
+func (s *Store) setHealth(h Health) {
+	s.health.Store(int32(h))
+	s.healthGauge.Set(int64(h))
+}
+
+// degrade records err and moves Healthy→Degraded. Failed is sticky; a
+// later write error never moves the store back to merely Degraded.
+func (s *Store) degrade(err error) {
+	s.writeErrs.Inc()
+	s.herrMu.Lock()
+	if s.herr == nil {
+		s.herr = err
+	}
+	s.herrMu.Unlock()
+	if s.health.CompareAndSwap(int32(Healthy), int32(Degraded)) {
+		s.healthGauge.Set(int64(Degraded))
+	}
+}
+
+// guardWrite rejects the call unless the store is Healthy.
+func (s *Store) guardWrite() error {
+	switch s.Health() {
+	case Healthy:
+		return nil
+	case Degraded:
+		return fmt.Errorf("%w: %v", ErrDegraded, s.Err())
+	default:
+		return fmt.Errorf("%w: %v", ErrFailed, s.Err())
+	}
+}
+
+// guardRead rejects the call only when the store is Failed; Degraded
+// stores keep serving reads.
+func (s *Store) guardRead() error {
+	if s.Health() == Failed {
+		return fmt.Errorf("%w: %v", ErrFailed, s.Err())
+	}
+	return nil
+}
+
+// writeDone inspects a write-path result and applies the health
+// transition: any real I/O failure degrades the store. Usage errors
+// (wrong pattern, already closed) are the caller's bug, not a disk
+// fault, and do not change state.
+func (s *Store) writeDone(err error) error {
+	if err != nil && !usageError(err) {
+		s.degrade(err)
+	}
+	return err
+}
+
+func usageError(err error) bool {
+	return errors.Is(err, ErrWrongPattern) ||
+		errors.Is(err, aar.ErrClosed) ||
+		errors.Is(err, aur.ErrClosed) ||
+		errors.Is(err, rmw.ErrClosed)
+}
+
+// retryableRead reports whether a read error is worth retrying: usage
+// errors are deterministic, and a poisoned log stays poisoned until
+// Recover reopens it, so neither can succeed on a second attempt.
+func retryableRead(err error) bool {
+	return !usageError(err) && !errors.Is(err, logfile.ErrPoisoned)
+}
+
+// readRetry runs f, retrying transient read failures up to
+// Options.ReadRetries times with exponential backoff starting at
+// Options.ReadRetryBackoff. Disk reads hitting a transient EIO (a
+// recoverable medium or transport hiccup) succeed on retry without
+// surfacing to the caller or changing the health state.
+func (s *Store) readRetry(f func() error) error {
+	err := f()
+	if err == nil {
+		return nil
+	}
+	backoff := s.opts.ReadRetryBackoff
+	for attempt := 0; attempt < s.opts.ReadRetries; attempt++ {
+		if !retryableRead(err) {
+			break
+		}
+		s.readRetries.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	s.readErrs.Inc()
+	return err
+}
+
+// poisoned probes every instance and returns the first log-poisoning
+// error, or nil when all live logs are healthy.
+func (s *Store) poisoned() error {
+	for i := 0; i < s.opts.Instances; i++ {
+		var err error
+		switch s.pattern {
+		case PatternAAR:
+			err = s.aars[i].Poisoned()
+		case PatternAUR:
+			err = s.aurs[i].Poisoned()
+		default:
+			err = s.rmws[i].Poisoned()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover attempts to bring a Degraded (or Failed) store back to
+// Healthy. Every poisoned log is reopened at its durable offset — the
+// fsyncgate-safe continuation: the suspect file descriptor and OS page
+// cache are discarded, the file is truncated to the last fsync-verified
+// byte, and the retained in-memory tail of acknowledged-but-unsynced
+// records is rewritten through the fresh descriptor. If any instance
+// cannot re-establish that invariant (e.g. its unsynced tail exceeded
+// the retention bound), the store moves to Failed and the error is
+// returned; a later Recover may retry.
+func (s *Store) Recover() error {
+	if s.Health() == Healthy {
+		return nil
+	}
+	err := s.eachInstance(func(i int) error {
+		switch s.pattern {
+		case PatternAAR:
+			return s.aars[i].Recover()
+		case PatternAUR:
+			return s.aurs[i].Recover()
+		default:
+			return s.rmws[i].Recover()
+		}
+	})
+	if err != nil {
+		s.setHealth(Failed)
+		return fmt.Errorf("flowkv: recover: %w", err)
+	}
+	s.recoveries.Inc()
+	s.herrMu.Lock()
+	s.herr = nil
+	s.herrMu.Unlock()
+	s.setHealth(Healthy)
+	return nil
+}

@@ -217,6 +217,13 @@ func verifyCheckpoint(fsys faultfs.FS, dir string, p Pattern, instances int) err
 	if err != nil {
 		return err
 	}
+	return verifyContents(fsys, dir, want)
+}
+
+// verifyContents checks dir's current files against the manifest entries
+// want: every listed file present with the recorded size and CRC32C, and
+// no unlisted files.
+func verifyContents(fsys faultfs.FS, dir string, want []manifestEntry) error {
 	got, err := snapshotDir(fsys, dir)
 	if err != nil {
 		return &CheckpointError{Dir: dir, Reason: fmt.Sprintf("unreadable contents: %v", err)}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"flowkv/internal/faultfs"
+)
+
+// CheckpointInfo describes one checkpoint directory found by
+// ListCheckpoints.
+type CheckpointInfo struct {
+	// Path is the checkpoint directory.
+	Path string
+	// Pattern and Instances are the store shape recorded in the MANIFEST.
+	Pattern   Pattern
+	Instances int
+	// Files is the number of files the MANIFEST lists; SizeBytes is
+	// their total recorded size (the MANIFEST itself excluded).
+	Files     int
+	SizeBytes int64
+	// ModTime is the directory's modification time (checkpoint age).
+	ModTime time.Time
+	// Err is non-nil when the checkpoint failed verification: missing,
+	// truncated, or bit-flipped files, or extra files not in the MANIFEST.
+	Err error
+}
+
+// ListCheckpoints scans the immediate subdirectories of parent and
+// returns one CheckpointInfo per directory holding a MANIFEST, each
+// fully verified against its manifest (every file's size and CRC32C),
+// sorted newest first. Directories without a MANIFEST are skipped, so
+// store data directories living next to checkpoints are ignored. A nil
+// fsys means the real OS filesystem.
+func ListCheckpoints(fsys faultfs.FS, parent string) ([]CheckpointInfo, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	ents, err := fsys.ReadDir(parent)
+	if err != nil {
+		return nil, fmt.Errorf("flowkv: list checkpoints: %w", err)
+	}
+	var out []CheckpointInfo
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(parent, e.Name())
+		ci := CheckpointInfo{Path: dir}
+		if info, ierr := e.Info(); ierr == nil {
+			ci.ModTime = info.ModTime()
+		}
+		b, rerr := fsys.ReadFile(filepath.Join(dir, manifestName))
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue // not a checkpoint directory
+			}
+			ci.Err = &CheckpointError{Dir: dir, Reason: fmt.Sprintf("unreadable MANIFEST: %v", rerr)}
+			out = append(out, ci)
+			continue
+		}
+		pat, inst, entries, reason := parseManifest(b)
+		if reason != "" {
+			ci.Err = &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
+			out = append(out, ci)
+			continue
+		}
+		ci.Pattern, ci.Instances, ci.Files = pat, inst, len(entries)
+		for _, me := range entries {
+			ci.SizeBytes += me.size
+		}
+		ci.Err = verifyContents(fsys, dir, entries)
+		out = append(out, ci)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ModTime.Equal(out[j].ModTime) {
+			return out[i].ModTime.After(out[j].ModTime)
+		}
+		return out[i].Path > out[j].Path
+	})
+	return out, nil
+}
+
+// VerifyCheckpointDir verifies dir against its own MANIFEST without
+// requiring an open store: the recorded pattern and instance count are
+// returned rather than matched. A nil fsys means the real OS filesystem.
+func VerifyCheckpointDir(fsys faultfs.FS, dir string) (Pattern, int, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, 0, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
+	}
+	pat, inst, entries, reason := parseManifest(b)
+	if reason != "" {
+		return 0, 0, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
+	}
+	return pat, inst, verifyContents(fsys, dir, entries)
+}
+
+// gcCheckpoints enforces Options.RetainCheckpoints: among the sibling
+// directories of the just-committed checkpoint, the keep newest valid
+// checkpoints survive and older ones are removed. Only directories whose
+// MANIFEST parses are candidates — anything else next to the checkpoints
+// (store data directories, stray files, in-flight ".tmp"/".old"
+// directories) is never touched. The just-committed checkpoint is always
+// kept regardless of timestamps.
+func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
+	parent := filepath.Dir(just)
+	ents, err := fsys.ReadDir(parent)
+	if err != nil {
+		return err
+	}
+	type cand struct {
+		path string
+		name string
+		mod  time.Time
+	}
+	base := filepath.Base(just)
+	var cands []cand
+	for _, e := range ents {
+		if !e.IsDir() || e.Name() == base ||
+			strings.HasSuffix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".old") {
+			continue
+		}
+		dir := filepath.Join(parent, e.Name())
+		b, rerr := fsys.ReadFile(filepath.Join(dir, manifestName))
+		if rerr != nil {
+			continue
+		}
+		if _, _, _, reason := parseManifest(b); reason != "" {
+			continue
+		}
+		c := cand{path: dir, name: e.Name()}
+		if info, ierr := e.Info(); ierr == nil {
+			c.mod = info.ModTime()
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].mod.Equal(cands[j].mod) {
+			return cands[i].mod.After(cands[j].mod)
+		}
+		return cands[i].name > cands[j].name
+	})
+	// The just-committed checkpoint occupies one of the keep slots.
+	var first error
+	for i := keep - 1; i >= 0 && i < len(cands); i++ {
+		if rerr := fsys.RemoveAll(cands[i].path); rerr != nil && first == nil {
+			first = rerr
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return fsys.SyncDir(parent)
+}

@@ -44,6 +44,12 @@ import (
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("rmw: store closed")
 
+// DisableFlushReattach, when set, restores the historical behaviour of
+// dropping the unwritten remainder of a detached batch when a flush
+// fails. It exists only so the error-injection battery can demonstrate
+// that the re-attach is load-bearing; production code must never set it.
+var DisableFlushReattach bool
+
 // Options configures an RMW store instance.
 type Options struct {
 	// Dir is the directory holding the instance's log files.
@@ -103,6 +109,10 @@ type Store struct {
 	ioMu sync.Mutex
 	log  *logfile.Log
 	gen  int
+
+	// syncMu admits one split sync at a time; held around (not under)
+	// ioMu, so the fsync runs with ioMu released.
+	syncMu sync.Mutex
 
 	compactions metrics.Counter
 	puts        metrics.Counter
@@ -229,6 +239,65 @@ func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 
 	// Slow path: wait for any in-flight flush, then read from the log.
 	s.ioMu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.ioMu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if v, ok := s.buf[ident]; ok {
+		s.bufBytes -= int64(len(v))
+		delete(s.buf, ident)
+		s.mu.Unlock()
+		s.ioMu.Unlock()
+		s.gets.Inc()
+		return v, true, nil
+	}
+	sp, ok := s.index[ident]
+	s.mu.Unlock()
+	if !ok {
+		s.ioMu.Unlock()
+		return nil, false, nil
+	}
+	lg := s.log
+	var payload []byte
+	var err error
+	healthy := lg.Poisoned() == nil
+	if healthy {
+		healthy = lg.Flush() == nil
+	}
+	if healthy {
+		// The span's bytes are on the fd now; drop ioMu before the pread
+		// so point reads overlap fsyncs and flushes from other workers.
+		s.ioMu.Unlock()
+		payload, err = lg.ReadRecordAtRaw(sp.off, sp.n)
+		if err != nil {
+			// A compaction (or recovery reopen) may have swapped the
+			// generation and closed lg's fd while we read without the
+			// lock; retry against current state under ioMu.
+			return s.reread(ident)
+		}
+	} else {
+		// Degraded: the stitched durable-prefix+tail read walks the
+		// log's mutable state, so it stays under ioMu.
+		payload, err = lg.ReadRecordAt(sp.off, sp.n)
+		s.ioMu.Unlock()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	_, _, v, err := decodeEntry(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	s.finishGet(ident, sp)
+	return v, true, nil
+}
+
+// reread retries a point read that raced with a generation swap: under
+// ioMu the index span is authoritative for the current log.
+func (s *Store) reread(ident id) ([]byte, bool, error) {
+	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
@@ -255,16 +324,21 @@ func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	s.finishGet(ident, sp)
+	return v, true, nil
+}
+
+// finishGet retires a consumed index entry, tolerating a concurrent Put
+// that already retired it (and accounted its dead bytes) while the
+// record was being read.
+func (s *Store) finishGet(ident id, sp span) {
 	s.mu.Lock()
-	// A concurrent Put may have retired the entry (and accounted its dead
-	// bytes) while the record was being read; only account it once.
 	if cur, still := s.index[ident]; still && cur == sp {
 		delete(s.index, ident)
 		s.dead += int64(sp.n)
 	}
 	s.mu.Unlock()
 	s.gets.Inc()
-	return v, true, nil
 }
 
 func encodeEntry(dst []byte, ident id, agg []byte) []byte {
@@ -329,11 +403,24 @@ func (s *Store) flushLocked() error {
 	s.mu.Lock()
 	s.flushing = nil
 	for _, wr := range written {
+		delete(batch, wr.ident)
 		if _, newer := s.buf[wr.ident]; newer {
 			s.dead += int64(wr.sp.n)
 			continue
 		}
 		s.index[wr.ident] = wr.sp
+	}
+	if werr != nil && !DisableFlushReattach {
+		// Flush failure is atomic: aggregates the log did not accept go
+		// back into the live buffer (unless a newer value superseded
+		// them while the batch was in flight), so no acked Put is lost.
+		for ident, v := range batch {
+			if _, newer := s.buf[ident]; newer {
+				continue
+			}
+			s.buf[ident] = v
+			s.bufBytes += int64(len(v))
+		}
 	}
 	s.mu.Unlock()
 	return werr
@@ -385,18 +472,30 @@ func (s *Store) compactLocked() error {
 	s.mu.Unlock()
 
 	oldLog := s.log
+	oldGen := s.gen
 	if err := s.openGen(s.gen + 1); err != nil {
 		s.log = oldLog
+		s.gen = oldGen
 		return err
+	}
+	abort := func() {
+		// Revert to the old generation: the index still points into it,
+		// so serving reads from the half-built new log would be wrong.
+		bad := s.log
+		s.log = oldLog
+		s.gen = oldGen
+		bad.Remove() // best effort; the fault may also block the unlink
 	}
 	newIndex := make(map[id]span, len(snap))
 	for ident, sp := range snap {
 		payload, err := oldLog.ReadRecordAt(sp.off, sp.n)
 		if err != nil {
+			abort()
 			return err
 		}
 		off, n, err := s.log.Append(payload)
 		if err != nil {
+			abort()
 			return err
 		}
 		newIndex[ident] = span{off: off, n: n}
@@ -429,14 +528,58 @@ func (s *Store) Flush() error {
 }
 
 // Sync flushes all buffered data and fsyncs the log, making every
-// acknowledged Put durable.
+// acknowledged Put durable. The fsync itself runs outside ioMu (split
+// BeginSync/FinishSync), so concurrent point reads and later flushes
+// overlap it instead of queueing for its whole duration; syncMu keeps
+// at most one fsync in flight, as the split protocol requires.
 func (s *Store) Sync() error {
-	s.ioMu.Lock()
-	defer s.ioMu.Unlock()
-	if err := s.flushLocked(); err != nil {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	for {
+		s.ioMu.Lock()
+		if err := s.flushLocked(); err != nil {
+			s.ioMu.Unlock()
+			return err
+		}
+		lg := s.log
+		tok, commit, err := lg.BeginSync()
+		if err != nil {
+			s.ioMu.Unlock()
+			return err
+		}
+		s.ioMu.Unlock()
+		serr := commit()
+		s.ioMu.Lock()
+		err = lg.FinishSync(tok, serr)
+		swapped := s.log != lg
+		s.ioMu.Unlock()
+		// A compaction or recovery that swapped the log mid-fsync makes
+		// the outcome meaningless for the current generation; redo the
+		// sync against current state. Swaps are rare, so this converges.
+		if swapped || errors.Is(err, logfile.ErrSyncSuperseded) {
+			continue
+		}
 		return err
 	}
-	return s.log.Sync()
+}
+
+// Recover reopens a poisoned log from its durable offset, rewriting the
+// retained unsynced tail, so the write path works again after the
+// underlying fault has cleared.
+// Poisoned returns the log's poisoning error, or nil when it is healthy.
+func (s *Store) Poisoned() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.log.Poisoned()
+}
+
+func (s *Store) Recover() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if s.log.Poisoned() == nil {
+		return nil
+	}
+	return s.log.ReopenAtDurable()
 }
 
 // Compactions returns the number of compactions performed.

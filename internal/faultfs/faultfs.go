@@ -8,9 +8,16 @@
 // real power loss.
 //
 // Only mutating operations (creates, writes, syncs, renames, removes,
-// truncates, mkdirs) are counted and failable; reads always pass through,
-// matching the failure model of a kernel that loses or tears writes but
-// serves back whatever bytes reached the disk.
+// truncates, mkdirs) are counted; reads pass through uncounted, matching
+// the failure model of a kernel that loses or tears writes but serves
+// back whatever bytes reached the disk. A rule may still target OpRead
+// explicitly to model transient read errors, without perturbing the
+// mutating-op counter that crash tests key off.
+//
+// A Rule's Class selects the failure persistence: ClassOnce fails a
+// single operation (the historical behaviour), ClassTransient fails a
+// bounded run of matching operations then heals, and ClassPersistent
+// keeps failing matching operations until the rule is cleared.
 package faultfs
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the default error returned by an Injector's target op.
@@ -28,6 +36,15 @@ var ErrInjected = errors.New("faultfs: injected fault")
 // ErrCrashed reports a mutating operation attempted after a simulated
 // crash froze the filesystem.
 var ErrCrashed = errors.New("faultfs: simulated crash (filesystem frozen)")
+
+// ErrDiskIO is an injectable I/O error that unwraps to syscall.EIO, so
+// production error classification (errors.Is(err, syscall.EIO)) sees the
+// same shape a real kernel failure has.
+var ErrDiskIO = fmt.Errorf("faultfs: injected I/O error: %w", syscall.EIO)
+
+// ErrNoSpace is an injectable out-of-space error that unwraps to
+// syscall.ENOSPC.
+var ErrNoSpace = fmt.Errorf("faultfs: injected no space left on device: %w", syscall.ENOSPC)
 
 // File is the subset of *os.File the storage layer uses.
 type File interface {
@@ -158,6 +175,11 @@ const (
 	OpRemove
 	// OpMkdir matches FS.MkdirAll.
 	OpMkdir
+	// OpRead matches File.Read, File.ReadAt and FS.ReadFile. Read
+	// operations are never counted in the mutating-op counter (crash
+	// points stay deterministic) and only fail when a rule targets
+	// OpRead explicitly.
+	OpRead
 )
 
 // String returns the op name.
@@ -179,15 +201,53 @@ func (o Op) String() string {
 		return "remove"
 	case OpMkdir:
 		return "mkdir"
+	case OpRead:
+		return "read"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
 }
 
-// Rule selects exactly one mutating operation to fail. Two addressing
-// modes exist: AtOp picks by the injector's global mutating-op index
+// Class describes how a fault behaves after it first fires, modelling
+// the error classes real disks exhibit.
+type Class int
+
+const (
+	// ClassOnce fails exactly one operation — the historical injector
+	// behaviour, and the model for a single torn write or crash point.
+	ClassOnce Class = iota
+	// ClassTransient fails the triggering operation and subsequent
+	// matching operations until Times total failures have been served,
+	// then heals — the model for a controller hiccup that a bounded
+	// retry should ride out.
+	ClassTransient
+	// ClassPersistent fails the triggering operation and every matching
+	// operation after it until the rule is cleared — the model for a
+	// dead disk or a full filesystem.
+	ClassPersistent
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassOnce:
+		return "once"
+	case ClassTransient:
+		return "transient"
+	case ClassPersistent:
+		return "persistent"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Rule selects the operations to fail. Two addressing modes exist: AtOp
+// picks the trigger by the injector's global mutating-op index
 // (deterministic replay of "crash at operation N"); otherwise the rule
-// matches the Nth operation with the given kind and path substring.
+// triggers on the Nth operation with the given kind and path substring.
+// Class decides what happens after the trigger: a ClassOnce rule fails
+// only the trigger, while ClassTransient/ClassPersistent keep failing
+// matching operations after it.
 type Rule struct {
 	// AtOp, when positive, fires on the AtOp'th mutating operation
 	// counted since the injector was created (1-based), ignoring the
@@ -210,6 +270,12 @@ type Rule struct {
 	// Crash freezes the filesystem after the fault fires: every later
 	// mutating operation returns ErrCrashed until Reset.
 	Crash bool
+	// Class selects the failure persistence; the zero value is
+	// ClassOnce (fail exactly one operation).
+	Class Class
+	// Times bounds how many failures a ClassTransient rule serves
+	// before healing (0 means 1). Ignored for other classes.
+	Times int64
 }
 
 // Injector wraps an FS and fails one chosen mutating operation. The zero
@@ -222,9 +288,11 @@ type Injector struct {
 	mu      sync.Mutex
 	ops     int64
 	matched int64
+	hits    int64
 	rule    Rule
 	armed   bool
 	fired   bool
+	tripped bool
 	crashed bool
 }
 
@@ -241,7 +309,9 @@ func (i *Injector) SetRule(r Rule) {
 	i.rule = r
 	i.armed = true
 	i.fired = false
+	i.tripped = false
 	i.matched = 0
+	i.hits = 0
 }
 
 // Ops returns the number of mutating operations observed so far.
@@ -251,11 +321,19 @@ func (i *Injector) Ops() int64 {
 	return i.ops
 }
 
-// Fired reports whether the armed rule has fired.
+// Fired reports whether the armed rule has failed at least one
+// operation.
 func (i *Injector) Fired() bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.fired
+	return i.fired || i.hits > 0
+}
+
+// Hits returns how many operations the armed rule has failed so far.
+func (i *Injector) Hits() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits
 }
 
 // Crashed reports whether the filesystem is frozen by a simulated crash.
@@ -273,8 +351,10 @@ func (i *Injector) Reset() {
 	i.rule = Rule{}
 	i.armed = false
 	i.fired = false
+	i.tripped = false
 	i.crashed = false
 	i.matched = 0
+	i.hits = 0
 }
 
 // check records one mutating operation and decides its fate. A negative
@@ -287,25 +367,73 @@ func (i *Injector) check(op Op, path string) (torn int, err error) {
 		return -1, ErrCrashed
 	}
 	i.ops++
+	return i.decide(op, path)
+}
+
+// checkRead decides the fate of a read operation. Reads never touch the
+// mutating-op counter (so crash points stay deterministic across runs
+// with different read patterns) and only fail when the armed rule
+// targets OpRead explicitly; a crashed filesystem still serves reads,
+// matching a kernel that lost writes but returns the bytes it has.
+func (i *Injector) checkRead(path string) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.armed || i.rule.Op != OpRead {
+		return nil
+	}
+	_, err := i.decide(OpRead, path)
+	return err
+}
+
+// decide applies the armed rule to one operation. Callers hold i.mu.
+func (i *Injector) decide(op Op, path string) (torn int, err error) {
 	if !i.armed || i.fired {
 		return -1, nil
 	}
-	match := false
+	kindMatch := (i.rule.Op == OpAny || i.rule.Op == op) &&
+		(i.rule.PathContains == "" || strings.Contains(path, i.rule.PathContains))
+	triggered := false
 	if i.rule.AtOp > 0 {
-		match = i.ops == i.rule.AtOp
-	} else if (i.rule.Op == OpAny || i.rule.Op == op) &&
-		(i.rule.PathContains == "" || strings.Contains(path, i.rule.PathContains)) {
+		triggered = i.ops == i.rule.AtOp
+	} else if kindMatch {
 		i.matched++
 		nth := i.rule.Nth
 		if nth <= 0 {
 			nth = 1
 		}
-		match = i.matched == nth
+		triggered = i.matched == nth
 	}
-	if !match {
+	fail := false
+	switch i.rule.Class {
+	case ClassTransient:
+		if triggered {
+			i.tripped = true
+		}
+		if i.tripped && (triggered || kindMatch) {
+			fail = true
+			times := i.rule.Times
+			if times <= 0 {
+				times = 1
+			}
+			if i.hits+1 >= times {
+				i.fired = true // healed: no further failures
+			}
+		}
+	case ClassPersistent:
+		if triggered {
+			i.tripped = true
+		}
+		fail = i.tripped && (triggered || kindMatch)
+	default: // ClassOnce
+		if triggered {
+			fail = true
+			i.fired = true
+		}
+	}
+	if !fail {
 		return -1, nil
 	}
-	i.fired = true
+	i.hits++
 	if i.rule.Crash {
 		i.crashed = true
 	}
@@ -386,6 +514,9 @@ func (i *Injector) ReadDir(path string) ([]os.DirEntry, error) {
 }
 
 func (i *Injector) ReadFile(path string) ([]byte, error) {
+	if err := i.checkRead(path); err != nil {
+		return nil, err
+	}
 	return i.base.ReadFile(path)
 }
 
@@ -405,8 +536,20 @@ type injFile struct {
 	path string
 }
 
-func (f *injFile) Read(p []byte) (int, error)                { return f.f.Read(p) }
-func (f *injFile) ReadAt(p []byte, off int64) (int, error)   { return f.f.ReadAt(p, off) }
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.inj.checkRead(f.path); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.inj.checkRead(f.path); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
 func (f *injFile) Seek(off int64, whence int) (int64, error) { return f.f.Seek(off, whence) }
 func (f *injFile) Name() string                              { return f.path }
 func (f *injFile) Close() error                              { return f.f.Close() }

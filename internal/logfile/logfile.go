@@ -10,6 +10,7 @@ package logfile
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -29,10 +30,31 @@ import (
 // ErrClosed reports an operation on a closed log.
 var ErrClosed = errors.New("logfile: closed")
 
+// ErrPoisoned reports an operation on a log whose write path failed. A
+// failed fsync may have dropped dirty pages without telling us which
+// (the "fsyncgate" failure mode), so the log never retries fsync on the
+// same file descriptor: mutations are rejected until ReopenAtDurable
+// rebuilds the file from the last durable offset. Reads keep working,
+// served from the durable prefix plus the in-memory unsynced tail.
+var ErrPoisoned = errors.New("logfile: poisoned by earlier write failure")
+
+// MaxTailBytes caps the in-memory copy of unsynced appends a Log keeps
+// for rewrite-after-reopen. Beyond the cap the log stops retaining the
+// tail; a subsequent write failure then makes unsynced data
+// unrecoverable and ReopenAtDurable refuses, forcing the store to report
+// Failed instead of silently losing acked writes.
+var MaxTailBytes = 8 << 20
+
 // Log is a single append-only file of framed records. A Log performs no
 // locking: it is owned by whichever goroutine holds its store instance's
-// I/O lock, and the only method safe to call outside that ownership is
-// ReadRangeAtRaw (a positional read that touches no mutable state).
+// I/O lock, and the only methods safe to call outside that ownership are
+// ReadRangeAtRaw and ReadRecordAtRaw (positional reads that touch no
+// mutable state).
+//
+// A Log tracks its durable offset — the size covered by the last
+// successful Sync — and retains the framed bytes appended past it (the
+// tail, capped at MaxTailBytes). When a write or sync fails the log is
+// poisoned: see ErrPoisoned.
 type Log struct {
 	fs     faultfs.FS
 	path   string
@@ -41,6 +63,11 @@ type Log struct {
 	rw     *binio.RecordWriter
 	bd     *metrics.Breakdown
 	closed bool
+
+	durable int64  // offset covered by the last successful Sync
+	tail    []byte // framed bytes appended past durable, if tailOK
+	tailOK  bool
+	perr    error // first write-path error; non-nil means poisoned
 }
 
 // Create creates (or truncates) an append-only log at path. The breakdown
@@ -103,7 +130,10 @@ func recoverEnd(f faultfs.File) (int64, error) {
 
 func newLog(fsys faultfs.FS, path string, f faultfs.File, off int64, bd *metrics.Breakdown) *Log {
 	w := bufio.NewWriterSize(f, 256*1024)
-	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd}
+	// Bytes present at open are on disk already; treat them as the
+	// durable baseline a reopen may truncate back to.
+	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd,
+		durable: off, tailOK: true}
 }
 
 // Path returns the file path of the log.
@@ -113,17 +143,67 @@ func (l *Log) Path() string { return l.path }
 // last appended record, including any bytes still in the write buffer.
 func (l *Log) Size() int64 { return l.rw.Offset() }
 
+// DurableOffset returns the offset covered by the last successful Sync.
+// Records below it survive a reopen; records above it exist only in the
+// write path (buffer, page cache, and the retained tail).
+func (l *Log) DurableOffset() int64 { return l.durable }
+
+// Poisoned returns the first write-path error if the log is poisoned,
+// nil otherwise.
+func (l *Log) Poisoned() error { return l.perr }
+
+// poison records the first write-path failure. From here on mutations
+// are rejected (never fsync the same fd again after a failure) until
+// ReopenAtDurable.
+func (l *Log) poison(err error) {
+	if l.perr == nil {
+		l.perr = err
+	}
+}
+
+func (l *Log) poisonedErr() error {
+	return fmt.Errorf("%w (%v)", ErrPoisoned, l.perr)
+}
+
+// flush pushes buffered appends to the OS, poisoning the log on failure
+// (bufio errors are sticky: once a flush fails the buffer contents are
+// in an unknown partial state on disk).
+func (l *Log) flush() error {
+	if l.perr != nil {
+		return l.poisonedErr()
+	}
+	if err := l.w.Flush(); err != nil {
+		l.poison(err)
+		return err
+	}
+	return nil
+}
+
 // Append writes one framed record and returns its offset and on-disk
 // length (frame included).
 func (l *Log) Append(payload []byte) (off int64, n int, err error) {
 	if l.closed {
 		return 0, 0, ErrClosed
 	}
+	if l.perr != nil {
+		return 0, 0, l.poisonedErr()
+	}
 	off, n, err = l.rw.Write(payload)
-	if err == nil && l.bd != nil {
+	if err != nil {
+		l.poison(err)
+		return 0, 0, err
+	}
+	if l.tailOK {
+		l.tail = binio.AppendRecord(l.tail, payload)
+		if len(l.tail) > MaxTailBytes {
+			l.tail = nil
+			l.tailOK = false
+		}
+	}
+	if l.bd != nil {
 		l.bd.AddBytesWritten(int64(n))
 	}
-	return off, n, err
+	return off, n, nil
 }
 
 // Flush pushes buffered appends to the operating system.
@@ -131,17 +211,20 @@ func (l *Log) Flush() error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.w.Flush()
+	return l.flush()
 }
 
 // Sync flushes and fsyncs the log. SPEs typically disable per-write
 // durability (paper §8: persistency features are disabled and recovery
-// replays from the source), so stores call Sync only at checkpoints.
+// replays from the source), so stores call Sync only at checkpoints. A
+// failed sync poisons the log — the kernel may have dropped the dirty
+// pages it could not write, so retrying fsync on this fd would falsely
+// succeed; recovery goes through ReopenAtDurable instead.
 func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	if err := l.Flush(); err != nil {
+	if err := l.flush(); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -149,7 +232,195 @@ func (l *Log) Sync() error {
 	if l.bd != nil {
 		l.bd.Observe(metrics.OpIOWait, time.Since(start))
 	}
-	return err
+	if err != nil {
+		l.poison(err)
+		return err
+	}
+	l.durable = l.rw.Offset()
+	l.tail = l.tail[:0]
+	l.tailOK = true
+	return nil
+}
+
+// ErrSyncSuperseded reports that the file descriptor a split sync
+// targeted was replaced (the log was reopened) between BeginSync and
+// FinishSync: the fsync outcome says nothing about the current fd, and
+// the caller must redo the sync against current state.
+var ErrSyncSuperseded = errors.New("logfile: sync superseded by reopen")
+
+// SyncToken carries a split sync's target state from BeginSync to
+// FinishSync.
+type SyncToken struct {
+	f      faultfs.File
+	target int64
+}
+
+// BeginSync starts a split sync: it drains buffered appends to the fd
+// and returns a commit closure performing the fsync, plus a token for
+// FinishSync. The caller holds its I/O lock across BeginSync, releases
+// it while running commit — so point reads and flushes of later batches
+// overlap the fsync — then re-acquires it and passes the outcome to
+// FinishSync. commit touches no mutable Log state; the caller must keep
+// at most one split sync in flight per log.
+func (l *Log) BeginSync() (SyncToken, func() error, error) {
+	if l.closed {
+		return SyncToken{}, nil, ErrClosed
+	}
+	if err := l.flush(); err != nil {
+		return SyncToken{}, nil, err
+	}
+	f, bd := l.f, l.bd
+	tok := SyncToken{f: f, target: l.rw.Offset()}
+	return tok, func() error {
+		start := time.Now()
+		err := f.Sync()
+		if bd != nil {
+			bd.Observe(metrics.OpIOWait, time.Since(start))
+		}
+		return err
+	}, nil
+}
+
+// FinishSync completes a split sync under the caller's I/O lock, given
+// commit's outcome. On success it advances the durable offset to the
+// token's target and drops the covered tail prefix — appends that ran
+// during the fsync keep their tail bytes and stay pending for the next
+// sync. A failed fsync poisons the log exactly as Sync does, unless the
+// fd was already replaced (the failure belongs to a dead descriptor).
+func (l *Log) FinishSync(tok SyncToken, serr error) error {
+	if serr != nil {
+		if !l.closed && l.f == tok.f {
+			l.poison(serr)
+		}
+		return serr
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f != tok.f {
+		return ErrSyncSuperseded
+	}
+	if l.perr != nil {
+		return l.poisonedErr()
+	}
+	if tok.target > l.durable {
+		drop := tok.target - l.durable
+		switch {
+		case l.tailOK && drop >= int64(len(l.tail)):
+			l.tail = l.tail[:0]
+		case l.tailOK:
+			l.tail = append(l.tail[:0], l.tail[drop:]...)
+		case l.rw.Offset() <= tok.target:
+			// The tail had overflowed, but everything it failed to
+			// retain is now fsynced: retention can restart.
+			l.tail = l.tail[:0]
+			l.tailOK = true
+		}
+		l.durable = tok.target
+	}
+	return nil
+}
+
+// ReopenAtDurable recovers a poisoned log: it discards the suspect file
+// descriptor, truncates the file back to the durable offset, and
+// rewrites the retained tail so every previously returned record offset
+// stays valid. It is a no-op on a healthy log. If the tail was not
+// retained (MaxTailBytes exceeded) and unsynced records exist, it
+// refuses: those records are unrecoverable and the caller must report
+// the loss rather than mask it.
+func (l *Log) ReopenAtDurable() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.perr == nil {
+		return nil
+	}
+	if !l.tailOK && l.rw.Offset() > l.durable {
+		return fmt.Errorf("logfile: reopen %s: %d unsynced bytes exceed the retained tail: %w",
+			l.path, l.rw.Offset()-l.durable, l.perr)
+	}
+	l.f.Close() // fd is suspect; close errors carry no extra information
+	f, err := l.fs.OpenFile(l.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("logfile: reopen: %w", err)
+	}
+	if err := f.Truncate(l.durable); err != nil {
+		f.Close()
+		return fmt.Errorf("logfile: reopen truncate: %w", err)
+	}
+	if _, err := f.Seek(l.durable, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("logfile: reopen seek: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 256*1024)
+	if len(l.tail) > 0 {
+		if _, err := w.Write(l.tail); err != nil {
+			f.Close()
+			return fmt.Errorf("logfile: reopen rewrite tail: %w", err)
+		}
+	}
+	l.f = f
+	l.w = w
+	l.rw = binio.NewRecordWriter(w, l.durable+int64(len(l.tail)))
+	l.perr = nil
+	return nil
+}
+
+// readAt fills buf from offset off, flushing first on a healthy log. On
+// a poisoned log (or when the flush itself fails and poisons it) the
+// read is served from the durable file prefix stitched with the retained
+// in-memory tail, so degraded stores keep serving acked data.
+func (l *Log) readAt(buf []byte, off int64) error {
+	if l.perr == nil {
+		if err := l.flush(); err == nil {
+			start := time.Now()
+			if _, err := l.f.ReadAt(buf, off); err != nil {
+				return fmt.Errorf("logfile: read at %d: %w", off, err)
+			}
+			if l.bd != nil {
+				l.bd.Observe(metrics.OpIOWait, time.Since(start))
+			}
+			return nil
+		}
+		// The flush failed and poisoned the log; fall through to the
+		// stitched view rather than failing the read.
+	}
+	return l.preadStitched(buf, off)
+}
+
+// preadStitched serves [off, off+len(buf)) of a poisoned log: bytes
+// below the durable offset from the file, the rest from the retained
+// tail (the file's content past durable is suspect after a failed
+// flush/sync).
+func (l *Log) preadStitched(buf []byte, off int64) error {
+	end := off + int64(len(buf))
+	if off < l.durable {
+		fn := len(buf)
+		if end > l.durable {
+			fn = int(l.durable - off)
+		}
+		start := time.Now()
+		if _, err := l.f.ReadAt(buf[:fn], off); err != nil {
+			return fmt.Errorf("logfile: read at %d: %w", off, err)
+		}
+		if l.bd != nil {
+			l.bd.Observe(metrics.OpIOWait, time.Since(start))
+		}
+		buf = buf[fn:]
+		off += int64(fn)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	if !l.tailOK {
+		return fmt.Errorf("%w: unsynced range [%d,%d) not retained (%v)", ErrPoisoned, off, end, l.perr)
+	}
+	toff := off - l.durable
+	if toff < 0 || toff+int64(len(buf)) > int64(len(l.tail)) {
+		return fmt.Errorf("logfile: read at %d: %w", off, io.ErrUnexpectedEOF)
+	}
+	copy(buf, l.tail[toff:])
+	return nil
 }
 
 // ReadRecordAt reads the framed record at offset off, whose total on-disk
@@ -158,16 +429,11 @@ func (l *Log) ReadRecordAt(off int64, n int) ([]byte, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	if err := l.w.Flush(); err != nil {
+	buf := make([]byte, n)
+	if err := l.readAt(buf, off); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, n)
-	start := time.Now()
-	if _, err := l.f.ReadAt(buf, off); err != nil {
-		return nil, fmt.Errorf("logfile: read at %d: %w", off, err)
-	}
 	if l.bd != nil {
-		l.bd.Observe(metrics.OpIOWait, time.Since(start))
 		l.bd.AddBytesRead(int64(n))
 	}
 	payload, _, err := binio.ReadRecord(buf)
@@ -183,16 +449,11 @@ func (l *Log) ReadRangeAt(off int64, n int) ([]byte, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	if err := l.w.Flush(); err != nil {
+	buf := make([]byte, n)
+	if err := l.readAt(buf, off); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, n)
-	start := time.Now()
-	if _, err := l.f.ReadAt(buf, off); err != nil {
-		return nil, fmt.Errorf("logfile: read range at %d: %w", off, err)
-	}
 	if l.bd != nil {
-		l.bd.Observe(metrics.OpIOWait, time.Since(start))
 		l.bd.AddBytesRead(int64(n))
 	}
 	return buf, nil
@@ -217,18 +478,57 @@ func (l *Log) ReadRangeAtRaw(off int64, n int) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadRecordAtRaw reads the framed record at offset off (total on-disk
+// length n) without touching the write buffer or any mutable Log state.
+// Like ReadRangeAtRaw it is safe to call concurrently with other reads,
+// provided the record's bytes were flushed beforehand and no append,
+// flush, or close runs concurrently. The RMW store uses it to pread
+// outside its I/O lock so point reads overlap fsyncs.
+func (l *Log) ReadRecordAtRaw(off int64, n int) ([]byte, error) {
+	buf, err := l.ReadRangeAtRaw(off, n)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := binio.ReadRecord(buf)
+	if err != nil {
+		return nil, fmt.Errorf("logfile: record at %d: %w", off, err)
+	}
+	return payload, nil
+}
+
 // Scanner returns a sequential scanner over the log's records from offset
-// base. The log's buffered writes are flushed first.
+// base. The log's buffered writes are flushed first; on a poisoned log
+// the scan covers the durable prefix stitched with the retained tail.
 func (l *Log) Scanner(base int64) (*Scanner, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	if err := l.w.Flush(); err != nil {
-		return nil, err
+	if l.perr == nil && l.flush() == nil {
+		sr := io.NewSectionReader(l.f, base, l.Size()-base)
+		return &Scanner{
+			sc: binio.NewRecordScanner(bufio.NewReaderSize(sr, 256*1024), base),
+			bd: l.bd,
+		}, nil
 	}
-	sr := io.NewSectionReader(l.f, base, l.Size()-base)
+	// Poisoned (possibly by the flush just above): stitch durable file
+	// bytes with the retained tail.
+	if !l.tailOK && l.Size() > l.durable {
+		return nil, fmt.Errorf("%w: unsynced range [%d,%d) not retained (%v)",
+			ErrPoisoned, l.durable, l.Size(), l.perr)
+	}
+	var parts []io.Reader
+	if base < l.durable {
+		parts = append(parts, io.NewSectionReader(l.f, base, l.durable-base))
+	}
+	tstart := base - l.durable
+	if tstart < 0 {
+		tstart = 0
+	}
+	if tstart < int64(len(l.tail)) {
+		parts = append(parts, bytes.NewReader(l.tail[tstart:]))
+	}
 	return &Scanner{
-		sc: binio.NewRecordScanner(bufio.NewReaderSize(sr, 256*1024), base),
+		sc: binio.NewRecordScanner(bufio.NewReaderSize(io.MultiReader(parts...), 256*1024), base),
 		bd: l.bd,
 	}, nil
 }
@@ -241,10 +541,10 @@ func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
 	if l.closed || dst.closed {
 		return ErrClosed
 	}
-	if err := l.w.Flush(); err != nil {
+	if err := l.flush(); err != nil {
 		return err
 	}
-	if err := dst.w.Flush(); err != nil {
+	if err := dst.flush(); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -262,8 +562,14 @@ func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
 		l.bd.AddBytesWritten(n)
 	}
 	// The destination file position advanced by the kernel copy; keep the
-	// record writer's logical offset in step.
+	// record writer's logical offset in step. The transferred bytes are
+	// not captured in dst's tail, so dst stops retaining one until its
+	// next successful Sync re-establishes a durable baseline.
 	dst.rw = binio.NewRecordWriter(dst.w, dst.rw.Offset()+n)
+	if n > 0 {
+		dst.tail = nil
+		dst.tailOK = false
+	}
 	return nil
 }
 
@@ -276,6 +582,13 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
+	if l.perr != nil {
+		// The buffer contents are already suspect; flushing them into
+		// the file would only smear more unverifiable bytes after the
+		// durable offset.
+		l.f.Close()
+		return l.poisonedErr()
+	}
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return err

@@ -1,11 +1,14 @@
 package spe
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"flowkv/internal/core"
 	"flowkv/internal/metrics"
 	"flowkv/internal/statebackend"
 )
@@ -81,6 +84,11 @@ type RunResult struct {
 	Operators []OperatorStats
 	// FlowKV aggregates FlowKV store stats when that backend ran.
 	FlowKV FlowKVRunStats
+	// Halted reports that the run stopped early because a state backend
+	// entered the Failed health state: remaining tuples were drained
+	// unprocessed rather than written into a store that cannot honor
+	// acknowledgements. Err carries the triggering error.
+	Halted bool
 	// Err is the first worker error, if any.
 	Err error
 }
@@ -127,6 +135,23 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 			res.Err = err
 		}
 		errMu.Unlock()
+	}
+	// halted latches when a backend reaches the Failed health state; the
+	// pipeline then drains without processing so every worker exits
+	// cleanly (no channel stays blocked) instead of hammering a dead
+	// store with further operations.
+	var halted atomic.Bool
+	opFail := func(op statefulOperator, err error) {
+		fail(err)
+		if errors.Is(err, core.ErrFailed) {
+			halted.Store(true)
+			return
+		}
+		if op != nil {
+			if h, ok := statebackend.FlowKVHealth(op.Backend()); ok && h == core.Failed {
+				halted.Store(true)
+			}
+		}
 	}
 
 	// Build channels: one input channel per worker per stage.
@@ -231,6 +256,9 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 				defer wg.Done()
 				var lastWM int64 = -1 << 62
 				for msg := range rt.in[w] {
+					if halted.Load() {
+						continue // drain unprocessed; upstream never blocks
+					}
 					if msg.IsWatermark {
 						// The upstream forwarder already min-combined
 						// across its workers; just reject regressions
@@ -242,7 +270,7 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 						lastWM = wm
 						if op != nil {
 							if err := op.OnWatermark(wm, msg.WallNS); err != nil {
-								fail(err)
+								opFail(op, err)
 							}
 						}
 						fw.observe(w, wm, msg.WallNS)
@@ -250,15 +278,15 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 					}
 					if op != nil {
 						if err := op.OnTuple(msg.Tuple); err != nil {
-							fail(err)
+							opFail(op, err)
 						}
 					} else {
 						rt.stage.Map(msg.Tuple, emitTuple)
 					}
 				}
-				if op != nil {
+				if op != nil && !halted.Load() {
 					if err := op.Finish(time.Now().UnixNano()); err != nil {
-						fail(err)
+						opFail(op, err)
 					}
 				}
 			}(w, op)
@@ -273,6 +301,9 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 	var maxTS int64 = -1 << 62
 	sinceWM := 0
 	source(func(t Tuple) {
+		if halted.Load() {
+			return // backend failed: stop feeding the pipeline
+		}
 		if t.WallNS == 0 {
 			t.WallNS = time.Now().UnixNano()
 		}
@@ -301,6 +332,7 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.TuplesIn = tuplesIn
+	res.Halted = halted.Load()
 	res.Results = sinkCount
 	if res.Elapsed > 0 {
 		res.ThroughputTPS = float64(tuplesIn) / res.Elapsed.Seconds()

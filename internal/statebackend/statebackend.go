@@ -245,6 +245,16 @@ func FlowKVStats(b Backend) (core.Stats, bool) {
 	return fb.Stats(), true
 }
 
+// FlowKVHealth reports the FlowKV failure-handling state of b, with
+// ok=false for other backend kinds (which have no degraded mode).
+func FlowKVHealth(b Backend) (core.Health, bool) {
+	fb, ok := b.(*flowkvBackend)
+	if !ok {
+		return 0, false
+	}
+	return fb.store.Health(), true
+}
+
 // lsmBackend adapts the LSM tree with composite keys, list-merge appends
 // (lazy merging) and prefix scans for aligned window reads.
 type lsmBackend struct {

@@ -1,0 +1,40 @@
+package window
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWindowDecode exercises the window boundary codec with arbitrary
+// bytes. Every log entry in every store pattern embeds a window, so
+// Decode sees raw disk contents on recovery: it must never panic, a
+// successful decode must consume a positive number of bytes within the
+// input (scanning loops rely on progress), and decode∘encode must be
+// the identity — the encoding is canonical, and AUR's compaction
+// compares identity prefixes byte-wise.
+func FuzzWindowDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Window{Start: 0, End: 100}.AppendTo(nil))
+	f.Add(Window{Start: -1 << 62, End: 1<<62 - 1}.AppendTo(nil))
+	f.Add(Window{Start: 1234567890, End: 1234567890}.AppendTo(nil))
+	full := Window{Start: 42, End: 43}.AppendTo(nil)
+	f.Add(full[:1])
+	f.Add(append(full, 0xff))
+	// Varint with a continuation bit on every byte: must be rejected.
+	f.Add(bytes.Repeat([]byte{0x80}, 20))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		w, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(b))
+		}
+		re := w.AppendTo(nil)
+		w2, n2, err2 := Decode(re)
+		if err2 != nil || n2 != len(re) || w2 != w {
+			t.Fatalf("round trip: %v -> %v, n=%d/%d, err=%v", w, w2, n2, len(re), err2)
+		}
+	})
+}
