@@ -9,9 +9,12 @@
 //	flowbench -ablations             # design-choice ablations
 //	flowbench -events 300000 -fig 8  # bigger dataset
 //	flowbench -quick -all            # fast smoke run
+//	flowbench -query Q7 -backend flowkv -json -   # one run, JSON report
+//	flowbench -recovery              # crash-restart recovery demo
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +22,15 @@ import (
 	"strings"
 
 	"flowkv/internal/harness"
+	"flowkv/internal/statebackend"
 )
+
+// report is the -json output: single-query runs (with per-backend health
+// and error counters) and recovery-demo outcomes.
+type report struct {
+	Runs     []harness.RunOutcome      `json:"runs,omitempty"`
+	Recovery []harness.RecoveryOutcome `json:"recovery,omitempty"`
+}
 
 func main() {
 	var (
@@ -30,6 +41,11 @@ func main() {
 		par       = flag.Int("parallelism", 2, "workers per stage")
 		dir       = flag.String("dir", "", "state directory (default: a temp dir)")
 		quick     = flag.Bool("quick", false, "small smoke-test scale")
+		query     = flag.String("query", "", "run one query (e.g. Q7) and report measurements and store health")
+		backend   = flag.String("backend", "flowkv", "backend for -query: flowkv, rocksdb, faster or inmem")
+		windowMs  = flag.Int64("window", 1000, "window size / session gap in ms for -query")
+		recovery  = flag.Bool("recovery", false, "run the crash-restart recovery demo (kill, resume, verify exactly-once)")
+		jsonPath  = flag.String("json", "", "write -query/-recovery outcomes as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -54,6 +70,33 @@ func main() {
 	}
 
 	ran := false
+	var rep report
+	var runErr error
+	if *query != "" {
+		ran = true
+		kind := statebackend.Kind(*backend)
+		if !validKind(kind) {
+			fatal(fmt.Errorf("unknown -backend %q (want one of %v)", *backend, statebackend.Kinds()))
+		}
+		opts := harness.ScaledStoreOptions()
+		opts.WindowMs = *windowMs
+		fmt.Printf("== %s over %s ==\n", *query, kind)
+		out := harness.RunQuery(sc, *query, kind, opts, nil)
+		printRun(out)
+		rep.Runs = append(rep.Runs, out)
+		if out.Failed {
+			runErr = fmt.Errorf("%s over %s failed: %s", out.Query, out.Backend, out.FailReason)
+		}
+	}
+	if *recovery {
+		ran = true
+		fmt.Println("== crash-restart recovery ==")
+		outs, err := harness.RecoveryDemo(sc, os.Stdout)
+		rep.Recovery = outs
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	if *ablations {
 		ran = true
 		if _, err := harness.Ablations(sc, os.Stdout); err != nil {
@@ -84,6 +127,63 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonPath != "" && (rep.Runs != nil || rep.Recovery != nil) {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func validKind(k statebackend.Kind) bool {
+	for _, want := range statebackend.Kinds() {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// printRun reports one run's measurements plus the per-worker store
+// health surface: health state, degraded-reason, and the write/read
+// error and recovery counters, and which backend halted a failed run.
+func printRun(out harness.RunOutcome) {
+	if out.Failed {
+		fmt.Printf("FAILED: %s\n", out.FailReason)
+		if out.Halt != nil {
+			fmt.Printf("halted at %s\n", out.Halt.Error())
+		}
+	} else {
+		fmt.Printf("throughput %.0f events/s  elapsed %v  p50 %v  p95 %v  results %d\n",
+			out.ThroughputTPS, out.Elapsed.Round(1e6), out.P50, out.P95, out.Results)
+	}
+	if len(out.Backends) == 0 {
+		return
+	}
+	fmt.Printf("%-10s %6s  %-8s %-9s %6s %6s %6s\n",
+		"stage", "worker", "backend", "health", "werr", "rerr", "heals")
+	for _, bs := range out.Backends {
+		fmt.Printf("%-10s %6d  %-8s %-9s %6d %6d %6d\n",
+			bs.Stage, bs.Worker, bs.Backend, bs.Health, bs.WriteErrors, bs.ReadErrors, bs.Recoveries)
+		if bs.HealthErr != "" {
+			fmt.Printf("  cause: %s\n", bs.HealthErr)
+		}
+	}
+}
+
+func writeJSON(path string, rep report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	flowkvctl rmw   <rmw-*.log file>   # decode an RMW log
 //	flowkvctl health <store-dir>       # offline log integrity scan
 //	flowkvctl checkpoints <parent-dir> # list and verify checkpoints
+//	flowkvctl job <job-dir>            # inspect a job's committed progress
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"flowkv/internal/binio"
 	"flowkv/internal/core"
 	"flowkv/internal/metrics"
+	"flowkv/internal/spe"
 	"flowkv/internal/window"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		err = cmdHealth(path)
 	case "checkpoints":
 		err = cmdCheckpoints(path)
+	case "job":
+		err = cmdJob(path)
 	default:
 		usage()
 	}
@@ -59,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints} <path>")
+	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job} <path>")
 	os.Exit(2)
 }
 
@@ -269,6 +273,73 @@ func cmdCheckpoints(parent string) error {
 	}
 	if invalid > 0 {
 		return fmt.Errorf("%d of %d checkpoints failed verification", invalid, len(infos))
+	}
+	return nil
+}
+
+// cmdJob inspects a job directory: the committed JOB record (generation,
+// source offset, committed ledger length), the generation directories on
+// disk, MANIFEST verification of every worker checkpoint in the
+// committed generation, and a committed-ledger summary. This is the
+// operator's pre-restart check: if it passes, Resume will succeed.
+func cmdJob(dir string) error {
+	meta, err := spe.ReadJobMeta(nil, dir)
+	if err != nil {
+		return err
+	}
+	state := "resumable"
+	if meta.Final {
+		state = "final (complete)"
+	}
+	fmt.Printf("job state:            %s\n", state)
+	fmt.Printf("committed generation: %d\n", meta.Gen)
+	fmt.Printf("source offset:        %d tuples\n", meta.Offset)
+	fmt.Printf("tuples in / max ts:   %d / %d\n", meta.TuplesIn, meta.MaxTS)
+	fmt.Printf("committed ledger:     %d bytes\n", meta.LedgerLen)
+
+	gens, err := spe.ListGenerations(nil, dir)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if g != meta.Gen {
+			fmt.Printf("generation %d on disk: uncommitted (removed on resume)\n", g)
+		}
+	}
+
+	genDir := filepath.Join(dir, fmt.Sprintf("gen-%06d", meta.Gen))
+	ents, err := os.ReadDir(genDir)
+	if err != nil {
+		return fmt.Errorf("committed generation unreadable: %w", err)
+	}
+	fmt.Println("worker checkpoints:")
+	var workers, invalid int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		workers++
+		pat, inst, err := core.VerifyCheckpointDir(nil, filepath.Join(genDir, e.Name()))
+		if err != nil {
+			invalid++
+			fmt.Printf("  %-10s INVALID: %v\n", e.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-10s %-7s x%d  verified\n", e.Name(), pat, inst)
+	}
+
+	recs, err := spe.ReadLedger(nil, dir)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Println("ledger: empty")
+	} else {
+		fmt.Printf("ledger: %d records, event time [%d, %d]\n",
+			len(recs), recs[0].TS, recs[len(recs)-1].TS)
+	}
+	if invalid > 0 {
+		return fmt.Errorf("%d of %d worker checkpoints failed verification", invalid, workers)
 	}
 	return nil
 }

@@ -132,6 +132,10 @@ type Store struct {
 	files map[window.Window]*logfile.Log
 	reads map[window.Window]*readState
 
+	// syncMu admits one split sync at a time; held around (not under)
+	// ioMu so the fsyncs run with ioMu released.
+	syncMu sync.Mutex
+
 	// Stats counted for the evaluation harness.
 	appends  metrics.Counter
 	flushes  metrics.Counter
@@ -573,19 +577,68 @@ func (s *Store) Flush() error {
 }
 
 // Sync flushes all buffered data and fsyncs every per-window log, making
-// every acknowledged Append durable.
+// every acknowledged Append durable. Each fsync runs outside ioMu (split
+// BeginSync/FinishSync), so window drains and later flushes overlap the
+// syncs instead of queueing behind them; syncMu keeps at most one split
+// sync in flight per log, as the protocol requires.
 func (s *Store) Sync() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	s.ioMu.Lock()
-	defer s.ioMu.Unlock()
 	if err := s.flushAllLocked(); err != nil {
+		s.ioMu.Unlock()
 		return err
 	}
-	for _, l := range s.files {
-		if err := l.Sync(); err != nil {
+	wins := make([]window.Window, 0, len(s.files))
+	for w := range s.files {
+		wins = append(wins, w)
+	}
+	s.ioMu.Unlock()
+	for _, w := range wins {
+		if err := s.syncWindowLog(w); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// syncWindowLog split-syncs one window's log. The window may be consumed
+// (dropped) at any point — before BeginSync, or while the fsync is in
+// flight — in which case there is nothing left to make durable and the
+// sync of that log trivially succeeds. A log swapped by Recover mid-fsync
+// invalidates the outcome and is redone against the new descriptor.
+func (s *Store) syncWindowLog(w window.Window) error {
+	for {
+		s.ioMu.Lock()
+		lg, ok := s.files[w]
+		if !ok {
+			s.ioMu.Unlock()
+			return nil
+		}
+		tok, commit, err := lg.BeginSync()
+		if err != nil {
+			s.ioMu.Unlock()
+			return err
+		}
+		s.ioMu.Unlock()
+		serr := commit()
+		s.ioMu.Lock()
+		if cur, ok := s.files[w]; !ok {
+			// Dropped mid-fsync: abandon the token (commit touches no
+			// mutable log state, so this is legal).
+			s.ioMu.Unlock()
+			return nil
+		} else if cur != lg {
+			s.ioMu.Unlock()
+			continue
+		}
+		err = lg.FinishSync(tok, serr)
+		s.ioMu.Unlock()
+		if errors.Is(err, logfile.ErrSyncSuperseded) {
+			continue
+		}
+		return err
+	}
 }
 
 // Recover reopens every poisoned per-window log from its durable offset,

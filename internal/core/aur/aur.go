@@ -180,6 +180,9 @@ type Store struct {
 	// ioMu serializes log I/O and the state only disk paths touch.
 	// Never acquired while holding mu.
 	ioMu sync.Mutex
+	// syncMu admits one split sync at a time; held around (not under)
+	// ioMu so the fsyncs run with ioMu released.
+	syncMu sync.Mutex
 	// consumed is keyed by the canonical (key, window) byte encoding —
 	// the same prefix every index entry starts with — so the index scan
 	// can test deadness without allocating an id per entry.
@@ -1149,17 +1152,54 @@ func (s *Store) Flush() error {
 }
 
 // Sync flushes all buffered data and fsyncs both logs, making every
-// acknowledged Append durable.
+// acknowledged Append durable. The fsyncs run outside ioMu (split
+// BeginSync/FinishSync), so concurrent appends, batch reads, and later
+// flushes overlap them instead of queueing for their whole duration;
+// syncMu keeps at most one split sync in flight, as the protocol
+// requires. The data log is synced before the index log, preserving the
+// original commit order.
 func (s *Store) Sync() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	s.ioMu.Lock()
-	defer s.ioMu.Unlock()
 	if err := s.flushLocked(); err != nil {
+		s.ioMu.Unlock()
 		return err
 	}
-	if err := s.dataLog.Sync(); err != nil {
+	s.ioMu.Unlock()
+	if err := s.syncLog(func() *logfile.Log { return s.dataLog }); err != nil {
 		return err
 	}
-	return s.indexLog.Sync()
+	return s.syncLog(func() *logfile.Log { return s.indexLog })
+}
+
+// syncLog split-syncs whichever log cur currently returns, redoing the
+// sync when a compaction or recovery swaps the log generation mid-fsync
+// (the outcome of an fsync on the old descriptor says nothing about the
+// data's new home; swaps copy all live state, so the retry converges).
+func (s *Store) syncLog(cur func() *logfile.Log) error {
+	for {
+		s.ioMu.Lock()
+		lg := cur()
+		tok, commit, err := lg.BeginSync()
+		if err != nil {
+			s.ioMu.Unlock()
+			return err
+		}
+		s.ioMu.Unlock()
+		serr := commit()
+		s.ioMu.Lock()
+		if cur() != lg {
+			s.ioMu.Unlock()
+			continue
+		}
+		err = lg.FinishSync(tok, serr)
+		s.ioMu.Unlock()
+		if errors.Is(err, logfile.ErrSyncSuperseded) {
+			continue
+		}
+		return err
+	}
 }
 
 // Recover reopens the data and index logs from their durable offsets if

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io/fs"
 	"path/filepath"
+
+	"flowkv/internal/faultfs"
 )
 
 // Checkpoint writes a consistent snapshot of the composite store into
@@ -28,6 +30,18 @@ import (
 // ".tmp"/".old" directories that the next Checkpoint clears. If any step
 // fails, the temporary directory is removed so no partial state lingers.
 func (s *Store) Checkpoint(dir string) error {
+	return s.CheckpointWithMeta(dir, nil)
+}
+
+// CheckpointWithMeta is Checkpoint carrying opaque application metadata:
+// meta is written to an APPMETA file inside the snapshot before the
+// MANIFEST is computed, so it is covered by the same size+CRC32C
+// verification as the store files and committed by the same atomic
+// rename. The SPE layer uses it to record source offsets, watermarks,
+// and operator state alongside the store cut, which is what makes a
+// checkpoint a resumable point rather than just a backup. A nil meta
+// writes no APPMETA (byte-compatible with pre-metadata checkpoints).
+func (s *Store) CheckpointWithMeta(dir string, meta []byte) error {
 	if err := s.guardWrite(); err != nil {
 		return err
 	}
@@ -43,7 +57,7 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("flowkv: checkpoint: %w", err)
 	}
-	if err := s.checkpointInto(tmp); err != nil {
+	if err := s.checkpointInto(tmp, meta); err != nil {
 		// Best-effort cleanup: after a simulated (or real) crash the
 		// removal itself can fail, which the next Checkpoint handles.
 		fsys.RemoveAll(tmp)
@@ -92,7 +106,7 @@ func (s *Store) Checkpoint(dir string) error {
 // while the snapshot is written. The cut is per-instance — the instant
 // each instance detaches its buffer — which is consistent per key because
 // one instance owns all of a key's state.
-func (s *Store) checkpointInto(tmp string) error {
+func (s *Store) checkpointInto(tmp string, meta []byte) error {
 	fsys := s.opts.FS
 	if err := s.eachInstance(func(i int) error {
 		var err error
@@ -114,7 +128,57 @@ func (s *Store) checkpointInto(tmp string) error {
 	}); err != nil {
 		return err
 	}
+	if meta != nil {
+		if err := writeAppMeta(fsys, tmp, meta); err != nil {
+			return err
+		}
+	}
 	return writeManifest(fsys, tmp, s.pattern, s.opts.Instances)
+}
+
+// appMetaName is the application-metadata file inside a checkpoint
+// directory. It is listed in the MANIFEST like any store file, so
+// tampering with it invalidates the whole checkpoint.
+const appMetaName = "APPMETA"
+
+// writeAppMeta durably writes the application metadata file into the
+// snapshot staging directory.
+func writeAppMeta(fsys faultfs.FS, dir string, meta []byte) error {
+	f, err := fsys.Create(filepath.Join(dir, appMetaName))
+	if err != nil {
+		return fmt.Errorf("flowkv: checkpoint: appmeta: %w", err)
+	}
+	if _, err := f.Write(meta); err != nil {
+		f.Close()
+		return fmt.Errorf("flowkv: checkpoint: appmeta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("flowkv: checkpoint: appmeta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: appmeta: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointMeta returns the application metadata stored in a
+// checkpoint directory by CheckpointWithMeta, or nil if the checkpoint
+// carries none. It does not verify the checkpoint — callers that need
+// integrity use RestoreWithMeta or VerifyCheckpointDir first. A nil fsys
+// uses the real filesystem.
+func ReadCheckpointMeta(fsys faultfs.FS, dir string) ([]byte, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	b, err := fsys.ReadFile(filepath.Join(dir, appMetaName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flowkv: read checkpoint meta: %w", err)
+	}
+	return b, nil
 }
 
 // Restore rebuilds a freshly-opened store from a checkpoint directory
@@ -127,28 +191,41 @@ func (s *Store) checkpointInto(tmp string) error {
 // with a CheckpointError (errors.Is ErrCheckpointInvalid) and the store
 // is left untouched, so the caller can fall back to an older checkpoint.
 func (s *Store) Restore(dir string) error {
+	_, err := s.RestoreWithMeta(dir)
+	return err
+}
+
+// RestoreWithMeta is Restore returning the application metadata the
+// checkpoint was taken with (nil for checkpoints written without any).
+// The metadata is read only after the manifest verification passes, so a
+// non-nil return is exactly the bytes given to CheckpointWithMeta.
+func (s *Store) RestoreWithMeta(dir string) ([]byte, error) {
 	if len(s.aars)+len(s.aurs)+len(s.rmws) != s.opts.Instances {
-		return fmt.Errorf("flowkv: restore: store not fully open")
+		return nil, fmt.Errorf("flowkv: restore: store not fully open")
 	}
 	if err := verifyCheckpoint(s.opts.FS, dir, s.pattern, s.opts.Instances); err != nil {
-		return err
+		return nil, err
+	}
+	meta, err := ReadCheckpointMeta(s.opts.FS, dir)
+	if err != nil {
+		return nil, err
 	}
 	for i, st := range s.aars {
 		if err := st.Restore(instDir(dir, i)); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for i, st := range s.aurs {
 		if err := st.Restore(instDir(dir, i)); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for i, st := range s.rmws {
 		if err := st.Restore(instDir(dir, i)); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return meta, nil
 }
 
 func instDir(dir string, i int) string {

@@ -661,8 +661,11 @@ func (s *Store) Flush() error {
 }
 
 // Sync flushes all instances and fsyncs their logs, making every
-// acknowledged write durable. Instances sync in parallel, overlapping
-// their fsync waits.
+// acknowledged write durable. The fan-out across instances runs in
+// parallel on the Options.Parallelism pool (eachInstance), and within
+// each instance the fsyncs use the split BeginSync/FinishSync protocol,
+// so drains and later flushes overlap checkpoint-time syncs instead of
+// queueing behind them.
 func (s *Store) Sync() error {
 	if err := s.guardWrite(); err != nil {
 		return err

@@ -50,6 +50,12 @@ func (h Health) String() string {
 	}
 }
 
+// MarshalJSON renders the health-state name, so JSON reports read
+// "healthy"/"degraded"/"failed" rather than opaque integers.
+func (h Health) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
 // ErrDegraded rejects writes while the store is in the Degraded state.
 // The wrapped message carries the original failure; call Recover to
 // attempt the transition back to Healthy.

@@ -119,6 +119,29 @@ type RunOutcome struct {
 	Breakdown *metrics.Breakdown
 	// FlowKV carries FlowKV-specific stats (hit ratio, compactions).
 	FlowKV spe.FlowKVRunStats
+	// Backends is the final per-worker store status: health state,
+	// degraded-reason, and error counters, as surfaced by the runner.
+	Backends []spe.BackendStatus
+	// WriteErrors, ReadErrors and Recoveries aggregate the per-backend
+	// fail-safe counters across all workers.
+	WriteErrors, ReadErrors, Recoveries int64
+	// Halt identifies which stage, worker and backend stopped a failed
+	// run, and with what error; nil when the run completed.
+	Halt *spe.Halt
+}
+
+// fillBackends copies the runner's health surface into the outcome.
+func (out *RunOutcome) fillBackends(res *spe.RunResult) {
+	if res == nil {
+		return
+	}
+	out.Backends = res.Backends
+	out.Halt = res.Halted
+	for _, bs := range res.Backends {
+		out.WriteErrors += bs.WriteErrors
+		out.ReadErrors += bs.ReadErrors
+		out.Recoveries += bs.Recoveries
+	}
 }
 
 var runSeq struct {
@@ -167,6 +190,7 @@ func RunQuery(sc Scale, queryName string, backend statebackend.Kind, opts Option
 		out.Failed, out.FailReason = true, err.Error()
 		if res != nil {
 			out.Elapsed = res.Elapsed
+			out.fillBackends(res)
 		}
 		return out
 	}
@@ -176,6 +200,7 @@ func RunQuery(sc Scale, queryName string, backend statebackend.Kind, opts Option
 	out.P50 = res.Latency.P50()
 	out.Results = res.Results
 	out.FlowKV = res.FlowKV
+	out.fillBackends(res)
 	return out
 }
 

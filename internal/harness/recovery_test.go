@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryDemo runs the crash-restart demo at test scale: every
+// pattern-covering query must survive a mid-stream kill and resume to a
+// ledger byte-identical to an uninterrupted run.
+func TestRecoveryDemo(t *testing.T) {
+	sc := quickScale(t)
+	var buf strings.Builder
+	outs, err := RecoveryDemo(sc, &buf)
+	if err != nil {
+		t.Fatalf("RecoveryDemo: %v\n%s", err, buf.String())
+	}
+	if len(outs) != len(RecoveryQueries()) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(RecoveryQueries()))
+	}
+	for _, out := range outs {
+		if out.Failed {
+			t.Errorf("%s: failed: %s", out.Query, out.FailReason)
+			continue
+		}
+		if !out.ExactlyOnce {
+			t.Errorf("%s: ledger not exactly-once", out.Query)
+		}
+		if out.Resumes == 0 {
+			t.Errorf("%s: job was never resumed", out.Query)
+		}
+		if out.Checkpoints == 0 {
+			t.Errorf("%s: no checkpoints committed", out.Query)
+		}
+		if out.Results == 0 {
+			t.Errorf("%s: empty ledger", out.Query)
+		}
+	}
+	if !strings.Contains(buf.String(), "exactly-once") {
+		t.Errorf("missing table header in output:\n%s", buf.String())
+	}
+}

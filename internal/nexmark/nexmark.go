@@ -286,6 +286,30 @@ func (g *Generator) Next() (Event, bool) {
 	}
 }
 
+// Offset returns the number of events generated so far — the position
+// SeekTo needs to reproduce the current read point.
+func (g *Generator) Offset() int64 { return int64(g.i) }
+
+// SeekTo repositions the generator so the next event produced is the
+// off'th of the configured stream. The generator is deterministic, so
+// seeking rewinds to the initial state and replays; the repositioned
+// stream is identical to the original in either direction — which is
+// what lets a resumed pipeline replay exactly the events that followed
+// its last committed checkpoint.
+func (g *Generator) SeekTo(off int64) error {
+	if off < 0 || off > int64(g.cfg.Events) {
+		return fmt.Errorf("nexmark: seek %d out of range [0,%d]", off, g.cfg.Events)
+	}
+	g.rng = rand.New(rand.NewSource(g.cfg.Seed))
+	g.i = 0
+	for int64(g.i) < off {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	return nil
+}
+
 // All drains the generator into a slice.
 func (g *Generator) All() []Event {
 	out := make([]Event, 0, g.Remaining())

@@ -1,0 +1,66 @@
+package queries
+
+import (
+	"fmt"
+
+	"flowkv/internal/nexmark"
+	"flowkv/internal/spe"
+)
+
+// ReplaySource adapts the deterministic NEXMark generator into the
+// seekable source contract jobs require (spe.SeekableSource): events are
+// pulled from the generator, run through the query's adapter, and handed
+// out one tuple at a time. The offset unit is the number of tuples
+// emitted — exact even when one event adapts to several tuples or none —
+// and seeking regenerates the stream from the start and discards the
+// prefix, which the generator's determinism makes byte-identical.
+type ReplaySource struct {
+	gen     *nexmark.Generator
+	adapt   func(ev nexmark.Event, emit func(spe.Tuple))
+	buf     []spe.Tuple
+	emitted int64
+}
+
+// ReplaySource returns a seekable source feeding this query from a fresh
+// generator with the given configuration.
+func (q *Query) ReplaySource(cfg nexmark.GeneratorConfig) *ReplaySource {
+	return &ReplaySource{gen: nexmark.NewGenerator(cfg), adapt: q.Adapt}
+}
+
+// Next implements spe.SeekableSource.
+func (s *ReplaySource) Next() (spe.Tuple, bool) {
+	for len(s.buf) == 0 {
+		ev, ok := s.gen.Next()
+		if !ok {
+			return spe.Tuple{}, false
+		}
+		s.adapt(ev, func(t spe.Tuple) { s.buf = append(s.buf, t) })
+	}
+	t := s.buf[0]
+	s.buf = s.buf[1:]
+	s.emitted++
+	return t, true
+}
+
+// Offset implements spe.SeekableSource: tuples emitted so far.
+func (s *ReplaySource) Offset() int64 { return s.emitted }
+
+// SeekTo implements spe.SeekableSource by replaying from the start.
+func (s *ReplaySource) SeekTo(off int64) error {
+	if off < 0 {
+		return fmt.Errorf("queries: seek %d out of range", off)
+	}
+	if err := s.gen.SeekTo(0); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.emitted = 0
+	for s.emitted < off {
+		if _, ok := s.Next(); !ok {
+			return fmt.Errorf("queries: seek %d beyond end of stream", off)
+		}
+	}
+	return nil
+}
+
+var _ spe.SeekableSource = (*ReplaySource)(nil)

@@ -1,0 +1,754 @@
+package spe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/core"
+	"flowkv/internal/faultfs"
+	"flowkv/internal/metrics"
+	"flowkv/internal/statebackend"
+)
+
+// Jobs: checkpointed pipeline runs with exactly-once resume.
+//
+// A Job executes a Pipeline like Run does, but periodically pauses the
+// stream at an aligned barrier and commits a resumable point: every
+// worker's backend is checkpointed (carrying that worker's operator
+// control state as application metadata), the sink results produced
+// since the previous barrier are appended to a durable ledger, and a
+// JOB file naming the new generation, the source offset, and the
+// committed ledger length is atomically renamed into place. The JOB
+// rename is the single commit point — a crash at any instant leaves
+// either the previous committed generation or the new one.
+//
+// Resume reverses the protocol: it reads the JOB file, discards any
+// uncommitted generation directories and ledger suffix, rebuilds every
+// worker's backend from the committed checkpoint (restoring operator
+// state from the checkpoint metadata), seeks the source back to the
+// committed offset, and replays. Replayed results land in the same
+// inter-barrier segments as an uninterrupted run, and each segment is
+// sorted canonically before it is appended, so the committed ledger of
+// a crashed-and-resumed job is byte-identical to an uninterrupted one:
+// exactly-once sink output without deduplicating individual results.
+//
+// Determinism requirements on the pipeline: a seekable, deterministic
+// source; no interval-join stages; no shared backends; and every
+// stateful backend must support checkpointing (statebackend.Checkpointer
+// — FlowKV). Worker interleaving across stages is absorbed by the
+// per-segment canonical sort.
+
+// Job file names inside Job.Dir.
+const (
+	jobMetaName = "JOB"      // committed progress record (atomic rename)
+	ledgerName  = "SINK.log" // CRC-framed committed sink results
+	genPrefix   = "gen-"     // checkpoint generation directories
+)
+
+// jobMetaMagic versions the JOB file encoding.
+const jobMetaMagic = "flowkv-job1\n"
+
+// ErrJobKilled reports a run aborted by the KillAfterTuples crash knob.
+var ErrJobKilled = errors.New("spe: job killed (simulated crash)")
+
+// Job configures a checkpointed pipeline run.
+type Job struct {
+	// Pipeline is the dataflow; stages must not use Join or
+	// ShareBackend, and every stateful backend must support
+	// checkpointing.
+	Pipeline *Pipeline
+	// Source is the replayable input stream.
+	Source SeekableSource
+	// Dir is the job directory: checkpoint generations, the JOB commit
+	// file, and the sink ledger live here.
+	Dir string
+	// FS is the filesystem seam for job files (fault injection);
+	// defaults to the real filesystem. Backend state goes through each
+	// backend's own FS option.
+	FS faultfs.FS
+	// CheckpointEvery is the number of source tuples between barrier
+	// checkpoints. Default 1000.
+	CheckpointEvery int
+	// KillAfterTuples, when positive, aborts the run after that many
+	// tuples have been fed this run — a simulated crash for the recovery
+	// battery: no commit happens after the kill, and the job must be
+	// resumed. 0 disables.
+	KillAfterTuples int64
+	// SelfHeal, when set, starts a core.SelfHealer on every FlowKV
+	// backend so Degraded stores recover in the background, and lets a
+	// barrier checkpoint wait for the heal and retry once instead of
+	// aborting the run.
+	SelfHeal *core.SelfHealOptions
+	// SelfHealWait bounds how long a barrier checkpoint waits for a
+	// degraded store to heal. Default 5s.
+	SelfHealWait time.Duration
+}
+
+// JobMeta is the committed progress record stored in the JOB file.
+type JobMeta struct {
+	// Gen is the committed checkpoint generation (its directory is
+	// gen-<Gen> under the job dir).
+	Gen int64
+	// Final marks the job complete: the source was exhausted and the
+	// post-Finish state committed.
+	Final bool
+	// Offset is the source position to Seek to on resume.
+	Offset int64
+	// TuplesIn, MaxTS and SinceWM restore the watermark cadence so
+	// replayed watermarks land between the same tuples.
+	TuplesIn int64
+	MaxTS    int64
+	SinceWM  int64
+	// LedgerLen is the committed sink ledger length in bytes; anything
+	// beyond it is an uncommitted suffix discarded on resume.
+	LedgerLen int64
+}
+
+// SinkRecord is one committed sink result.
+type SinkRecord struct {
+	// TS is the result's event timestamp.
+	TS int64
+	// Key and Value are the result tuple's payload.
+	Key, Value []byte
+}
+
+// JobResult extends RunResult with job progress.
+type JobResult struct {
+	*RunResult
+	// Gen is the last committed checkpoint generation.
+	Gen int64
+	// Checkpoints counts commits made during this run (including the
+	// final one).
+	Checkpoints int64
+	// Final reports the job ran to end of stream and committed its
+	// final state; Resume on a final job is a no-op.
+	Final bool
+	// Killed reports the run was aborted by KillAfterTuples.
+	Killed bool
+	// LedgerLen is the committed sink ledger length in bytes.
+	LedgerLen int64
+}
+
+func (j *Job) fs() faultfs.FS {
+	if j.FS != nil {
+		return j.FS
+	}
+	return faultfs.OS
+}
+
+func genDirName(gen int64) string { return fmt.Sprintf("%s%06d", genPrefix, gen) }
+
+func workerDirName(stage, worker int) string { return fmt.Sprintf("s%02d-w%02d", stage, worker) }
+
+// Run starts the job from a clean slate. It refuses to run over a job
+// directory that already has committed progress — use Resume there. Any
+// uncommitted debris from a previous attempt (partial generation
+// directories, an unreferenced ledger) is cleared first.
+func (j *Job) Run() (*JobResult, error) {
+	fsys := j.fs()
+	if _, err := fsys.ReadFile(filepath.Join(j.Dir, jobMetaName)); err == nil {
+		return nil, fmt.Errorf("spe: job dir %s has committed progress; use Resume", j.Dir)
+	}
+	if err := fsys.MkdirAll(j.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spe: job: %w", err)
+	}
+	return j.run(nil)
+}
+
+// Resume continues a job from its last committed checkpoint: newest
+// valid generation restored, source replayed from the committed offset,
+// uncommitted ledger suffix discarded. Resume is idempotent — a crash
+// during recovery leaves the committed state untouched, and Resume can
+// simply be called again.
+func (j *Job) Resume() (*JobResult, error) {
+	meta, err := ReadJobMeta(j.fs(), j.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return j.run(&meta)
+}
+
+// jobWorker is one stateful physical operator of a running job.
+type jobWorker struct {
+	stage, worker int
+	op            *WindowOperator
+	backend       statebackend.Backend
+	cp            statebackend.Checkpointer
+}
+
+// jobRun is the state of one job execution attempt.
+type jobRun struct {
+	j       *Job
+	fsys    faultfs.FS
+	r       *runtime
+	workers []jobWorker
+	segment []SinkRecord
+	lf      faultfs.File
+	ledger  int64 // committed + appended ledger bytes
+	gen     int64 // last committed generation
+}
+
+func (j *Job) run(meta *JobMeta) (*JobResult, error) {
+	fsys := j.fs()
+	every := j.CheckpointEvery
+	if every <= 0 {
+		every = 1000
+	}
+	if j.Source == nil {
+		return nil, fmt.Errorf("spe: job needs a seekable source")
+	}
+	for _, st := range j.Pipeline.Stages {
+		if st.Join != nil {
+			return nil, fmt.Errorf("spe: stage %s: jobs do not support join stages", st.Name)
+		}
+		if st.ShareBackend {
+			return nil, fmt.Errorf("spe: stage %s: jobs do not support shared backends", st.Name)
+		}
+	}
+	if meta != nil && meta.Final {
+		return &JobResult{
+			RunResult: &RunResult{Latency: metrics.NewHistogram()},
+			Gen:       meta.Gen, Final: true, LedgerLen: meta.LedgerLen,
+		}, nil
+	}
+
+	// Discard uncommitted debris: generation directories other than the
+	// committed one, and any ledger suffix past the committed length.
+	keepGen := int64(-1)
+	commitLen := int64(0)
+	if meta != nil {
+		keepGen, commitLen = meta.Gen, meta.LedgerLen
+	}
+	if err := clearGens(fsys, j.Dir, keepGen); err != nil {
+		return nil, err
+	}
+	lf, err := openLedger(fsys, j.Dir, commitLen)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the pipeline over fresh worker state: live directories may
+	// hold the torn remains of a crashed run, and checkpoint restore
+	// requires an empty store, so each backend is destroyed and
+	// reopened before use.
+	p := *j.Pipeline
+	p.Stages = append([]Stage(nil), j.Pipeline.Stages...)
+	for i := range p.Stages {
+		orig := p.Stages[i].NewBackend
+		if orig == nil {
+			continue
+		}
+		p.Stages[i].NewBackend = func(w int) (statebackend.Backend, error) {
+			b, err := orig(w)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Destroy(); err != nil {
+				return nil, fmt.Errorf("spe: job: clear stale worker state: %w", err)
+			}
+			return orig(w)
+		}
+	}
+
+	jr := &jobRun{j: j, fsys: fsys, lf: lf, ledger: commitLen}
+	sink := func(t Tuple) {
+		jr.segment = append(jr.segment, SinkRecord{
+			TS:    t.TS,
+			Key:   append([]byte(nil), t.Key...),
+			Value: append([]byte(nil), t.Value...),
+		})
+	}
+	r, err := newRuntime(&p, sink, true)
+	if err != nil {
+		lf.Close()
+		return nil, err
+	}
+	jr.r = r
+
+	fail := func(err error) (*JobResult, error) {
+		r.destroyBackends()
+		lf.Close()
+		return nil, err
+	}
+	for si, rt := range r.rts {
+		for wi, op := range rt.ops {
+			if op == nil {
+				continue
+			}
+			wo := op.(*WindowOperator)
+			cp, ok := statebackend.AsCheckpointer(wo.backend)
+			if !ok {
+				return fail(fmt.Errorf("spe: stage %s: backend %s does not support checkpointing", rt.stage.Name, wo.backend.Name()))
+			}
+			jr.workers = append(jr.workers, jobWorker{stage: si, worker: wi, op: wo, backend: wo.backend, cp: cp})
+		}
+	}
+
+	// Restore the committed cut (resume) or rewind the source (fresh).
+	if meta != nil {
+		genDir := filepath.Join(j.Dir, genDirName(meta.Gen))
+		for _, w := range jr.workers {
+			snap, err := w.cp.RestoreMeta(filepath.Join(genDir, workerDirName(w.stage, w.worker)))
+			if err != nil {
+				return fail(fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err))
+			}
+			if err := w.op.restoreState(snap); err != nil {
+				return fail(fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err))
+			}
+		}
+		if err := j.Source.SeekTo(meta.Offset); err != nil {
+			return fail(fmt.Errorf("spe: job resume: %w", err))
+		}
+		r.tuplesIn = meta.TuplesIn
+		r.maxTS = meta.MaxTS
+		r.sinceWM = int(meta.SinceWM)
+		jr.gen = meta.Gen
+	} else if err := j.Source.SeekTo(0); err != nil {
+		return fail(fmt.Errorf("spe: job: %w", err))
+	}
+
+	// Background self-healing, if configured.
+	var stops []func()
+	if j.SelfHeal != nil {
+		for _, w := range jr.workers {
+			if stop, ok := statebackend.StartSelfHeal(w.backend, *j.SelfHeal); ok {
+				stops = append(stops, stop)
+			}
+		}
+	}
+	stopHealers := func() {
+		for _, s := range stops {
+			s()
+		}
+		stops = nil
+	}
+
+	r.startWorkers()
+	var (
+		checkpoints int64
+		killed      bool
+		srcDone     bool
+		runErr      error
+		fedThisRun  int64
+	)
+loop:
+	for !srcDone {
+		for fed := 0; fed < every; fed++ {
+			if r.halted.Load() {
+				break loop
+			}
+			if j.KillAfterTuples > 0 && fedThisRun >= j.KillAfterTuples {
+				killed = true
+				break loop
+			}
+			t, ok := j.Source.Next()
+			if !ok {
+				srcDone = true
+				break
+			}
+			r.feed(t)
+			fedThisRun++
+		}
+		if srcDone || r.halted.Load() {
+			break
+		}
+		b := r.injectBarrier()
+		if r.halted.Load() {
+			// A worker failed while the barrier was aligning; committing
+			// now would checkpoint past a lost state update.
+			close(b.resume)
+			break
+		}
+		err := jr.commit(false)
+		close(b.resume)
+		if err != nil {
+			runErr = err
+			break
+		}
+		checkpoints++
+	}
+
+	final := false
+	if killed || runErr != nil || r.halted.Load() {
+		// Abort without committing: drain unprocessed (no Finish).
+		r.halted.Store(true)
+		r.drain()
+	} else {
+		// Graceful end of stream: Finish fires the remaining windows,
+		// then the post-Finish state commits as the final generation.
+		r.drain()
+		if r.res.Halted == nil {
+			if err := jr.commit(true); err != nil {
+				runErr = err
+			} else {
+				checkpoints++
+				final = true
+			}
+		}
+	}
+	stopHealers()
+	res := r.collect(false)
+	lf.Close()
+
+	out := &JobResult{
+		RunResult:   res,
+		Gen:         jr.gen,
+		Checkpoints: checkpoints,
+		Final:       final,
+		Killed:      killed,
+		LedgerLen:   jr.ledger,
+	}
+	switch {
+	case killed:
+		return out, ErrJobKilled
+	case runErr != nil:
+		return out, runErr
+	default:
+		return out, res.Err
+	}
+}
+
+// commit writes one checkpoint generation and moves the commit point:
+// worker checkpoints (with operator snapshots as metadata) into a fresh
+// generation directory, the sorted sink segment appended to the ledger,
+// then the JOB file renamed into place. Superseded generations are
+// garbage-collected after the commit.
+func (jr *jobRun) commit(final bool) error {
+	j := jr.j
+	gen := jr.gen + 1
+	genDir := filepath.Join(j.Dir, genDirName(gen))
+	if err := jr.fsys.RemoveAll(genDir); err != nil {
+		return fmt.Errorf("spe: job checkpoint: clear gen dir: %w", err)
+	}
+	for _, w := range jr.workers {
+		dir := filepath.Join(genDir, workerDirName(w.stage, w.worker))
+		if err := jr.checkpointWorker(w, dir); err != nil {
+			return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+		}
+	}
+	if err := jr.appendSegment(); err != nil {
+		return err
+	}
+	m := JobMeta{
+		Gen:      gen,
+		Final:    final,
+		Offset:   j.Source.Offset(),
+		TuplesIn: jr.r.tuplesIn,
+		MaxTS:    jr.r.maxTS,
+		SinceWM:  int64(jr.r.sinceWM),
+		LedgerLen: jr.ledger,
+	}
+	if err := writeJobMeta(jr.fsys, j.Dir, m); err != nil {
+		return err
+	}
+	jr.gen = gen
+	// GC failures do not invalidate the commit; stale generations are
+	// re-cleared on the next run.
+	clearGens(jr.fsys, j.Dir, gen)
+	return nil
+}
+
+// checkpointWorker snapshots one worker. If the checkpoint fails while a
+// self-healer is running, wait for the store to come back Healthy and
+// retry, bounded by SelfHealWait: a flush failure during the checkpoint
+// poisons the live logs, Recover rewrites the buffered tail at the
+// durable offset, and the retried checkpoint captures the full state —
+// the run survives transient faults (even ones spanning several retries)
+// without restarting. A store that reaches Failed, or a failure that
+// persists with the store Healthy (confined to the snapshot directory),
+// aborts the attempt; the run ends uncommitted and stays resumable.
+func (jr *jobRun) checkpointWorker(w jobWorker, dir string) error {
+	snap := w.op.snapshotState()
+	err := w.cp.CheckpointMeta(dir, snap)
+	if err == nil || jr.j.SelfHeal == nil {
+		return err
+	}
+	wait := jr.j.SelfHealWait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	wasDegraded := false
+	for time.Now().Before(deadline) {
+		h, ok := statebackend.FlowKVHealth(w.backend)
+		if !ok || h == core.Failed {
+			return err
+		}
+		if h != core.Healthy {
+			wasDegraded = true
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err = w.cp.CheckpointMeta(dir, snap); err == nil {
+			return nil
+		}
+		if !wasDegraded {
+			// The store never left Healthy, so the failure is confined
+			// to the snapshot directory; healing cannot fix it.
+			return err
+		}
+		wasDegraded = false
+	}
+	return err
+}
+
+// appendSegment sorts the inter-barrier sink segment canonically by
+// (TS, Key, Value) and appends it to the ledger. The sort is what makes
+// ledger bytes independent of worker interleaving: the segment's record
+// set is deterministic (barriers land at fixed source positions and
+// triggers fire at fixed watermarks), only its arrival order is not.
+func (jr *jobRun) appendSegment() error {
+	seg := jr.segment
+	jr.segment = jr.segment[:0]
+	sort.Slice(seg, func(i, k int) bool {
+		if seg[i].TS != seg[k].TS {
+			return seg[i].TS < seg[k].TS
+		}
+		if c := bytes.Compare(seg[i].Key, seg[k].Key); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(seg[i].Value, seg[k].Value) < 0
+	})
+	var buf []byte
+	for _, rec := range seg {
+		p := binio.PutVarint(nil, rec.TS)
+		p = binio.PutBytes(p, rec.Key)
+		p = binio.PutBytes(p, rec.Value)
+		buf = binio.AppendRecord(buf, p)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := jr.lf.Write(buf); err != nil {
+		return fmt.Errorf("spe: job ledger: %w", err)
+	}
+	if err := jr.lf.Sync(); err != nil {
+		return fmt.Errorf("spe: job ledger: %w", err)
+	}
+	jr.ledger += int64(len(buf))
+	return nil
+}
+
+// clearGens removes every generation directory except keep (-1 removes
+// all).
+func clearGens(fsys faultfs.FS, dir string, keep int64) error {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("spe: job: scan generations: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, genPrefix) {
+			continue
+		}
+		if keep >= 0 && name == genDirName(keep) {
+			continue
+		}
+		if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("spe: job: clear stale generation: %w", err)
+		}
+	}
+	return nil
+}
+
+// openLedger truncates the ledger to the committed length (discarding
+// any uncommitted suffix) and returns a handle positioned for appends.
+func openLedger(fsys faultfs.FS, dir string, commitLen int64) (faultfs.File, error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, ledgerName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spe: job ledger: %w", err)
+	}
+	if err := f.Truncate(commitLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spe: job ledger: truncate to committed length: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spe: job ledger: %w", err)
+	}
+	if _, err := f.Seek(commitLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spe: job ledger: %w", err)
+	}
+	return f, nil
+}
+
+func encodeJobMeta(m JobMeta) []byte {
+	p := []byte(jobMetaMagic)
+	p = binio.PutVarint(p, m.Gen)
+	var fin int64
+	if m.Final {
+		fin = 1
+	}
+	p = binio.PutVarint(p, fin)
+	p = binio.PutVarint(p, m.Offset)
+	p = binio.PutVarint(p, m.TuplesIn)
+	p = binio.PutVarint(p, m.MaxTS)
+	p = binio.PutVarint(p, m.SinceWM)
+	p = binio.PutVarint(p, m.LedgerLen)
+	return binio.AppendRecord(nil, p)
+}
+
+func decodeJobMeta(b []byte) (JobMeta, error) {
+	payload, _, err := binio.ReadRecord(b)
+	if err != nil {
+		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", err)
+	}
+	if len(payload) < len(jobMetaMagic) || string(payload[:len(jobMetaMagic)]) != jobMetaMagic {
+		return JobMeta{}, fmt.Errorf("spe: not a JOB file (bad magic)")
+	}
+	d := snapDecoder{b: payload[len(jobMetaMagic):]}
+	var m JobMeta
+	m.Gen = d.varint()
+	m.Final = d.varint() != 0
+	m.Offset = d.varint()
+	m.TuplesIn = d.varint()
+	m.MaxTS = d.varint()
+	m.SinceWM = d.varint()
+	m.LedgerLen = d.varint()
+	if d.err != nil {
+		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", d.err)
+	}
+	return m, nil
+}
+
+// writeJobMeta durably replaces the JOB file: write + fsync a temporary,
+// atomic rename, fsync the directory. The rename is the job's commit
+// point.
+func writeJobMeta(fsys faultfs.FS, dir string, m JobMeta) error {
+	path := filepath.Join(dir, jobMetaName)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	if _, err := f.Write(encodeJobMeta(m)); err != nil {
+		f.Close()
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("spe: job commit: %w", err)
+	}
+	return nil
+}
+
+// ReadJobMeta reads the committed progress record of a job directory.
+// A nil fsys uses the real filesystem.
+func ReadJobMeta(fsys faultfs.FS, dir string) (JobMeta, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	b, err := fsys.ReadFile(filepath.Join(dir, jobMetaName))
+	if err != nil {
+		return JobMeta{}, fmt.Errorf("spe: read job meta: %w", err)
+	}
+	return decodeJobMeta(b)
+}
+
+// ReadLedger returns the committed sink results of a job directory,
+// stopping cleanly at a torn tail (uncommitted suffix after a crash).
+// A nil fsys uses the real filesystem.
+func ReadLedger(fsys faultfs.FS, dir string) ([]SinkRecord, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	f, err := fsys.Open(filepath.Join(dir, ledgerName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spe: read ledger: %w", err)
+	}
+	defer f.Close()
+	sc := binio.NewRecordScanner(f, 0)
+	var out []SinkRecord
+	for sc.Scan() {
+		d := snapDecoder{b: sc.Record()}
+		ts := d.varint()
+		key := d.bytes()
+		val := d.bytes()
+		if d.err != nil {
+			return nil, fmt.Errorf("spe: corrupt ledger record: %w", d.err)
+		}
+		out = append(out, SinkRecord{TS: ts, Key: key, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spe: read ledger: %w", err)
+	}
+	return out, nil
+}
+
+// ReadLedgerBytes returns the raw committed sink ledger of a job
+// directory, truncated to the length recorded in the JOB file — the byte
+// string that is identical between a crashed-and-resumed job and an
+// uninterrupted one. A missing ledger reads as empty. A nil fsys uses
+// the real filesystem.
+func ReadLedgerBytes(fsys faultfs.FS, dir string) ([]byte, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	b, err := fsys.ReadFile(filepath.Join(dir, ledgerName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spe: read ledger: %w", err)
+	}
+	if meta, err := ReadJobMeta(fsys, dir); err == nil && meta.LedgerLen < int64(len(b)) {
+		b = b[:meta.LedgerLen]
+	}
+	return b, nil
+}
+
+// ListGenerations returns the checkpoint generation numbers present in a
+// job directory, ascending. At most the committed generation and one
+// uncommitted in-flight generation exist at any instant; stale ones are
+// removed on resume. A nil fsys uses the real filesystem.
+func ListGenerations(fsys faultfs.FS, dir string) ([]int64, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	ents, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spe: job: scan generations: %w", err)
+	}
+	var gens []int64
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, genPrefix) {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(name, genPrefix), "%d", &n); err != nil {
+			continue
+		}
+		gens = append(gens, n)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}

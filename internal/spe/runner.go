@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -62,11 +63,87 @@ type Pipeline struct {
 	// WatermarkEvery emits a source watermark after this many tuples.
 	// Default 200.
 	WatermarkEvery int
+	// StatsEvery, when positive, delivers a StatsReport to OnStats after
+	// every StatsEvery source tuples — the runner's periodic health and
+	// error surface (store health, write/read error counters).
+	StatsEvery int
+	// OnStats receives the periodic reports. It is called synchronously
+	// from the source-driving goroutine, so it must be fast.
+	OnStats func(StatsReport)
 }
 
 // Source produces the input stream by calling emit for each tuple, in
 // non-decreasing timestamp order (the NEXMark generator's property).
 type Source func(emit func(Tuple))
+
+// Halt identifies the failure that stopped a run early: which stage and
+// worker hit it, which backend was involved, and the error itself —
+// enough to aim recovery (or a bug report) at the right store instead of
+// a bare boolean.
+type Halt struct {
+	// Stage is the name of the stage whose operator failed.
+	Stage string
+	// Worker is the worker index within the stage (-1 if the failure was
+	// not tied to a single worker).
+	Worker int
+	// Backend is the failing backend's Name(); empty when the failure
+	// did not involve a state backend.
+	Backend string
+	// Err is the error that latched the halt.
+	Err error
+}
+
+// Error renders the halt for logs.
+func (h *Halt) Error() string {
+	if h == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("stage %s worker %d (backend %s): %v", h.Stage, h.Worker, h.Backend, h.Err)
+}
+
+// MarshalJSON flattens the halt's error to a string so failed runs stay
+// readable in JSON reports (error values marshal to "{}" otherwise).
+func (h *Halt) MarshalJSON() ([]byte, error) {
+	errStr := ""
+	if h.Err != nil {
+		errStr = h.Err.Error()
+	}
+	return json.Marshal(struct {
+		Stage   string
+		Worker  int
+		Backend string
+		Err     string
+	}{h.Stage, h.Worker, h.Backend, errStr})
+}
+
+// BackendStatus is one backend's health snapshot inside a StatsReport.
+type BackendStatus struct {
+	// Stage and Worker locate the physical operator (-1 for a backend
+	// shared by a whole stage).
+	Stage  string
+	Worker int
+	// Backend is the backend's Name().
+	Backend string
+	// Health is the FlowKV failure-handling state; non-FlowKV backends
+	// (which have no degraded mode) always report Healthy.
+	Health core.Health
+	// HealthErr is the error that moved the store out of Healthy ("" if
+	// none).
+	HealthErr string
+	// WriteErrors, ReadErrors and Recoveries are the store's cumulative
+	// failure counters.
+	WriteErrors int64
+	ReadErrors  int64
+	Recoveries  int64
+}
+
+// StatsReport is the runner's periodic progress and health report.
+type StatsReport struct {
+	// TuplesIn is the number of source tuples fed so far.
+	TuplesIn int64
+	// Backends holds one status per stateful operator backend.
+	Backends []BackendStatus
+}
 
 // RunResult aggregates a pipeline execution's measurements.
 type RunResult struct {
@@ -84,11 +161,16 @@ type RunResult struct {
 	Operators []OperatorStats
 	// FlowKV aggregates FlowKV store stats when that backend ran.
 	FlowKV FlowKVRunStats
-	// Halted reports that the run stopped early because a state backend
-	// entered the Failed health state: remaining tuples were drained
-	// unprocessed rather than written into a store that cannot honor
-	// acknowledgements. Err carries the triggering error.
-	Halted bool
+	// Backends is the final per-backend health snapshot, taken after the
+	// pipeline drained and before backends were released.
+	Backends []BackendStatus
+	// Halted reports that the run stopped early: a state backend entered
+	// the Failed health state (or, in job mode, any operator error
+	// occurred) and the remaining tuples were drained unprocessed rather
+	// than written into a store that cannot honor acknowledgements. It
+	// records which stage, worker and backend failed and with what error;
+	// nil means the run completed normally.
+	Halted *Halt
 	// Err is the first worker error, if any.
 	Err error
 }
@@ -111,58 +193,89 @@ func (f FlowKVRunStats) HitRatio() float64 {
 	return float64(f.Hits) / float64(f.Hits+f.Misses)
 }
 
-// Run executes the pipeline to completion over the source and returns
-// the measurements. Results reaching the end of the last stage are
-// delivered to sink (which may be nil).
-func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
+// barrier aligns every worker of every stage at one point of the stream
+// (Chandy-Lamport style, specialized to a linear dataflow with a paused
+// source). The coordinator injects it into stage 0; each stage forwards
+// it downstream only after all its workers have reached it, so a barrier
+// observed by stage k+1 is provably behind every tuple stage k emitted
+// before pausing. When the last stage's workers arrive, aligned closes:
+// every channel is drained of pre-barrier traffic and every worker is
+// parked on resume, giving the coordinator an exclusive, globally
+// consistent cut of operator and store state.
+type barrier struct {
+	aligned chan struct{} // closed when every worker has arrived
+	resume  chan struct{} // closed by the coordinator after the cut
+}
+
+func newBarrier() *barrier {
+	return &barrier{aligned: make(chan struct{}), resume: make(chan struct{})}
+}
+
+// stageRT is the runtime of one stage: its workers' input channels,
+// their operators, and the per-stage barrier arrival counter.
+type stageRT struct {
+	stage  Stage
+	par    int
+	in     []chan Message
+	ops    []statefulOperator
+	shared statebackend.Backend // non-nil in ShareBackend mode
+
+	barMu sync.Mutex
+	barN  int
+}
+
+// runtime is a constructed pipeline: channels wired, backends opened,
+// operators built. Run and jobs share it; jobs additionally halt on any
+// operator error (haltAll) so no state divergence can be committed.
+type runtime struct {
+	p       *Pipeline
+	depth   int
+	wmEvery int
+	res     *RunResult
+	rts     []*stageRT
+	wgs     []*sync.WaitGroup
+	haltAll bool
+
+	errMu  sync.Mutex
+	halted atomic.Bool
+
+	sink      func(Tuple)
+	sinkMu    sync.Mutex
+	sinkCount int64
+
+	// Source-side cadence state; jobs restore these from checkpoint
+	// metadata so replayed watermarks land between the same tuples.
+	tuplesIn int64
+	maxTS    int64
+	sinceWM  int
+
+	start time.Time
+}
+
+// newRuntime builds channels, backends and operators but starts no
+// goroutines; start launches the workers. Splitting construction from
+// start lets a job validate backends (and restore checkpoints into them)
+// while teardown is still a simple destroy loop.
+func newRuntime(p *Pipeline, sink func(Tuple), haltAll bool) (*runtime, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("spe: pipeline has no stages")
 	}
-	depth := p.ChannelDepth
-	if depth <= 0 {
-		depth = 256
+	r := &runtime{
+		p:       p,
+		depth:   p.ChannelDepth,
+		wmEvery: p.WatermarkEvery,
+		res:     &RunResult{Latency: metrics.NewHistogram()},
+		haltAll: haltAll,
+		sink:    sink,
+		maxTS:   -1 << 62,
 	}
-	wmEvery := p.WatermarkEvery
-	if wmEvery <= 0 {
-		wmEvery = 200
+	if r.depth <= 0 {
+		r.depth = 256
 	}
-
-	res := &RunResult{Latency: metrics.NewHistogram()}
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if res.Err == nil {
-			res.Err = err
-		}
-		errMu.Unlock()
+	if r.wmEvery <= 0 {
+		r.wmEvery = 200
 	}
-	// halted latches when a backend reaches the Failed health state; the
-	// pipeline then drains without processing so every worker exits
-	// cleanly (no channel stays blocked) instead of hammering a dead
-	// store with further operations.
-	var halted atomic.Bool
-	opFail := func(op statefulOperator, err error) {
-		fail(err)
-		if errors.Is(err, core.ErrFailed) {
-			halted.Store(true)
-			return
-		}
-		if op != nil {
-			if h, ok := statebackend.FlowKVHealth(op.Backend()); ok && h == core.Failed {
-				halted.Store(true)
-			}
-		}
-	}
-
-	// Build channels: one input channel per worker per stage.
-	type stageRT struct {
-		stage  Stage
-		par    int
-		in     []chan Message
-		ops    []statefulOperator
-		shared statebackend.Backend // non-nil in ShareBackend mode
-	}
-	rts := make([]*stageRT, len(p.Stages))
+	r.rts = make([]*stageRT, len(p.Stages))
 	for i := range p.Stages {
 		st := p.Stages[i]
 		par := st.Parallelism
@@ -171,176 +284,345 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 		}
 		rt := &stageRT{stage: st, par: par, in: make([]chan Message, par)}
 		for w := 0; w < par; w++ {
-			rt.in[w] = make(chan Message, depth)
+			rt.in[w] = make(chan Message, r.depth)
 		}
-		rts[i] = rt
+		r.rts[i] = rt
 	}
-
-	var sinkMu sync.Mutex
-	var sinkCount int64
-	deliverSink := func(t Tuple) {
-		sinkMu.Lock()
-		sinkCount++
-		if t.WallNS > 0 {
-			res.Latency.Observe(time.Duration(time.Now().UnixNano() - t.WallNS))
-		}
-		if sink != nil {
-			sink(t)
-		}
-		sinkMu.Unlock()
+	if err := r.buildOperators(); err != nil {
+		r.destroyBackends()
+		return nil, err
 	}
+	return r, nil
+}
 
-	// sender routes tuples by key hash and broadcasts watermarks to the
-	// next stage, or delivers to the sink after the last stage.
-	sender := func(stageIdx int) (func(Tuple), func(int64, int64)) {
-		if stageIdx == len(rts)-1 {
-			return deliverSink, func(int64, int64) {}
+func (r *runtime) buildOperators() error {
+	for i := len(r.rts) - 1; i >= 0; i-- {
+		rt := r.rts[i]
+		emitTuple, _ := r.sender(i)
+		rt.ops = make([]statefulOperator, rt.par)
+		if rt.stage.ShareBackend && (rt.stage.Window != nil || rt.stage.Join != nil) {
+			if rt.stage.Window != nil && rt.stage.Window.IsHolistic() &&
+				rt.stage.Window.Assigner.Kind().Aligned() {
+				return fmt.Errorf("spe: stage %s: ShareBackend does not support holistic aggregates over aligned windows (bulk window reads cross worker key ranges)", rt.stage.Name)
+			}
+			b, err := rt.stage.NewBackend(0)
+			if err != nil {
+				return fmt.Errorf("spe: stage %s shared backend: %w", rt.stage.Name, err)
+			}
+			rt.shared = statebackend.Synchronized(b)
 		}
-		next := rts[stageIdx+1]
-		emitTuple := func(t Tuple) {
-			next.in[routeKey(t.Key, next.par)] <- Message{Tuple: t, WallNS: t.WallNS}
+		for w := 0; w < rt.par; w++ {
+			if rt.stage.Window == nil && rt.stage.Join == nil {
+				continue
+			}
+			var err error
+			backend := rt.shared
+			if backend == nil {
+				backend, err = rt.stage.NewBackend(w)
+				if err != nil {
+					return fmt.Errorf("spe: stage %s worker %d: %w", rt.stage.Name, w, err)
+				}
+			}
+			var op statefulOperator
+			if rt.stage.Window != nil {
+				op, err = NewWindowOperator(*rt.stage.Window, backend, emitTuple)
+			} else {
+				op, err = NewIntervalJoinOperator(*rt.stage.Join, backend, emitTuple)
+			}
+			if err != nil {
+				backend.Destroy()
+				return err
+			}
+			rt.ops[w] = op
 		}
-		emitWM := func(wm int64, wallNS int64) {
-			for _, ch := range next.in {
-				ch <- Message{IsWatermark: true, Watermark: wm, WallNS: wallNS}
+	}
+	return nil
+}
+
+// destroyBackends releases every backend built so far (construction
+// failure path — no goroutines are running).
+func (r *runtime) destroyBackends() {
+	for _, rt := range r.rts {
+		if rt == nil {
+			continue
+		}
+		for _, op := range rt.ops {
+			if op != nil && rt.shared == nil {
+				op.Backend().Destroy()
 			}
 		}
-		return emitTuple, emitWM
+		if rt.shared != nil {
+			rt.shared.Destroy()
+		}
 	}
+}
 
-	var wgs []*sync.WaitGroup
-	for i := len(rts) - 1; i >= 0; i-- {
-		rt := rts[i]
-		emitTuple, emitWM := sender(i)
+func (r *runtime) fail(err error) {
+	r.errMu.Lock()
+	if r.res.Err == nil {
+		r.res.Err = err
+	}
+	r.errMu.Unlock()
+}
+
+// opFail records a worker error and decides whether to halt the run. A
+// backend reaching the Failed health state always halts: draining
+// without processing beats hammering a dead store. Job mode (haltAll)
+// halts on any operator error, because a job must not commit a
+// checkpoint past a tuple whose state update was lost — halting and
+// resuming from the previous checkpoint replays it instead.
+func (r *runtime) opFail(stage string, worker int, op statefulOperator, err error) {
+	r.fail(err)
+	fatal := errors.Is(err, core.ErrFailed)
+	if !fatal && op != nil {
+		if h, ok := statebackend.FlowKVHealth(op.Backend()); ok && h == core.Failed {
+			fatal = true
+		}
+	}
+	if !fatal && !r.haltAll {
+		return
+	}
+	r.errMu.Lock()
+	if r.res.Halted == nil {
+		name := ""
+		if op != nil {
+			name = op.Backend().Name()
+		}
+		r.res.Halted = &Halt{Stage: stage, Worker: worker, Backend: name, Err: err}
+	}
+	r.errMu.Unlock()
+	r.halted.Store(true)
+}
+
+func (r *runtime) deliverSink(t Tuple) {
+	r.sinkMu.Lock()
+	r.sinkCount++
+	if t.WallNS > 0 {
+		r.res.Latency.Observe(time.Duration(time.Now().UnixNano() - t.WallNS))
+	}
+	if r.sink != nil {
+		r.sink(t)
+	}
+	r.sinkMu.Unlock()
+}
+
+// sender routes tuples by key hash and broadcasts watermarks to the next
+// stage, or delivers to the sink after the last stage.
+func (r *runtime) sender(stageIdx int) (func(Tuple), func(int64, int64)) {
+	if stageIdx == len(r.rts)-1 {
+		return r.deliverSink, func(int64, int64) {}
+	}
+	next := r.rts[stageIdx+1]
+	emitTuple := func(t Tuple) {
+		next.in[routeKey(t.Key, next.par)] <- Message{Tuple: t, WallNS: t.WallNS}
+	}
+	emitWM := func(wm int64, wallNS int64) {
+		for _, ch := range next.in {
+			ch <- Message{IsWatermark: true, Watermark: wm, WallNS: wallNS}
+		}
+	}
+	return emitTuple, emitWM
+}
+
+// arriveBarrier is the worker side of barrier alignment: count the
+// arrival, and if this worker completes the stage, forward the barrier
+// downstream (all stage emissions are already enqueued, so FIFO order
+// keeps the barrier behind them) or declare global alignment at the last
+// stage. Then park until the coordinator finishes its cut.
+func (r *runtime) arriveBarrier(stageIdx int, b *barrier) {
+	rt := r.rts[stageIdx]
+	rt.barMu.Lock()
+	rt.barN++
+	last := rt.barN == rt.par
+	if last {
+		rt.barN = 0
+	}
+	rt.barMu.Unlock()
+	if last {
+		if stageIdx == len(r.rts)-1 {
+			close(b.aligned)
+		} else {
+			for _, ch := range r.rts[stageIdx+1].in {
+				ch <- Message{barrier: b}
+			}
+		}
+	}
+	<-b.resume
+}
+
+// injectBarrier broadcasts a fresh barrier into stage 0 and blocks until
+// every worker of every stage is parked on it. The caller then owns a
+// consistent cut; release it with close(b.resume).
+func (r *runtime) injectBarrier() *barrier {
+	b := newBarrier()
+	for _, ch := range r.rts[0].in {
+		ch <- Message{barrier: b}
+	}
+	<-b.aligned
+	return b
+}
+
+// startWorkers launches the worker goroutines and starts the run clock.
+func (r *runtime) startWorkers() {
+	for i := len(r.rts) - 1; i >= 0; i-- {
+		rt := r.rts[i]
+		_, emitWM := r.sender(i)
 		var wg sync.WaitGroup
 		// Per-stage watermark forwarding: forward min across this stage's
 		// workers so downstream sees one consistent, already-combined
 		// stage watermark stream.
 		fw := newWatermarkForwarder(rt.par, emitWM)
-		rt.ops = make([]statefulOperator, rt.par)
-		if rt.stage.ShareBackend && (rt.stage.Window != nil || rt.stage.Join != nil) {
-			if rt.stage.Window != nil && rt.stage.Window.IsHolistic() &&
-				rt.stage.Window.Assigner.Kind().Aligned() {
-				return nil, fmt.Errorf("spe: stage %s: ShareBackend does not support holistic aggregates over aligned windows (bulk window reads cross worker key ranges)", rt.stage.Name)
-			}
-			b, err := rt.stage.NewBackend(0)
-			if err != nil {
-				return nil, fmt.Errorf("spe: stage %s shared backend: %w", rt.stage.Name, err)
-			}
-			rt.shared = statebackend.Synchronized(b)
-		}
 		for w := 0; w < rt.par; w++ {
-			var op statefulOperator
-			if rt.stage.Window != nil || rt.stage.Join != nil {
-				var err error
-				backend := rt.shared
-				if backend == nil {
-					backend, err = rt.stage.NewBackend(w)
-					if err != nil {
-						return nil, fmt.Errorf("spe: stage %s worker %d: %w", rt.stage.Name, w, err)
-					}
-				}
-				if rt.stage.Window != nil {
-					op, err = NewWindowOperator(*rt.stage.Window, backend, emitTuple)
-				} else {
-					op, err = NewIntervalJoinOperator(*rt.stage.Join, backend, emitTuple)
-				}
-				if err != nil {
-					backend.Destroy()
-					return nil, err
-				}
-				rt.ops[w] = op
-			}
 			wg.Add(1)
-			go func(w int, op statefulOperator) {
-				defer wg.Done()
-				var lastWM int64 = -1 << 62
-				for msg := range rt.in[w] {
-					if halted.Load() {
-						continue // drain unprocessed; upstream never blocks
-					}
-					if msg.IsWatermark {
-						// The upstream forwarder already min-combined
-						// across its workers; just reject regressions
-						// from emission races.
-						if msg.Watermark <= lastWM {
-							continue
-						}
-						wm := msg.Watermark
-						lastWM = wm
-						if op != nil {
-							if err := op.OnWatermark(wm, msg.WallNS); err != nil {
-								opFail(op, err)
-							}
-						}
-						fw.observe(w, wm, msg.WallNS)
-						continue
-					}
-					if op != nil {
-						if err := op.OnTuple(msg.Tuple); err != nil {
-							opFail(op, err)
-						}
-					} else {
-						rt.stage.Map(msg.Tuple, emitTuple)
-					}
-				}
-				if op != nil && !halted.Load() {
-					if err := op.Finish(time.Now().UnixNano()); err != nil {
-						opFail(op, err)
-					}
-				}
-			}(w, op)
+			go r.worker(i, w, rt, rt.ops[w], fw, &wg)
 		}
-		wgs = append([]*sync.WaitGroup{&wg}, wgs...)
+		r.wgs = append([]*sync.WaitGroup{&wg}, r.wgs...)
 	}
+	r.start = time.Now()
+}
 
-	// Drive the source into stage 0.
-	start := time.Now()
-	first := rts[0]
-	var tuplesIn int64
-	var maxTS int64 = -1 << 62
-	sinceWM := 0
-	source(func(t Tuple) {
-		if halted.Load() {
-			return // backend failed: stop feeding the pipeline
+func (r *runtime) worker(stageIdx, w int, rt *stageRT, op statefulOperator, fw *watermarkForwarder, wg *sync.WaitGroup) {
+	defer wg.Done()
+	emitTuple, _ := r.sender(stageIdx)
+	var lastWM int64 = -1 << 62
+	for msg := range rt.in[w] {
+		if msg.barrier != nil {
+			// Barriers align even while halted, so a coordinator waiting
+			// on one is never deadlocked by a concurrent failure.
+			r.arriveBarrier(stageIdx, msg.barrier)
+			continue
 		}
-		if t.WallNS == 0 {
-			t.WallNS = time.Now().UnixNano()
+		if r.halted.Load() {
+			continue // drain unprocessed; upstream never blocks
 		}
-		if t.TS > maxTS {
-			maxTS = t.TS
-		}
-		first.in[routeKey(t.Key, first.par)] <- Message{Tuple: t, WallNS: t.WallNS}
-		tuplesIn++
-		sinceWM++
-		if sinceWM >= wmEvery {
-			sinceWM = 0
-			wm := maxTS // in-order source: everything up to maxTS is final
-			wall := time.Now().UnixNano()
-			for _, ch := range first.in {
-				ch <- Message{IsWatermark: true, Watermark: wm, WallNS: wall}
+		if msg.IsWatermark {
+			// The upstream forwarder already min-combined across its
+			// workers; just reject regressions from emission races.
+			if msg.Watermark <= lastWM {
+				continue
 			}
+			wm := msg.Watermark
+			lastWM = wm
+			if op != nil {
+				if err := op.OnWatermark(wm, msg.WallNS); err != nil {
+					r.opFail(rt.stage.Name, w, op, err)
+				}
+			}
+			fw.observe(w, wm, msg.WallNS)
+			continue
 		}
-	})
+		if op != nil {
+			if err := op.OnTuple(msg.Tuple); err != nil {
+				r.opFail(rt.stage.Name, w, op, err)
+			}
+		} else {
+			rt.stage.Map(msg.Tuple, emitTuple)
+		}
+	}
+	if op != nil && !r.halted.Load() {
+		if err := op.Finish(time.Now().UnixNano()); err != nil {
+			r.opFail(rt.stage.Name, w, op, err)
+		}
+	}
+}
 
-	// Close stages front to back, waiting for each to drain.
-	for i, rt := range rts {
+// feed routes one source tuple into stage 0, emitting the periodic
+// watermark and stats report on cadence.
+func (r *runtime) feed(t Tuple) {
+	if r.halted.Load() {
+		return // backend failed: stop feeding the pipeline
+	}
+	if t.WallNS == 0 {
+		t.WallNS = time.Now().UnixNano()
+	}
+	if t.TS > r.maxTS {
+		r.maxTS = t.TS
+	}
+	first := r.rts[0]
+	first.in[routeKey(t.Key, first.par)] <- Message{Tuple: t, WallNS: t.WallNS}
+	r.tuplesIn++
+	r.sinceWM++
+	if r.sinceWM >= r.wmEvery {
+		r.sinceWM = 0
+		wm := r.maxTS // in-order source: everything up to maxTS is final
+		wall := time.Now().UnixNano()
+		for _, ch := range first.in {
+			ch <- Message{IsWatermark: true, Watermark: wm, WallNS: wall}
+		}
+	}
+	if r.p.StatsEvery > 0 && r.p.OnStats != nil && r.tuplesIn%int64(r.p.StatsEvery) == 0 {
+		r.p.OnStats(StatsReport{TuplesIn: r.tuplesIn, Backends: r.backendStatuses()})
+	}
+}
+
+// backendStatuses snapshots every stateful backend's health. core.Store
+// counters are safe to read concurrently with the workers.
+func (r *runtime) backendStatuses() []BackendStatus {
+	var out []BackendStatus
+	for _, rt := range r.rts {
+		statusOf := func(worker int, b statebackend.Backend) BackendStatus {
+			bs := BackendStatus{Stage: rt.stage.Name, Worker: worker, Backend: b.Name()}
+			if st, ok := statebackend.FlowKVStats(b); ok {
+				bs.Health = st.Health
+				bs.HealthErr = st.HealthErr
+				bs.WriteErrors = st.WriteErrors
+				bs.ReadErrors = st.ReadErrors
+				bs.Recoveries = st.Recoveries
+			}
+			return bs
+		}
+		if rt.shared != nil {
+			out = append(out, statusOf(-1, rt.shared))
+			continue
+		}
+		for w, op := range rt.ops {
+			if op == nil {
+				continue
+			}
+			out = append(out, statusOf(w, op.Backend()))
+		}
+	}
+	return out
+}
+
+// drain closes the stages front to back, waiting for each to empty.
+func (r *runtime) drain() {
+	for i, rt := range r.rts {
 		for _, ch := range rt.in {
 			close(ch)
 		}
-		wgs[i].Wait()
+		r.wgs[i].Wait()
 	}
-	res.Elapsed = time.Since(start)
-	res.TuplesIn = tuplesIn
-	res.Halted = halted.Load()
-	res.Results = sinkCount
-	if res.Elapsed > 0 {
-		res.ThroughputTPS = float64(tuplesIn) / res.Elapsed.Seconds()
-	}
+}
 
-	// Collect operator stats and close backends. A shared backend is
-	// counted and destroyed once per stage, not once per worker.
-	for _, rt := range rts {
+// collect finalizes the result: throughput, operator counters, the final
+// backend health snapshot, and FlowKV aggregates. destroy selects
+// whether backends are destroyed (benchmark runs discard state) or
+// closed (jobs leave durable state for the next resume).
+func (r *runtime) collect(destroy bool) *RunResult {
+	res := r.res
+	res.Elapsed = time.Since(r.start)
+	res.TuplesIn = r.tuplesIn
+	res.Results = r.sinkCount
+	if res.Elapsed > 0 {
+		res.ThroughputTPS = float64(r.tuplesIn) / res.Elapsed.Seconds()
+	}
+	res.Backends = r.backendStatuses()
+
+	// A shared backend is counted and released once per stage, not once
+	// per worker.
+	release := func(b statebackend.Backend) {
+		var err error
+		if destroy {
+			err = b.Destroy()
+		} else {
+			err = b.Close()
+		}
+		if err != nil {
+			r.fail(err)
+		}
+	}
+	for _, rt := range r.rts {
 		var agg OperatorStats
 		for _, op := range rt.ops {
 			if op == nil {
@@ -366,9 +648,7 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 				res.FlowKV.Evictions += fs.Evictions
 				res.FlowKV.Compactions += fs.Compactions
 			}
-			if err := op.Backend().Destroy(); err != nil {
-				fail(err)
-			}
+			release(op.Backend())
 		}
 		if rt.shared != nil {
 			if fs, ok := statebackend.FlowKVStats(rt.shared); ok {
@@ -377,12 +657,25 @@ func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
 				res.FlowKV.Evictions += fs.Evictions
 				res.FlowKV.Compactions += fs.Compactions
 			}
-			if err := rt.shared.Destroy(); err != nil {
-				fail(err)
-			}
+			release(rt.shared)
 		}
 		res.Operators = append(res.Operators, agg)
 	}
+	return res
+}
+
+// Run executes the pipeline to completion over the source and returns
+// the measurements. Results reaching the end of the last stage are
+// delivered to sink (which may be nil).
+func Run(p *Pipeline, source Source, sink func(Tuple)) (*RunResult, error) {
+	r, err := newRuntime(p, sink, false)
+	if err != nil {
+		return nil, err
+	}
+	r.startWorkers()
+	source(r.feed)
+	r.drain()
+	res := r.collect(true)
 	return res, res.Err
 }
 

@@ -1,0 +1,64 @@
+package spe
+
+import "fmt"
+
+// SeekableSource is the replayable input contract required by jobs
+// (checkpointed pipeline runs). Unlike the fire-hose Source used by Run,
+// a SeekableSource is pulled one tuple at a time, reports how far it has
+// been consumed, and can be repositioned — which is what lets a resumed
+// job replay exactly the tuples that followed its last committed
+// checkpoint. Offsets are opaque to the SPE: a source defines its own
+// unit (an index, a tuple count, a byte position) as long as
+// SeekTo(Offset()) restores the exact read position, including any
+// internal generator state, so the replayed suffix is byte-identical to
+// the original stream.
+type SeekableSource interface {
+	// Next returns the next tuple, or ok=false at end of stream. Tuples
+	// arrive in non-decreasing timestamp order (the same contract as
+	// Source).
+	Next() (t Tuple, ok bool)
+	// Offset reports the current read position: the value SeekTo needs to
+	// continue from exactly here.
+	Offset() int64
+	// SeekTo repositions the source so the next Next call returns the
+	// tuple that followed offset. Seeking backward must regenerate the
+	// identical stream (deterministic sources).
+	SeekTo(offset int64) error
+}
+
+// SliceSource replays an in-memory tuple slice; the offset is the slice
+// index. It is the reference SeekableSource used by tests.
+type SliceSource struct {
+	// Tuples is the stream, in non-decreasing timestamp order.
+	Tuples []Tuple
+	pos    int64
+}
+
+// NewSliceSource returns a SliceSource over tuples.
+func NewSliceSource(tuples []Tuple) *SliceSource {
+	return &SliceSource{Tuples: tuples}
+}
+
+// Next implements SeekableSource.
+func (s *SliceSource) Next() (Tuple, bool) {
+	if s.pos >= int64(len(s.Tuples)) {
+		return Tuple{}, false
+	}
+	t := s.Tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Offset implements SeekableSource.
+func (s *SliceSource) Offset() int64 { return s.pos }
+
+// SeekTo implements SeekableSource.
+func (s *SliceSource) SeekTo(offset int64) error {
+	if offset < 0 || offset > int64(len(s.Tuples)) {
+		return fmt.Errorf("spe: seek %d out of range [0,%d]", offset, len(s.Tuples))
+	}
+	s.pos = offset
+	return nil
+}
+
+var _ SeekableSource = (*SliceSource)(nil)

@@ -49,6 +49,9 @@ type Message struct {
 	IsWatermark bool
 	// WallNS is the wall clock at the message's origin.
 	WallNS int64
+	// barrier, when non-nil, marks a checkpoint alignment point (job
+	// runs); the tuple and watermark fields are ignored.
+	barrier *barrier
 }
 
 // IncrementalAgg is an associative and commutative aggregate function

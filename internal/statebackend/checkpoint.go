@@ -1,0 +1,61 @@
+package statebackend
+
+import "flowkv/internal/core"
+
+// Checkpointer is the optional backend capability jobs require: a
+// crash-consistent snapshot of the backend's durable state into a
+// directory, carrying opaque application metadata (operator control
+// state, source offsets) that commits atomically with the store cut.
+// Only the FlowKV backend implements it today; jobs reject stages whose
+// backends do not.
+type Checkpointer interface {
+	// CheckpointMeta writes a verified snapshot of the backend into dir
+	// along with meta; the snapshot commits atomically (a crash leaves
+	// either the previous checkpoint or the new one, never a blend).
+	CheckpointMeta(dir string, meta []byte) error
+	// RestoreMeta rebuilds the backend from a checkpoint directory and
+	// returns the metadata it was taken with. The backend must be
+	// freshly opened and empty.
+	RestoreMeta(dir string) ([]byte, error)
+}
+
+// CheckpointMeta implements Checkpointer over core.Store.
+func (b *flowkvBackend) CheckpointMeta(dir string, meta []byte) error {
+	return b.store.CheckpointWithMeta(dir, meta)
+}
+
+// RestoreMeta implements Checkpointer over core.Store.
+func (b *flowkvBackend) RestoreMeta(dir string) ([]byte, error) {
+	return b.store.RestoreWithMeta(dir)
+}
+
+// AsCheckpointer extracts the checkpoint capability from a backend,
+// looking through the Synchronized wrapper.
+func AsCheckpointer(b Backend) (Checkpointer, bool) {
+	if c, ok := b.(Checkpointer); ok {
+		return c, true
+	}
+	if s, ok := b.(*syncBackend); ok {
+		return AsCheckpointer(s.b)
+	}
+	return nil, false
+}
+
+// StartSelfHeal starts a background recoverer on b's FlowKV store: a
+// supervised loop that drives a Degraded store back to Healthy with
+// exponential backoff (see core.SelfHealer). It reports ok=false for
+// backend kinds without a degraded mode. The returned stop function must
+// be called before the backend is closed.
+func StartSelfHeal(b Backend, opts core.SelfHealOptions) (stop func(), ok bool) {
+	fb, ok := b.(*flowkvBackend)
+	if !ok {
+		if s, isSync := b.(*syncBackend); isSync {
+			return StartSelfHeal(s.b, opts)
+		}
+		return nil, false
+	}
+	h := fb.store.StartSelfHealer(opts)
+	return h.Stop, true
+}
+
+var _ Checkpointer = (*flowkvBackend)(nil)
