@@ -11,6 +11,7 @@
 //	flowbench -quick -all            # fast smoke run
 //	flowbench -query Q7 -backend flowkv -json -   # one run, JSON report
 //	flowbench -recovery              # crash-restart recovery demo
+//	flowbench -recovery -rescale     # recovery with resume at parallelism+1
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		backend   = flag.String("backend", "flowkv", "backend for -query: flowkv, rocksdb, faster or inmem")
 		windowMs  = flag.Int64("window", 1000, "window size / session gap in ms for -query")
 		recovery  = flag.Bool("recovery", false, "run the crash-restart recovery demo (kill, resume, verify exactly-once)")
+		rescale   = flag.Bool("rescale", false, "with -recovery: resume crashed jobs at parallelism+1, splitting committed key ranges on restart")
 		jsonPath  = flag.String("json", "", "write -query/-recovery outcomes as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
@@ -90,7 +92,12 @@ func main() {
 	}
 	if *recovery {
 		ran = true
-		fmt.Println("== crash-restart recovery ==")
+		if *rescale {
+			sc.ResumeParallelism = sc.Parallelism + 1
+			fmt.Printf("== crash-restart recovery (rescale %d->%d) ==\n", sc.Parallelism, sc.ResumeParallelism)
+		} else {
+			fmt.Println("== crash-restart recovery ==")
+		}
 		outs, err := harness.RecoveryDemo(sc, os.Stdout)
 		rep.Recovery = outs
 		if err != nil && runErr == nil {

@@ -13,6 +13,7 @@
 //	flowkvctl health <store-dir>       # offline log integrity scan
 //	flowkvctl checkpoints <parent-dir> # list and verify checkpoints
 //	flowkvctl job <job-dir>            # inspect a job's committed progress
+//	flowkvctl job <job-dir> <par>      # additionally: can it resume at <par> workers?
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,7 +55,14 @@ func main() {
 	case "checkpoints":
 		err = cmdCheckpoints(path)
 	case "job":
-		err = cmdJob(path)
+		target := 0
+		if len(os.Args) > 3 {
+			if target, err = strconv.Atoi(os.Args[3]); err != nil || target <= 0 {
+				fmt.Fprintln(os.Stderr, "flowkvctl: target parallelism must be a positive integer")
+				os.Exit(2)
+			}
+		}
+		err = cmdJob(path, target)
 	default:
 		usage()
 	}
@@ -63,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job} <path>")
+	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job} <path> [job-target-parallelism]")
 	os.Exit(2)
 }
 
@@ -278,11 +288,15 @@ func cmdCheckpoints(parent string) error {
 }
 
 // cmdJob inspects a job directory: the committed JOB record (generation,
-// source offset, committed ledger length), the generation directories on
+// source offset, committed ledger length), the key-range manifest
+// (per-stage parallelism at commit time), the generation directories on
 // disk, MANIFEST verification of every worker checkpoint in the
-// committed generation, and a committed-ledger summary. This is the
-// operator's pre-restart check: if it passes, Resume will succeed.
-func cmdJob(dir string) error {
+// committed generation, and a committed-ledger summary. With a target
+// parallelism it additionally reports how a resume at that worker count
+// would restore each stage — direct, rescaled (key ranges split/merged),
+// or fanned out from a shared single-owner cut. This is the operator's
+// pre-restart check: if it passes, Resume will succeed.
+func cmdJob(dir string, target int) error {
 	meta, err := spe.ReadJobMeta(nil, dir)
 	if err != nil {
 		return err
@@ -304,6 +318,31 @@ func cmdJob(dir string) error {
 	for _, g := range gens {
 		if g != meta.Gen {
 			fmt.Printf("generation %d on disk: uncommitted (removed on resume)\n", g)
+		}
+	}
+
+	layout, err := spe.CommittedLayout(nil, dir, meta.Gen)
+	if err != nil {
+		return err
+	}
+	stages := make([]int, 0, len(layout))
+	for si := range layout {
+		stages = append(stages, si)
+	}
+	sort.Ints(stages)
+	fmt.Println("key-range manifest:")
+	for _, si := range stages {
+		cs := layout[si]
+		par := cs.Workers
+		if si < len(meta.StagePars) && meta.StagePars[si] > 0 {
+			par = int(meta.StagePars[si])
+		}
+		switch {
+		case cs.Shared:
+			fmt.Printf("  stage %2d: shared single-owner cut, %d operator snapshots\n", si, par)
+		default:
+			fmt.Printf("  stage %2d: %d workers; worker w owns keys with hash(key) mod %d == w\n",
+				si, par, par)
 		}
 	}
 
@@ -337,6 +376,37 @@ func cmdJob(dir string) error {
 	} else {
 		fmt.Printf("ledger: %d records, event time [%d, %d]\n",
 			len(recs), recs[0].TS, recs[len(recs)-1].TS)
+	}
+
+	if target > 0 {
+		if meta.Final {
+			fmt.Printf("resume at %d workers: job is final; Resume is a no-op\n", target)
+		} else {
+			fmt.Printf("resume at %d workers:\n", target)
+			for _, si := range stages {
+				cs := layout[si]
+				switch {
+				case cs.Shared:
+					fmt.Printf("  stage %2d: shared store restores whole; operator snapshots fan out to %d workers\n", si, target)
+				case cs.Workers == target:
+					fmt.Printf("  stage %2d: direct worker-for-worker restore\n", si)
+				default:
+					fmt.Printf("  stage %2d: rescale %d -> %d; committed key ranges split/merged by rehash\n",
+						si, cs.Workers, target)
+				}
+			}
+			// Show where the committed results' keys land under the new
+			// partitioning, as a concrete sample of the re-route.
+			seen := map[string]bool{}
+			for _, rec := range recs {
+				if len(seen) >= 5 || seen[string(rec.Key)] {
+					continue
+				}
+				seen[string(rec.Key)] = true
+				fmt.Printf("  key %-12q -> worker %d of %d\n",
+					rec.Key, spe.WorkerForKey(rec.Key, target), target)
+			}
+		}
 	}
 	if invalid > 0 {
 		return fmt.Errorf("%d of %d worker checkpoints failed verification", invalid, workers)

@@ -26,6 +26,7 @@ package aar
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"flowkv/internal/binio"
@@ -518,6 +519,108 @@ func (s *Store) DropWindow(w window.Window) error {
 		return l.Remove()
 	}
 	return nil
+}
+
+// Windows returns every window with live state (buffered or on disk), in
+// window order. Windows mid-drain (a GetWindow sequence that has not
+// exhausted yet) are included until their log is unlinked.
+func (s *Store) Windows() []window.Window {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	set := make(map[window.Window]struct{}, len(s.buf)+len(s.files))
+	for w := range s.buf {
+		set[w] = struct{}{}
+	}
+	s.mu.Unlock()
+	for w := range s.files {
+		set[w] = struct{}{}
+	}
+	out := make([]window.Window, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// ReadWindowFiltered returns window w's state restricted to the keys the
+// own predicate accepts (nil accepts every key), grouped by key, without
+// consuming anything: the log stays on disk and buffered entries stay
+// buffered, so several callers can each read their own key range and the
+// window can be dropped wholesale later. It must not overlap a
+// destructive GetWindow drain of the same window.
+func (s *Store) ReadWindowFiltered(w window.Window, own func(key []byte) bool) ([]KeyValues, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	if s.reads[w] != nil {
+		return nil, fmt.Errorf("aar: window %v: filtered read during destructive drain", w)
+	}
+	// Snapshot the buffered entries under mu. Flushes need ioMu, so the
+	// bucket cannot move to disk while we scan: nothing is seen twice.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var buffered []kvPair
+	if b := s.buf[w]; b != nil {
+		buffered = append(buffered, b.entries...)
+	}
+	s.mu.Unlock()
+
+	groups := make(map[string]int)
+	var out []KeyValues
+	add := func(k, v []byte) {
+		if own != nil && !own(k) {
+			return
+		}
+		idx, seen := groups[string(k)]
+		if !seen {
+			kc := make([]byte, len(k))
+			copy(kc, k)
+			out = append(out, KeyValues{Key: kc})
+			idx = len(out) - 1
+			groups[string(k)] = idx
+		}
+		vc := make([]byte, len(v))
+		copy(vc, v)
+		out[idx].Values = append(out[idx].Values, vc)
+	}
+	if l := s.files[w]; l != nil {
+		sc, err := l.Scanner(0)
+		if err != nil {
+			return nil, err
+		}
+		for sc.Scan() {
+			rec := sc.Record()
+			n, used, err := binio.Uvarint(rec)
+			if err != nil {
+				return nil, fmt.Errorf("aar: window %v: %w", w, err)
+			}
+			rec = rec[used:]
+			for i := uint64(0); i < n; i++ {
+				k, kn, err := binio.Bytes(rec)
+				if err != nil {
+					return nil, fmt.Errorf("aar: window %v: %w", w, err)
+				}
+				rec = rec[kn:]
+				v, vn, err := binio.Bytes(rec)
+				if err != nil {
+					return nil, fmt.Errorf("aar: window %v: %w", w, err)
+				}
+				rec = rec[vn:]
+				add(k, v)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range buffered {
+		add(e.k, e.v)
+	}
+	return out, nil
 }
 
 // BufferedBytes returns the current in-memory write buffer size.

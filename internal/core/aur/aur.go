@@ -623,6 +623,48 @@ func (s *Store) Peek(key []byte, w window.Window) (buffered, onDisk int64, prefe
 	return buffered, s.onDisk[ident], prefetched
 }
 
+// ForEachLive invokes fn for every live (unconsumed) unit of state — a
+// (key, initial window) identity — with its values in append order and
+// the maximum event timestamp observed for the identity. The enumeration
+// is non-destructive: values stay live and the Stat table row is kept.
+// Used by job rescaling to re-route committed state into a new worker
+// set. Identities are visited in (key, window) order.
+func (s *Store) ForEachLive(fn func(key []byte, w window.Window, values [][]byte, maxTS int64) error) error {
+	type liveID struct {
+		ident id
+		maxTS int64
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	ids := make([]liveID, 0, len(s.stat))
+	for ident, st := range s.stat {
+		ids = append(ids, liveID{ident: ident, maxTS: st.maxTS})
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].ident.key != ids[j].ident.key {
+			return ids[i].ident.key < ids[j].ident.key
+		}
+		return ids[i].ident.w.Before(ids[j].ident.w)
+	})
+	for _, li := range ids {
+		vals, err := s.Read([]byte(li.ident.key), li.ident.w)
+		if err != nil {
+			return err
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if err := fn([]byte(li.ident.key), li.ident.w, vals, li.maxTS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Drop discards all state of (key, window) without reading it.
 func (s *Store) Drop(key []byte, w window.Window) error {
 	ident := id{key: string(key), w: w}

@@ -32,6 +32,7 @@ package rmw
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"flowkv/internal/binio"
@@ -339,6 +340,62 @@ func (s *Store) finishGet(ident id, sp span) {
 	}
 	s.mu.Unlock()
 	s.gets.Inc()
+}
+
+// ForEachLive invokes fn for every live aggregate with its key and
+// window, in (key, window) order, without consuming anything: buffered
+// aggregates are served from memory and flushed ones are point-read from
+// the log in place. Used by job rescaling to re-route committed state
+// into a new worker set.
+func (s *Store) ForEachLive(fn func(key []byte, w window.Window, agg []byte) error) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	type liveAgg struct {
+		ident    id
+		agg      []byte
+		buffered bool
+		sp       span
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	live := make([]liveAgg, 0, len(s.buf)+len(s.index))
+	for ident, v := range s.buf {
+		live = append(live, liveAgg{ident: ident, agg: v, buffered: true})
+	}
+	for ident, sp := range s.index {
+		if _, ok := s.buf[ident]; ok {
+			continue // the buffer holds the newer value
+		}
+		live = append(live, liveAgg{ident: ident, sp: sp})
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].ident.key != live[j].ident.key {
+			return live[i].ident.key < live[j].ident.key
+		}
+		return live[i].ident.w.Before(live[j].ident.w)
+	})
+	for _, la := range live {
+		agg := la.agg
+		if !la.buffered {
+			payload, err := s.log.ReadRecordAt(la.sp.off, la.sp.n)
+			if err != nil {
+				return err
+			}
+			_, _, v, err := decodeEntry(payload)
+			if err != nil {
+				return err
+			}
+			agg = v
+		}
+		if err := fn([]byte(la.ident.key), la.ident.w, agg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func encodeEntry(dst []byte, ident id, agg []byte) []byte {

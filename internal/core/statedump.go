@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"flowkv/internal/window"
+)
+
+// StateEntry is one live unit of state surfaced by ForEachState: a key,
+// its window, and either the appended values (AAR/AUR patterns) or the
+// read-modify-write aggregate (RMW pattern).
+type StateEntry struct {
+	Key    []byte
+	Window window.Window
+	// Values holds appended state in append order (AAR/AUR).
+	Values [][]byte
+	// Agg holds the RMW aggregate; HasAgg distinguishes an aggregate
+	// entry from appended-state entries.
+	Agg    []byte
+	HasAgg bool
+	// MaxTS is the maximum event timestamp observed for the entry (AUR
+	// Stat table; zero elsewhere). Re-appending with it re-seeds ETT
+	// estimation in the receiving store.
+	MaxTS int64
+}
+
+// ForEachState enumerates every live unit of state across all instances
+// without consuming anything — the export side of job rescaling: a
+// restored checkpoint is dumped entry by entry and re-routed into a new
+// worker set by key hash. Entries are ordered within an instance
+// ((key, window) for AUR/RMW, window-major for AAR); cross-instance
+// order follows instance index.
+func (s *Store) ForEachState(fn func(StateEntry) error) error {
+	if err := s.guardRead(); err != nil {
+		return err
+	}
+	switch s.pattern {
+	case PatternAAR:
+		for _, st := range s.aars {
+			for _, w := range st.Windows() {
+				kvs, err := st.ReadWindowFiltered(w, nil)
+				if err != nil {
+					return fmt.Errorf("flowkv: dump window %v: %w", w, err)
+				}
+				for _, kv := range kvs {
+					if err := fn(StateEntry{Key: kv.Key, Window: w, Values: kv.Values}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case PatternAUR:
+		for _, st := range s.aurs {
+			err := st.ForEachLive(func(key []byte, w window.Window, values [][]byte, maxTS int64) error {
+				return fn(StateEntry{Key: key, Window: w, Values: values, MaxTS: maxTS})
+			})
+			if err != nil {
+				return err
+			}
+		}
+	case PatternRMW:
+		for _, st := range s.rmws {
+			err := st.ForEachLive(func(key []byte, w window.Window, agg []byte) error {
+				return fn(StateEntry{Key: key, Window: w, Agg: agg, HasAgg: true})
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadWindowOwned returns window w's state restricted to the keys the
+// own predicate accepts (nil accepts every key), grouped by key, without
+// consuming the window (AAR only). This is the shared-backend trigger
+// path: each worker of a stage sharing one store drains only the key
+// range it owns, and the window is dropped wholesale (DropWindow) once
+// every owner has fired. It must not overlap a destructive GetWindow
+// drain of the same window.
+func (s *Store) ReadWindowOwned(w window.Window, own func(key []byte) bool) ([]KeyValues, error) {
+	if s.pattern != PatternAAR {
+		return nil, ErrWrongPattern
+	}
+	if err := s.guardRead(); err != nil {
+		return nil, err
+	}
+	var (
+		mu  sync.Mutex
+		out []KeyValues
+	)
+	err := s.eachInstance(func(i int) error {
+		part, err := s.aars[i].ReadWindowFiltered(w, own)
+		if err != nil {
+			return err
+		}
+		if len(part) > 0 {
+			mu.Lock()
+			out = append(out, part...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

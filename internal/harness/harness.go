@@ -37,6 +37,11 @@ type Scale struct {
 	Events int
 	// Parallelism is the per-stage worker count.
 	Parallelism int
+	// ResumeParallelism, when positive and different from Parallelism,
+	// makes the recovery demo resume crashed jobs at this worker count —
+	// the committed state is split/merged along key ranges on restart.
+	// 0 resumes at Parallelism.
+	ResumeParallelism int
 	// BaseDir roots all state directories (a temp dir in tests).
 	BaseDir string
 	// LatencySeconds bounds each fixed-rate latency measurement.
@@ -103,6 +108,8 @@ func ScaledStoreOptions() Options {
 type RunOutcome struct {
 	Query   string
 	Backend statebackend.Kind
+	// Parallelism is the per-stage worker count the run executed at.
+	Parallelism int
 	// Failed marks out-of-memory or other failures (the paper's crossed
 	// bars); FailReason explains.
 	Failed     bool
@@ -161,7 +168,7 @@ func nextRunDir(base string) string {
 // options, returning the measurements. Events are generated fresh
 // (deterministic seed) unless pre-generated events are supplied.
 func RunQuery(sc Scale, queryName string, backend statebackend.Kind, opts Options, events []nexmark.Event) RunOutcome {
-	out := RunOutcome{Query: queryName, Backend: backend, Breakdown: &metrics.Breakdown{}}
+	out := RunOutcome{Query: queryName, Backend: backend, Parallelism: sc.Parallelism, Breakdown: &metrics.Breakdown{}}
 	if events == nil {
 		events = GenerateEvents(sc.Events)
 	}

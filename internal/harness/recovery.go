@@ -30,6 +30,13 @@ type RecoveryOutcome struct {
 	Pattern string
 	// Events is the dataset size.
 	Events int
+	// Parallelism is the golden run's (and the crashed run's initial)
+	// per-stage worker count; ResumeParallelism is the worker count the
+	// crashed job was resumed at. When they differ, the resume split or
+	// merged the committed key ranges, and the ledger oracle proves the
+	// rescale preserved exactly-once output.
+	Parallelism       int
+	ResumeParallelism int
 	// KilledAfter is the tuple count at which the first run's simulated
 	// crash fired.
 	KilledAfter int64
@@ -59,8 +66,8 @@ type RecoveryOutcome struct {
 // ledgers are byte-identical. Self-healing is enabled on the
 // crashed-job path, as a production restart would run it.
 func RecoveryDemo(sc Scale, w io.Writer) ([]RecoveryOutcome, error) {
-	fprintf(w, "%-11s %-8s %9s %8s %6s %8s %6s  %s\n",
-		"query", "pattern", "killed@", "resumes", "ckpts", "results", "heals", "exactly-once")
+	fprintf(w, "%-11s %-8s %7s %9s %8s %6s %8s %6s  %s\n",
+		"query", "pattern", "par", "killed@", "resumes", "ckpts", "results", "heals", "exactly-once")
 	var outs []RecoveryOutcome
 	var failed int
 	for _, name := range RecoveryQueries() {
@@ -71,8 +78,12 @@ func RecoveryDemo(sc Scale, w io.Writer) ([]RecoveryOutcome, error) {
 			fprintf(w, "%-11s %-8s FAILED: %s\n", out.Query, out.Pattern, out.FailReason)
 			continue
 		}
-		fprintf(w, "%-11s %-8s %9d %8d %6d %8d %6d  %v\n",
-			out.Query, out.Pattern, out.KilledAfter, out.Resumes,
+		par := fmt.Sprintf("%d", out.Parallelism)
+		if out.ResumeParallelism != out.Parallelism {
+			par = fmt.Sprintf("%d->%d", out.Parallelism, out.ResumeParallelism)
+		}
+		fprintf(w, "%-11s %-8s %7s %9d %8d %6d %8d %6d  %v\n",
+			out.Query, out.Pattern, par, out.KilledAfter, out.Resumes,
 			out.Checkpoints, out.Results, out.Recoveries, out.ExactlyOnce)
 	}
 	if failed > 0 {
@@ -92,17 +103,26 @@ func recoverOne(sc Scale, name string) RecoveryOutcome {
 		out.Failed, out.FailReason = true, err.Error()
 		return out
 	}
+	out.Parallelism = sc.Parallelism
+	out.ResumeParallelism = sc.ResumeParallelism
+	if out.ResumeParallelism <= 0 {
+		out.ResumeParallelism = sc.Parallelism
+	}
 	gencfg := nexmark.GeneratorConfig{Events: sc.Events, InterEventMs: 1, Seed: 2023}
 	flowkv := ScaledStoreOptions().FlowKV
 	every := sc.Events / 5
 	if every < 100 {
 		every = 100
 	}
-	build := func(stateDir string) (*queries.Query, error) {
+	// build takes the parallelism explicitly: the golden run and the
+	// initial crashed run use sc.Parallelism, but resumes use the
+	// (possibly different) resume parallelism — the run being rebuilt,
+	// not the one that committed, decides the worker count.
+	build := func(stateDir string, par int) (*queries.Query, error) {
 		return queries.Build(name, queries.Config{
 			Backend:     statebackend.KindFlowKV,
 			BaseDir:     stateDir,
-			Parallelism: sc.Parallelism,
+			Parallelism: par,
 			WindowMs:    1000,
 			FlowKV:      flowkv,
 		})
@@ -119,7 +139,7 @@ func recoverOne(sc Scale, name string) RecoveryOutcome {
 
 	// Golden: the same job, never interrupted.
 	goldenBase := nextRunDir(sc.BaseDir)
-	gq, err := build(filepath.Join(goldenBase, "state"))
+	gq, err := build(filepath.Join(goldenBase, "state"), sc.Parallelism)
 	if err != nil {
 		return fail(err)
 	}
@@ -148,8 +168,8 @@ func recoverOne(sc Scale, name string) RecoveryOutcome {
 	crashBase := nextRunDir(sc.BaseDir)
 	stateDir := filepath.Join(crashBase, "state")
 	jobDir := filepath.Join(crashBase, "job")
-	mk := func(kill int64) (*spe.Job, error) {
-		q, err := build(stateDir)
+	mk := func(kill int64, par int) (*spe.Job, error) {
+		q, err := build(stateDir, par)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +183,7 @@ func recoverOne(sc Scale, name string) RecoveryOutcome {
 		}, nil
 	}
 	out.KilledAfter = int64(sc.Events) * 2 / 5
-	job, err := mk(out.KilledAfter)
+	job, err := mk(out.KilledAfter, sc.Parallelism)
 	if err != nil {
 		return fail(err)
 	}
@@ -180,7 +200,7 @@ func recoverOne(sc Scale, name string) RecoveryOutcome {
 			return fail(errors.New("job did not reach its final commit within 10 resumes"))
 		}
 		out.Resumes++
-		if job, err = mk(0); err != nil {
+		if job, err = mk(0, out.ResumeParallelism); err != nil {
 			return fail(err)
 		}
 		if _, err := spe.ReadJobMeta(nil, jobDir); err == nil {

@@ -40,3 +40,28 @@ func TestRecoveryDemo(t *testing.T) {
 		t.Errorf("missing table header in output:\n%s", buf.String())
 	}
 }
+
+// TestRecoveryDemoRescale is the demo's rescale leg: crashed jobs resume
+// at a different parallelism, so the restart splits the committed key
+// ranges, and the ledger oracle must still hold exactly.
+func TestRecoveryDemoRescale(t *testing.T) {
+	sc := quickScale(t)
+	sc.ResumeParallelism = sc.Parallelism + 1
+	var buf strings.Builder
+	outs, err := RecoveryDemo(sc, &buf)
+	if err != nil {
+		t.Fatalf("RecoveryDemo (rescale): %v\n%s", err, buf.String())
+	}
+	for _, out := range outs {
+		if out.Failed {
+			t.Errorf("%s: failed: %s", out.Query, out.FailReason)
+			continue
+		}
+		if !out.ExactlyOnce {
+			t.Errorf("%s: rescaled ledger not exactly-once", out.Query)
+		}
+		if out.ResumeParallelism != sc.Parallelism+1 {
+			t.Errorf("%s: ResumeParallelism = %d, want %d", out.Query, out.ResumeParallelism, sc.Parallelism+1)
+		}
+	}
+}

@@ -41,11 +41,20 @@ import (
 // a crashed-and-resumed job is byte-identical to an uninterrupted one:
 // exactly-once sink output without deduplicating individual results.
 //
+// Every pipeline shape participates. Interval-join stages snapshot and
+// restore like window stages (IntervalJoinOperator implements the
+// snapshot contract). A shared-backend stage commits a single-owner cut:
+// the coordinator, which owns the barrier's exclusive cut, takes ONE
+// checkpoint of the merged store carrying all workers' operator
+// snapshots in a combined frame, and restore fans the snapshots back out
+// (the store itself needs no splitting — it is shared). Resume may also
+// change a stage's parallelism: committed per-worker checkpoints are
+// split/merged along key ranges before replay (see rescale.go).
+//
 // Determinism requirements on the pipeline: a seekable, deterministic
-// source; no interval-join stages; no shared backends; and every
-// stateful backend must support checkpointing (statebackend.Checkpointer
-// — FlowKV). Worker interleaving across stages is absorbed by the
-// per-segment canonical sort.
+// source, and every stateful backend must support checkpointing
+// (statebackend.Checkpointer — FlowKV). Worker interleaving across
+// stages is absorbed by the per-segment canonical sort.
 
 // Job file names inside Job.Dir.
 const (
@@ -54,17 +63,24 @@ const (
 	genPrefix   = "gen-"     // checkpoint generation directories
 )
 
-// jobMetaMagic versions the JOB file encoding.
-const jobMetaMagic = "flowkv-job1\n"
+// jobMetaMagic versions the JOB file encoding. v2 appends the per-stage
+// parallelisms (the key-range manifest); v1 files (no manifest) are
+// still readable — their layout is recovered from the generation
+// directory scan.
+const (
+	jobMetaMagic   = "flowkv-job2\n"
+	jobMetaMagicV1 = "flowkv-job1\n"
+)
 
 // ErrJobKilled reports a run aborted by the KillAfterTuples crash knob.
 var ErrJobKilled = errors.New("spe: job killed (simulated crash)")
 
 // Job configures a checkpointed pipeline run.
 type Job struct {
-	// Pipeline is the dataflow; stages must not use Join or
-	// ShareBackend, and every stateful backend must support
-	// checkpointing.
+	// Pipeline is the dataflow; every stateful backend must support
+	// checkpointing (statebackend.Checkpointer). Stage parallelism may
+	// differ from the committed generation's — Resume re-partitions the
+	// committed state along key ranges.
 	Pipeline *Pipeline
 	// Source is the replayable input stream.
 	Source SeekableSource
@@ -111,6 +127,11 @@ type JobMeta struct {
 	// LedgerLen is the committed sink ledger length in bytes; anything
 	// beyond it is an uncommitted suffix discarded on resume.
 	LedgerLen int64
+	// StagePars records each pipeline stage's parallelism at commit time
+	// — the key-range manifest: worker w of stage s held exactly the
+	// keys with routeKey(key, StagePars[s]) == w. Empty for jobs
+	// committed before the manifest existed (v1 JOB files).
+	StagePars []int64
 }
 
 // SinkRecord is one committed sink result.
@@ -149,6 +170,8 @@ func genDirName(gen int64) string { return fmt.Sprintf("%s%06d", genPrefix, gen)
 
 func workerDirName(stage, worker int) string { return fmt.Sprintf("s%02d-w%02d", stage, worker) }
 
+func sharedDirName(stage int) string { return fmt.Sprintf("s%02d-shared", stage) }
+
 // Run starts the job from a clean slate. It refuses to run over a job
 // directory that already has committed progress — use Resume there. Any
 // uncommitted debris from a previous attempt (partial generation
@@ -177,12 +200,32 @@ func (j *Job) Resume() (*JobResult, error) {
 	return j.run(&meta)
 }
 
-// jobWorker is one stateful physical operator of a running job.
-type jobWorker struct {
-	stage, worker int
-	op            *WindowOperator
-	backend       statebackend.Backend
-	cp            statebackend.Checkpointer
+// jobStage is one stateful stage of a running job: its operators plus
+// either per-worker private backends/checkpointers or one shared backend
+// with a single-owner checkpoint cut.
+type jobStage struct {
+	si   int    // pipeline stage index
+	name string // stage name for errors
+	par  int    // current parallelism
+	join bool   // interval-join stage (selects the snapshot codec)
+	ops  []opSnapshotter
+	// Private mode: one backend + checkpointer per worker.
+	backends []statebackend.Backend
+	cps      []statebackend.Checkpointer
+	// Shared mode: the stage's single backend and checkpointer.
+	shared   statebackend.Backend
+	sharedCP statebackend.Checkpointer
+}
+
+// eachBackend visits the stage's distinct backends (one in shared mode).
+func (js *jobStage) eachBackend(fn func(statebackend.Backend)) {
+	if js.shared != nil {
+		fn(js.shared)
+		return
+	}
+	for _, b := range js.backends {
+		fn(b)
+	}
 }
 
 // jobRun is the state of one job execution attempt.
@@ -190,7 +233,7 @@ type jobRun struct {
 	j       *Job
 	fsys    faultfs.FS
 	r       *runtime
-	workers []jobWorker
+	stages  []*jobStage
 	segment []SinkRecord
 	lf      faultfs.File
 	ledger  int64 // committed + appended ledger bytes
@@ -205,14 +248,6 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 	}
 	if j.Source == nil {
 		return nil, fmt.Errorf("spe: job needs a seekable source")
-	}
-	for _, st := range j.Pipeline.Stages {
-		if st.Join != nil {
-			return nil, fmt.Errorf("spe: stage %s: jobs do not support join stages", st.Name)
-		}
-		if st.ShareBackend {
-			return nil, fmt.Errorf("spe: stage %s: jobs do not support shared backends", st.Name)
-		}
 	}
 	if meta != nil && meta.Final {
 		return &JobResult{
@@ -280,30 +315,39 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 		return nil, err
 	}
 	for si, rt := range r.rts {
-		for wi, op := range rt.ops {
-			if op == nil {
-				continue
-			}
-			wo := op.(*WindowOperator)
-			cp, ok := statebackend.AsCheckpointer(wo.backend)
-			if !ok {
-				return fail(fmt.Errorf("spe: stage %s: backend %s does not support checkpointing", rt.stage.Name, wo.backend.Name()))
-			}
-			jr.workers = append(jr.workers, jobWorker{stage: si, worker: wi, op: wo, backend: wo.backend, cp: cp})
+		if rt.stage.Window == nil && rt.stage.Join == nil {
+			continue
 		}
+		js := &jobStage{si: si, name: rt.stage.Name, par: rt.par, join: rt.stage.Join != nil}
+		if rt.shared != nil {
+			cp, ok := statebackend.AsCheckpointer(rt.shared)
+			if !ok {
+				return fail(fmt.Errorf("spe: stage %s: shared backend %s does not support checkpointing", rt.stage.Name, rt.shared.Name()))
+			}
+			js.shared, js.sharedCP = rt.shared, cp
+		}
+		for wi, op := range rt.ops {
+			snapOp, ok := op.(opSnapshotter)
+			if !ok {
+				return fail(fmt.Errorf("spe: stage %s worker %d: operator does not support snapshots", rt.stage.Name, wi))
+			}
+			js.ops = append(js.ops, snapOp)
+			if rt.shared == nil {
+				cp, ok := statebackend.AsCheckpointer(op.Backend())
+				if !ok {
+					return fail(fmt.Errorf("spe: stage %s: backend %s does not support checkpointing", rt.stage.Name, op.Backend().Name()))
+				}
+				js.backends = append(js.backends, op.Backend())
+				js.cps = append(js.cps, cp)
+			}
+		}
+		jr.stages = append(jr.stages, js)
 	}
 
 	// Restore the committed cut (resume) or rewind the source (fresh).
 	if meta != nil {
-		genDir := filepath.Join(j.Dir, genDirName(meta.Gen))
-		for _, w := range jr.workers {
-			snap, err := w.cp.RestoreMeta(filepath.Join(genDir, workerDirName(w.stage, w.worker)))
-			if err != nil {
-				return fail(fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err))
-			}
-			if err := w.op.restoreState(snap); err != nil {
-				return fail(fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err))
-			}
+		if err := jr.restoreCommitted(*meta); err != nil {
+			return fail(err)
 		}
 		if err := j.Source.SeekTo(meta.Offset); err != nil {
 			return fail(fmt.Errorf("spe: job resume: %w", err))
@@ -312,6 +356,7 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 		r.maxTS = meta.MaxTS
 		r.sinceWM = int(meta.SinceWM)
 		jr.gen = meta.Gen
+		r.reseedSharedWindows()
 	} else if err := j.Source.SeekTo(0); err != nil {
 		return fail(fmt.Errorf("spe: job: %w", err))
 	}
@@ -319,10 +364,12 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 	// Background self-healing, if configured.
 	var stops []func()
 	if j.SelfHeal != nil {
-		for _, w := range jr.workers {
-			if stop, ok := statebackend.StartSelfHeal(w.backend, *j.SelfHeal); ok {
-				stops = append(stops, stop)
-			}
+		for _, js := range jr.stages {
+			js.eachBackend(func(b statebackend.Backend) {
+				if stop, ok := statebackend.StartSelfHeal(b, *j.SelfHeal); ok {
+					stops = append(stops, stop)
+				}
+			})
 		}
 	}
 	stopHealers := func() {
@@ -418,10 +465,12 @@ loop:
 }
 
 // commit writes one checkpoint generation and moves the commit point:
-// worker checkpoints (with operator snapshots as metadata) into a fresh
-// generation directory, the sorted sink segment appended to the ledger,
-// then the JOB file renamed into place. Superseded generations are
-// garbage-collected after the commit.
+// per-worker checkpoints (with operator snapshots as metadata) for
+// private stages, one single-owner checkpoint per shared stage (the
+// merged store cut carrying all workers' snapshots in a combined frame),
+// the sorted sink segment appended to the ledger, then the JOB file
+// renamed into place. Superseded generations are garbage-collected after
+// the commit.
 func (jr *jobRun) commit(final bool) error {
 	j := jr.j
 	gen := jr.gen + 1
@@ -429,23 +478,41 @@ func (jr *jobRun) commit(final bool) error {
 	if err := jr.fsys.RemoveAll(genDir); err != nil {
 		return fmt.Errorf("spe: job checkpoint: clear gen dir: %w", err)
 	}
-	for _, w := range jr.workers {
-		dir := filepath.Join(genDir, workerDirName(w.stage, w.worker))
-		if err := jr.checkpointWorker(w, dir); err != nil {
-			return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+	for _, js := range jr.stages {
+		if js.shared != nil {
+			snaps := make([][]byte, len(js.ops))
+			for w, op := range js.ops {
+				snaps[w] = op.snapshotState()
+			}
+			dir := filepath.Join(genDir, sharedDirName(js.si))
+			if err := jr.checkpointBackend(js.sharedCP, js.shared, dir, encodeShardSnaps(snaps)); err != nil {
+				return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+			}
+			continue
+		}
+		for w, op := range js.ops {
+			dir := filepath.Join(genDir, workerDirName(js.si, w))
+			if err := jr.checkpointBackend(js.cps[w], js.backends[w], dir, op.snapshotState()); err != nil {
+				return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+			}
 		}
 	}
 	if err := jr.appendSegment(); err != nil {
 		return err
 	}
+	pars := make([]int64, len(jr.r.rts))
+	for i, rt := range jr.r.rts {
+		pars[i] = int64(rt.par)
+	}
 	m := JobMeta{
-		Gen:      gen,
-		Final:    final,
-		Offset:   j.Source.Offset(),
-		TuplesIn: jr.r.tuplesIn,
-		MaxTS:    jr.r.maxTS,
-		SinceWM:  int64(jr.r.sinceWM),
+		Gen:       gen,
+		Final:     final,
+		Offset:    j.Source.Offset(),
+		TuplesIn:  jr.r.tuplesIn,
+		MaxTS:     jr.r.maxTS,
+		SinceWM:   int64(jr.r.sinceWM),
 		LedgerLen: jr.ledger,
+		StagePars: pars,
 	}
 	if err := writeJobMeta(jr.fsys, j.Dir, m); err != nil {
 		return err
@@ -457,18 +524,18 @@ func (jr *jobRun) commit(final bool) error {
 	return nil
 }
 
-// checkpointWorker snapshots one worker. If the checkpoint fails while a
-// self-healer is running, wait for the store to come back Healthy and
-// retry, bounded by SelfHealWait: a flush failure during the checkpoint
-// poisons the live logs, Recover rewrites the buffered tail at the
-// durable offset, and the retried checkpoint captures the full state —
-// the run survives transient faults (even ones spanning several retries)
-// without restarting. A store that reaches Failed, or a failure that
-// persists with the store Healthy (confined to the snapshot directory),
-// aborts the attempt; the run ends uncommitted and stays resumable.
-func (jr *jobRun) checkpointWorker(w jobWorker, dir string) error {
-	snap := w.op.snapshotState()
-	err := w.cp.CheckpointMeta(dir, snap)
+// checkpointBackend snapshots one backend with meta as its application
+// metadata. If the checkpoint fails while a self-healer is running, wait
+// for the store to come back Healthy and retry, bounded by SelfHealWait:
+// a flush failure during the checkpoint poisons the live logs, Recover
+// rewrites the buffered tail at the durable offset, and the retried
+// checkpoint captures the full state — the run survives transient faults
+// (even ones spanning several retries) without restarting. A store that
+// reaches Failed, or a failure that persists with the store Healthy
+// (confined to the snapshot directory), aborts the attempt; the run ends
+// uncommitted and stays resumable.
+func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend.Backend, dir string, meta []byte) error {
+	err := cp.CheckpointMeta(dir, meta)
 	if err == nil || jr.j.SelfHeal == nil {
 		return err
 	}
@@ -479,7 +546,7 @@ func (jr *jobRun) checkpointWorker(w jobWorker, dir string) error {
 	deadline := time.Now().Add(wait)
 	wasDegraded := false
 	for time.Now().Before(deadline) {
-		h, ok := statebackend.FlowKVHealth(w.backend)
+		h, ok := statebackend.FlowKVHealth(b)
 		if !ok || h == core.Failed {
 			return err
 		}
@@ -488,7 +555,7 @@ func (jr *jobRun) checkpointWorker(w jobWorker, dir string) error {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		if err = w.cp.CheckpointMeta(dir, snap); err == nil {
+		if err = cp.CheckpointMeta(dir, meta); err == nil {
 			return nil
 		}
 		if !wasDegraded {
@@ -499,6 +566,97 @@ func (jr *jobRun) checkpointWorker(w jobWorker, dir string) error {
 		wasDegraded = false
 	}
 	return err
+}
+
+// restoreCommitted rebuilds every stateful stage from the committed
+// generation. Same-parallelism private stages restore worker-for-worker;
+// a parallelism change routes each committed worker checkpoint through a
+// scratch store and re-appends its state into the new workers by key
+// hash, then re-partitions the operator snapshots the same way. Shared
+// stages restore their single merged cut and fan the combined operator
+// snapshots back out — re-partitioned first if the worker count changed.
+// The committed generation is only ever read; a crash mid-restore leaves
+// it intact for the next Resume.
+func (jr *jobRun) restoreCommitted(meta JobMeta) error {
+	j := jr.j
+	genDir := filepath.Join(j.Dir, genDirName(meta.Gen))
+	layout, err := CommittedLayout(jr.fsys, j.Dir, meta.Gen)
+	if err != nil {
+		return err
+	}
+	scratchRoot := filepath.Join(j.Dir, rescaleDirName)
+	defer jr.fsys.RemoveAll(scratchRoot)
+	for _, js := range jr.stages {
+		cs, ok := layout[js.si]
+		if !ok {
+			return fmt.Errorf("spe: job resume gen %d: stage %s has no committed checkpoint", meta.Gen, js.name)
+		}
+		if cs.Shared != (js.shared != nil) {
+			return fmt.Errorf("spe: job resume gen %d: stage %s committed shared=%v, pipeline shared=%v", meta.Gen, js.name, cs.Shared, js.shared != nil)
+		}
+		if js.shared != nil {
+			combined, err := js.sharedCP.RestoreMeta(filepath.Join(genDir, sharedDirName(js.si)))
+			if err != nil {
+				return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
+			}
+			snaps, err := decodeShardSnaps(combined)
+			if err != nil {
+				return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
+			}
+			if len(snaps) != js.par {
+				if snaps, err = repartitionOpSnaps(snaps, js.par, js.join); err != nil {
+					return fmt.Errorf("spe: job rescale stage %s %d->%d: %w", js.name, len(snaps), js.par, err)
+				}
+			}
+			for w, op := range js.ops {
+				if err := op.restoreState(snaps[w]); err != nil {
+					return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
+				}
+			}
+			continue
+		}
+		if cs.Workers == js.par {
+			for w, op := range js.ops {
+				snap, err := js.cps[w].RestoreMeta(filepath.Join(genDir, workerDirName(js.si, w)))
+				if err != nil {
+					return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
+				}
+				if err := op.restoreState(snap); err != nil {
+					return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
+				}
+			}
+			continue
+		}
+		// Rescale: split/merge the committed key ranges onto the new
+		// worker set.
+		route := func(key []byte) int { return routeKey(key, js.par) }
+		if js.join {
+			// Join state lives under side-tagged backend keys; the new
+			// owner is decided by the user key, as live routing does.
+			route = func(key []byte) int { return routeKey(sideKeyUser(key), js.par) }
+		}
+		oldSnaps := make([][]byte, 0, cs.Workers)
+		for ow := 0; ow < cs.Workers; ow++ {
+			snap, err := rerouteCheckpointState(jr.fsys,
+				filepath.Join(genDir, workerDirName(js.si, ow)),
+				filepath.Join(scratchRoot, workerDirName(js.si, ow)),
+				js.backends, route)
+			if err != nil {
+				return fmt.Errorf("spe: job rescale stage %s %d->%d: %w", js.name, cs.Workers, js.par, err)
+			}
+			oldSnaps = append(oldSnaps, snap)
+		}
+		newSnaps, err := repartitionOpSnaps(oldSnaps, js.par, js.join)
+		if err != nil {
+			return fmt.Errorf("spe: job rescale stage %s %d->%d: %w", js.name, cs.Workers, js.par, err)
+		}
+		for w, op := range js.ops {
+			if err := op.restoreState(newSnaps[w]); err != nil {
+				return fmt.Errorf("spe: job rescale stage %s %d->%d: %w", js.name, cs.Workers, js.par, err)
+			}
+		}
+	}
+	return nil
 }
 
 // appendSegment sorts the inter-barrier sink segment canonically by
@@ -598,6 +756,10 @@ func encodeJobMeta(m JobMeta) []byte {
 	p = binio.PutVarint(p, m.MaxTS)
 	p = binio.PutVarint(p, m.SinceWM)
 	p = binio.PutVarint(p, m.LedgerLen)
+	p = binio.PutUvarint(p, uint64(len(m.StagePars)))
+	for _, sp := range m.StagePars {
+		p = binio.PutVarint(p, sp)
+	}
 	return binio.AppendRecord(nil, p)
 }
 
@@ -606,10 +768,18 @@ func decodeJobMeta(b []byte) (JobMeta, error) {
 	if err != nil {
 		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", err)
 	}
-	if len(payload) < len(jobMetaMagic) || string(payload[:len(jobMetaMagic)]) != jobMetaMagic {
+	v1 := false
+	switch {
+	case len(payload) >= len(jobMetaMagic) && string(payload[:len(jobMetaMagic)]) == jobMetaMagic:
+	case len(payload) >= len(jobMetaMagicV1) && string(payload[:len(jobMetaMagicV1)]) == jobMetaMagicV1:
+		v1 = true
+	default:
 		return JobMeta{}, fmt.Errorf("spe: not a JOB file (bad magic)")
 	}
 	d := snapDecoder{b: payload[len(jobMetaMagic):]}
+	if v1 {
+		d = snapDecoder{b: payload[len(jobMetaMagicV1):]}
+	}
 	var m JobMeta
 	m.Gen = d.varint()
 	m.Final = d.varint() != 0
@@ -618,6 +788,15 @@ func decodeJobMeta(b []byte) (JobMeta, error) {
 	m.MaxTS = d.varint()
 	m.SinceWM = d.varint()
 	m.LedgerLen = d.varint()
+	if !v1 {
+		n := d.uvarint()
+		if n > maxShardSnaps {
+			return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %d stages", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			m.StagePars = append(m.StagePars, d.varint())
+		}
+	}
 	if d.err != nil {
 		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", d.err)
 	}

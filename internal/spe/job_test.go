@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"testing"
 
+	"flowkv/internal/binio"
 	"flowkv/internal/core"
 	"flowkv/internal/faultfs"
 	"flowkv/internal/statebackend"
@@ -469,7 +471,7 @@ func TestOperatorSnapshotRoundTrip(t *testing.T) {
 // atomicity guarantees at the unit level.
 func TestJobMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	m := JobMeta{Gen: 42, Final: true, Offset: 1234, TuplesIn: 5678, MaxTS: 99, SinceWM: 7, LedgerLen: 4096}
+	m := JobMeta{Gen: 42, Final: true, Offset: 1234, TuplesIn: 5678, MaxTS: 99, SinceWM: 7, LedgerLen: 4096, StagePars: []int64{1, 3, 2}}
 	if err := writeJobMeta(faultfs.OS, dir, m); err != nil {
 		t.Fatal(err)
 	}
@@ -477,8 +479,31 @@ func TestJobMetaRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("meta round trip: got %+v want %+v", got, m)
+	}
+	// A v1 JOB file (no key-range manifest) still decodes; the manifest
+	// comes back empty and the layout is recovered from the generation
+	// directory scan instead.
+	v1 := []byte(jobMetaMagicV1)
+	v1 = binio.PutVarint(v1, m.Gen)
+	v1 = binio.PutVarint(v1, 1)
+	v1 = binio.PutVarint(v1, m.Offset)
+	v1 = binio.PutVarint(v1, m.TuplesIn)
+	v1 = binio.PutVarint(v1, m.MaxTS)
+	v1 = binio.PutVarint(v1, m.SinceWM)
+	v1 = binio.PutVarint(v1, m.LedgerLen)
+	if err := os.WriteFile(filepath.Join(dir, jobMetaName), binio.AppendRecord(nil, v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotV1, err := ReadJobMeta(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV1 := m
+	wantV1.StagePars = nil
+	if !reflect.DeepEqual(gotV1, wantV1) {
+		t.Fatalf("v1 meta decode: got %+v want %+v", gotV1, wantV1)
 	}
 	// A corrupt JOB file is detected, not silently accepted.
 	if err := os.WriteFile(filepath.Join(dir, jobMetaName), []byte("garbage"), 0o644); err != nil {

@@ -3,6 +3,7 @@ package spe
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"flowkv/internal/binio"
 	"flowkv/internal/statebackend"
@@ -120,6 +121,17 @@ func sideKey(side Side, key []byte) []byte {
 	out := make([]byte, 0, len(key)+1)
 	out = append(out, byte(side))
 	return append(out, key...)
+}
+
+// sideKeyUser recovers the user key from a side-prefixed backend key.
+// Anything that routes join state by key hash (worker assignment,
+// rescale re-routing) must hash the user key, not the tagged one —
+// 'L'+k and k hash to different workers.
+func sideKeyUser(k []byte) []byte {
+	if len(k) > 0 {
+		return k[1:]
+	}
+	return k
 }
 
 // encJoinVal prepends the tuple timestamp to the buffered payload so
@@ -243,6 +255,78 @@ func (o *IntervalJoinOperator) expire(side Side, horizon int64) error {
 // Finish drops all remaining state (end of stream: no more matches).
 func (o *IntervalJoinOperator) Finish(int64) error {
 	return o.OnWatermark(window.MaxTime, 0)
+}
+
+// joinSnapMagic versions the interval-join operator snapshot encoding.
+const joinSnapMagic = "flowkv-joinsnap1\n"
+
+// snapshotState serializes the join operator's control state: the
+// watermark, the counters, and both sides' live bucket registries; the
+// expiry heaps are re-derived on restore. No emitted-pair frontier is
+// needed: snapshots are taken at aligned barriers, where every
+// pre-barrier emission is already committed in the sink ledger, and a
+// replay from the barrier regenerates exactly the post-barrier pairs
+// (expiry never removes a value that could still match a future tuple,
+// so probes see the same state they saw live).
+func (o *IntervalJoinOperator) snapshotState() []byte {
+	b := []byte(joinSnapMagic)
+	b = binio.PutVarint(b, o.wm)
+	b = binio.PutVarint(b, o.results)
+	b = binio.PutVarint(b, o.late)
+	for _, side := range []Side{Left, Right} {
+		reg := o.buckets[side]
+		wins := make([]window.Window, 0, len(reg))
+		for w := range reg {
+			wins = append(wins, w)
+		}
+		sort.Slice(wins, func(i, j int) bool { return wins[i].Before(wins[j]) })
+		b = binio.PutUvarint(b, uint64(len(wins)))
+		for _, w := range wins {
+			b = w.AppendTo(b)
+			keys := sortedKeys(reg[w])
+			b = binio.PutUvarint(b, uint64(len(keys)))
+			for _, k := range keys {
+				b = binio.PutString(b, k)
+			}
+		}
+	}
+	return b
+}
+
+// restoreState rebuilds the join operator's control state from a
+// snapshot. The operator must be freshly constructed; the expiry heaps
+// are rebuilt from the bucket registries.
+func (o *IntervalJoinOperator) restoreState(b []byte) error {
+	d := snapDecoder{b: b}
+	if err := d.magic(joinSnapMagic); err != nil {
+		return err
+	}
+	o.wm = d.varint()
+	o.results = d.varint()
+	o.late = d.varint()
+	o.buckets = map[Side]map[window.Window]map[string]struct{}{
+		Left:  make(map[window.Window]map[string]struct{}),
+		Right: make(map[window.Window]map[string]struct{}),
+	}
+	o.expiry = map[Side]*windowHeap{Left: {}, Right: {}}
+	for _, side := range []Side{Left, Right} {
+		for n := d.uvarint(); n > 0; n-- {
+			w := d.window()
+			set := make(map[string]struct{})
+			for kn := d.uvarint(); kn > 0; kn-- {
+				set[d.str()] = struct{}{}
+			}
+			if d.err != nil {
+				break
+			}
+			o.buckets[side][w] = set
+			heap.Push(o.expiry[side], w)
+		}
+	}
+	if d.err != nil {
+		return fmt.Errorf("spe: corrupt join snapshot: %w", d.err)
+	}
+	return nil
 }
 
 // JoinStats reports the operator's counters.

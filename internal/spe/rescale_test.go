@@ -1,0 +1,618 @@
+package spe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"flowkv/internal/core"
+	"flowkv/internal/faultfs"
+	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
+)
+
+// The rescale battery: kill a checkpointed job at a random point, resume
+// it at a DIFFERENT stage parallelism (down one, up one, doubled), and
+// require the committed sink ledger to come out byte-identical to the
+// uninterrupted golden run — exactly-once output across restarts that
+// split/merge the committed key ranges.
+
+// crashPipelineAt is crashPipeline with a configurable window-stage
+// parallelism (the knob the rescale battery turns between resumes).
+func crashPipelineAt(pat crashPattern, stateDir string, fsys faultfs.FS, bufBytes int64, par int) *Pipeline {
+	spec := pat.spec
+	opts := core.Options{Instances: 2, WriteBufferBytes: bufBytes}
+	if fsys != nil {
+		opts.FS = fsys
+	}
+	return &Pipeline{
+		WatermarkEvery: 25,
+		Stages: []Stage{
+			{
+				Name: "tag", Parallelism: 2,
+				Map: func(t Tuple, emit func(Tuple)) { emit(t) },
+			},
+			{
+				Name: "win", Parallelism: par,
+				Window: &spec,
+				NewBackend: func(w int) (statebackend.Backend, error) {
+					return statebackend.Open(statebackend.Config{
+						Kind:       statebackend.KindFlowKV,
+						Dir:        filepath.Join(stateDir, fmt.Sprintf("w%02d", w)),
+						Agg:        pat.agg,
+						WindowKind: pat.wk,
+						Assigner:   spec.Assigner,
+						FlowKV:     opts,
+					})
+				},
+			},
+		},
+	}
+}
+
+// joinCrashTuples builds a deterministic two-sided stream with enough key
+// collisions that interval joins fire throughout.
+func joinCrashTuples(n int) []Tuple {
+	rng := rand.New(rand.NewSource(0x10e5ca1e))
+	tuples := make([]Tuple, 0, n)
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += int64(rng.Intn(4))
+		side := Left
+		if rng.Intn(2) == 0 {
+			side = Right
+		}
+		key := fmt.Sprintf("k%02d", rng.Intn(7))
+		tuples = append(tuples, sideTuple(key, side, fmt.Sprintf("p%04d", i), ts))
+	}
+	return tuples
+}
+
+// joinJobPipeline builds a checkpointable interval-join pipeline: a
+// stateless map stage feeding a par-way join stage over FlowKV AUR.
+func joinJobPipeline(stateDir string, fsys faultfs.FS, bufBytes int64, par int) *Pipeline {
+	spec := joinSpec(-7, 13)
+	opts := core.Options{Instances: 2, WriteBufferBytes: bufBytes}
+	if fsys != nil {
+		opts.FS = fsys
+	}
+	return &Pipeline{
+		WatermarkEvery: 25,
+		Stages: []Stage{
+			{
+				Name: "tag", Parallelism: 2,
+				Map: func(t Tuple, emit func(Tuple)) { emit(t) },
+			},
+			{
+				Name: "join", Parallelism: par,
+				Join: &spec,
+				NewBackend: func(w int) (statebackend.Backend, error) {
+					return statebackend.Open(statebackend.Config{
+						Kind:       statebackend.KindFlowKV,
+						Dir:        filepath.Join(stateDir, fmt.Sprintf("w%02d", w)),
+						Agg:        core.AggHolistic,
+						WindowKind: window.Custom, // AUR
+						FlowKV:     opts,
+					})
+				},
+			},
+		},
+	}
+}
+
+// rescaleCase is one pipeline shape exercised by the rescale battery.
+type rescaleCase struct {
+	name   string
+	tuples []Tuple
+	// mk builds the job with the window/join stage at parallelism par.
+	mk func(base string, par int, src *SliceSource, kill int64) *Job
+}
+
+func rescaleCases() []rescaleCase {
+	const every = 97
+	var cases []rescaleCase
+	for _, pat := range crashPatterns() {
+		pat := pat
+		cases = append(cases, rescaleCase{
+			name:   pat.name,
+			tuples: crashTuples(600),
+			mk: func(base string, par int, src *SliceSource, kill int64) *Job {
+				return &Job{
+					Pipeline:        crashPipelineAt(pat, filepath.Join(base, "state"), nil, 1<<10, par),
+					Source:          src,
+					Dir:             filepath.Join(base, "job"),
+					CheckpointEvery: every,
+					KillAfterTuples: kill,
+				}
+			},
+		})
+	}
+	cases = append(cases, rescaleCase{
+		name:   "interval-join",
+		tuples: joinCrashTuples(600),
+		mk: func(base string, par int, src *SliceSource, kill int64) *Job {
+			return &Job{
+				Pipeline:        joinJobPipeline(filepath.Join(base, "state"), nil, 1<<10, par),
+				Source:          src,
+				Dir:             filepath.Join(base, "job"),
+				CheckpointEvery: every,
+				KillAfterTuples: kill,
+			}
+		},
+	})
+	return cases
+}
+
+// goldenFor runs the case uninterrupted at parallelism 2 and returns the
+// committed ledger bytes.
+func goldenFor(t *testing.T, c rescaleCase) []byte {
+	t.Helper()
+	base := t.TempDir()
+	res, err := c.mk(base, 2, NewSliceSource(c.tuples), 0).Run()
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if !res.Final {
+		t.Fatal("golden run did not finish")
+	}
+	b, err := os.ReadFile(filepath.Join(base, "job", ledgerName))
+	if err != nil {
+		t.Fatalf("golden ledger: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("golden run produced no sink output")
+	}
+	return b
+}
+
+// TestJobRescaleResumeExactlyOnce is the rescale battery: each iteration
+// starts the job at parallelism 2, kills it at a random point, and
+// resumes at a different parallelism — down one (merge), up one (split),
+// and doubled — possibly killing and re-rescaling several times. The
+// final ledger must match the parallelism-2 golden run byte-for-byte.
+func TestJobRescaleResumeExactlyOnce(t *testing.T) {
+	iters := (crashIters(t) + 1) / 2
+	rescalePars := []int{1, 3, 4} // -1, +1, 2x of the golden parallelism 2
+	for _, c := range rescaleCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			golden := goldenFor(t, c)
+			rng := rand.New(rand.NewSource(int64(0x5ca1e + len(c.name)*7919)))
+			base := t.TempDir()
+			for i := 0; i < iters; i++ {
+				dir := filepath.Join(base, fmt.Sprintf("i%03d", i))
+				src := NewSliceSource(c.tuples)
+				par := rescalePars[i%len(rescalePars)]
+				res, err := c.mk(dir, 2, src, 1+rng.Int63n(int64(len(c.tuples)))).Run()
+				for attempts := 0; err != nil; attempts++ {
+					if !errors.Is(err, ErrJobKilled) {
+						t.Fatalf("iter %d: unexpected error: %v", i, err)
+					}
+					if attempts > 30 {
+						t.Fatalf("iter %d: still killed after %d attempts", i, attempts)
+					}
+					var kill int64
+					if rng.Intn(2) == 0 {
+						kill = 1 + rng.Int63n(int64(len(c.tuples)))
+					}
+					res, err = runOrResume(c.mk(dir, par, src, kill))
+					// Further resumes may land on yet another parallelism.
+					par = rescalePars[rng.Intn(len(rescalePars))]
+				}
+				if !res.Final {
+					t.Fatalf("iter %d: job not final", i)
+				}
+				checkLedger(t, filepath.Join(dir, "job"), golden)
+			}
+		})
+	}
+}
+
+// sharedJobPipeline builds a checkpointable shared-backend pipeline: a
+// par-way holistic fixed-window stage where every worker hits one FlowKV
+// AAR store — the configuration whose barrier commit is a single-owner
+// cut of the merged state.
+func sharedJobPipeline(stateDir string, fsys faultfs.FS, par int) *Pipeline {
+	assigner := window.FixedAssigner{Size: 64}
+	spec := OperatorSpec{Assigner: assigner, Holistic: crashHolistic}
+	opts := core.Options{Instances: 2, WriteBufferBytes: 1 << 10}
+	if fsys != nil {
+		opts.FS = fsys
+	}
+	return &Pipeline{
+		WatermarkEvery: 25,
+		Stages: []Stage{
+			{
+				Name: "tag", Parallelism: 2,
+				Map: func(t Tuple, emit func(Tuple)) { emit(t) },
+			},
+			{
+				Name: "win", Parallelism: par,
+				ShareBackend: true,
+				Window:       &spec,
+				NewBackend: func(int) (statebackend.Backend, error) {
+					return statebackend.Open(statebackend.Config{
+						Kind:       statebackend.KindFlowKV,
+						Dir:        filepath.Join(stateDir, "shared"),
+						Agg:        core.AggHolistic,
+						WindowKind: window.Fixed,
+						Assigner:   assigner,
+						FlowKV:     opts,
+					})
+				},
+			},
+		},
+	}
+}
+
+// TestJobSharedBackendCrashResume runs the kill battery over a shared
+// holistic+aligned stage: one checkpoint per barrier covers the merged
+// store, restore fans the per-worker operator snapshots back out, and
+// resumes may change the worker count (snapshots re-partition; the
+// shared store needs no splitting). Ledger must match golden exactly.
+func TestJobSharedBackendCrashResume(t *testing.T) {
+	iters := (crashIters(t) + 1) / 2
+	tuples := crashTuples(600)
+	const every = 97
+	mk := func(base string, par int, src *SliceSource, kill int64) *Job {
+		return &Job{
+			Pipeline:        sharedJobPipeline(filepath.Join(base, "state"), nil, par),
+			Source:          src,
+			Dir:             filepath.Join(base, "job"),
+			CheckpointEvery: every,
+			KillAfterTuples: kill,
+		}
+	}
+	goldenBase := t.TempDir()
+	res, err := mk(goldenBase, 2, NewSliceSource(tuples), 0).Run()
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if !res.Final {
+		t.Fatal("golden run did not finish")
+	}
+	golden, err := os.ReadFile(filepath.Join(goldenBase, "job", ledgerName))
+	if err != nil || len(golden) == 0 {
+		t.Fatalf("golden ledger: %v (%d bytes)", err, len(golden))
+	}
+	rescalePars := []int{2, 1, 3, 4}
+	rng := rand.New(rand.NewSource(0x5a7ed))
+	base := t.TempDir()
+	for i := 0; i < iters; i++ {
+		dir := filepath.Join(base, fmt.Sprintf("i%03d", i))
+		src := NewSliceSource(tuples)
+		par := rescalePars[i%len(rescalePars)]
+		res, err := mk(dir, 2, src, 1+rng.Int63n(int64(len(tuples)))).Run()
+		for attempts := 0; err != nil; attempts++ {
+			if !errors.Is(err, ErrJobKilled) {
+				t.Fatalf("iter %d: unexpected error: %v", i, err)
+			}
+			if attempts > 30 {
+				t.Fatalf("iter %d: still killed after %d attempts", i, attempts)
+			}
+			var kill int64
+			if rng.Intn(2) == 0 {
+				kill = 1 + rng.Int63n(int64(len(tuples)))
+			}
+			res, err = runOrResume(mk(dir, par, src, kill))
+			par = rescalePars[rng.Intn(len(rescalePars))]
+		}
+		if !res.Final {
+			t.Fatalf("iter %d: job not final", i)
+		}
+		checkLedger(t, filepath.Join(dir, "job"), golden)
+	}
+}
+
+// TestJobCrashDuringCommitJoinAndShared pins the mid-checkpoint and
+// mid-commit crash points for the two new checkpoint shapes: a crash
+// while renaming an interval-join stage's store checkpoint, while
+// renaming a shared stage's single-owner checkpoint, and while renaming
+// the JOB file over either shape. Resume must land on the previous
+// committed cut and converge to the golden ledger.
+func TestJobCrashDuringCommitJoinAndShared(t *testing.T) {
+	const every = 61
+	shapes := []struct {
+		name   string
+		tuples []Tuple
+		mk     func(base string, fsys faultfs.FS, src *SliceSource) *Job
+	}{
+		{
+			name:   "join",
+			tuples: joinCrashTuples(400),
+			mk: func(base string, fsys faultfs.FS, src *SliceSource) *Job {
+				return &Job{
+					Pipeline:        joinJobPipeline(filepath.Join(base, "state"), fsys, 1<<10, 2),
+					Source:          src,
+					Dir:             filepath.Join(base, "job"),
+					FS:              fsys,
+					CheckpointEvery: every,
+				}
+			},
+		},
+		{
+			name:   "shared",
+			tuples: crashTuples(400),
+			mk: func(base string, fsys faultfs.FS, src *SliceSource) *Job {
+				return &Job{
+					Pipeline:        sharedJobPipeline(filepath.Join(base, "state"), fsys, 2),
+					Source:          src,
+					Dir:             filepath.Join(base, "job"),
+					FS:              fsys,
+					CheckpointEvery: every,
+				}
+			},
+		},
+	}
+	legs := []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"checkpoint-rename", faultfs.Rule{Op: faultfs.OpRename, PathContains: "gen-", Crash: true}},
+		{"second-checkpoint-rename", faultfs.Rule{Op: faultfs.OpRename, PathContains: "gen-", Nth: 5, Crash: true}},
+		{"job-commit-rename", faultfs.Rule{Op: faultfs.OpRename, PathContains: "JOB", Crash: true}},
+		{"ledger-sync", faultfs.Rule{Op: faultfs.OpSync, PathContains: ledgerName, Crash: true}},
+	}
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			t.Parallel()
+			goldenBase := t.TempDir()
+			res, err := shape.mk(goldenBase, nil, NewSliceSource(shape.tuples)).Run()
+			if err != nil || !res.Final {
+				t.Fatalf("golden run: final=%v err=%v", res != nil && res.Final, err)
+			}
+			golden, err := os.ReadFile(filepath.Join(goldenBase, "job", ledgerName))
+			if err != nil || len(golden) == 0 {
+				t.Fatalf("golden ledger: %v (%d bytes)", err, len(golden))
+			}
+			for _, leg := range legs {
+				leg := leg
+				t.Run(leg.name, func(t *testing.T) {
+					base := t.TempDir()
+					inj := faultfs.NewInjector(faultfs.OS)
+					src := NewSliceSource(shape.tuples)
+					mk := func() *Job { return shape.mk(base, inj, src) }
+					inj.SetRule(leg.rule)
+					if _, err := mk().Run(); err == nil {
+						t.Fatal("run survived a crashed filesystem")
+					}
+					if !inj.Fired() {
+						t.Fatal("fault did not fire")
+					}
+					inj.Reset()
+					resumeToFinal(t, func(int64) *Job { return mk() }, golden)
+				})
+			}
+		})
+	}
+}
+
+// TestJobRescaleCrashDuringRecovery crashes the filesystem while a
+// rescaling resume is splitting committed checkpoints through the scratch
+// store. The committed generation is read-only during the re-route, so a
+// second resume — at yet another parallelism — must still converge.
+func TestJobRescaleCrashDuringRecovery(t *testing.T) {
+	tuples := crashTuples(400)
+	const every = 61
+	pat := crashPatterns()[0] // AAR
+	base := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS)
+	src := NewSliceSource(tuples)
+	mk := func(par int, kill int64) *Job {
+		return &Job{
+			Pipeline:        crashPipelineAt(pat, filepath.Join(base, "state"), inj, 1<<10, par),
+			Source:          src,
+			Dir:             filepath.Join(base, "job"),
+			FS:              inj,
+			CheckpointEvery: every,
+			KillAfterTuples: kill,
+		}
+	}
+	goldenBase := t.TempDir()
+	goldenJob := &Job{
+		Pipeline:        crashPipelineAt(pat, filepath.Join(goldenBase, "state"), nil, 1<<10, 2),
+		Source:          NewSliceSource(tuples),
+		Dir:             filepath.Join(goldenBase, "job"),
+		CheckpointEvery: every,
+	}
+	if res, err := goldenJob.Run(); err != nil || !res.Final {
+		t.Fatalf("golden run: err=%v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join(goldenBase, "job", ledgerName))
+	if err != nil || len(golden) == 0 {
+		t.Fatalf("golden ledger: %v (%d bytes)", err, len(golden))
+	}
+	// Establish committed progress at parallelism 2, then kill.
+	if _, err := mk(2, 250).Run(); !errors.Is(err, ErrJobKilled) {
+		t.Fatalf("want ErrJobKilled, got %v", err)
+	}
+	// Crash inside the rescaling restore: the scratch re-route writes into
+	// the .rescale area and the new workers' stores.
+	inj.Reset()
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpWrite, PathContains: "state", Nth: 10, Crash: true})
+	if _, err := mk(3, 0).Resume(); err == nil {
+		t.Fatal("rescaling resume survived a crashed filesystem")
+	}
+	if !inj.Fired() {
+		t.Fatal("recovery fault did not fire")
+	}
+	inj.Reset()
+	// Converge at yet another parallelism.
+	resumeToFinal(t, func(int64) *Job { return mk(4, 0) }, golden)
+}
+
+// TestOperatorSnapshotJoinReplay is the snapshot→restore→replay property
+// test for the interval-join operator: cutting a stream at any point,
+// checkpointing the backend with the operator snapshot as metadata,
+// restoring both into fresh instances, and replaying the suffix must
+// produce exactly the joins of an uninterrupted run.
+func TestOperatorSnapshotJoinReplay(t *testing.T) {
+	spec := joinSpec(-7, 13)
+	mkBackend := func(dir string) statebackend.Backend {
+		b, err := statebackend.Open(statebackend.Config{
+			Kind:       statebackend.KindFlowKV,
+			Dir:        dir,
+			Agg:        core.AggHolistic,
+			WindowKind: window.Custom, // AUR
+			FlowKV:     core.Options{Instances: 2, WriteBufferBytes: 1 << 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name   string
+		tuples []Tuple
+		wms    []int64
+		cuts   []int
+	}{
+		// Random two-sided stream, cuts sweeping the whole run.
+		{"mixed", joinCrashTuples(400), []int64{50, 120, 200, 320}, []int{1, 37, 100, 201, 399}},
+		// Only the left side ever arrives: snapshots with an empty right
+		// registry must restore and keep classifying correctly.
+		{"empty-side", func() []Tuple {
+			var ts int64
+			out := make([]Tuple, 0, 120)
+			for i := 0; i < 120; i++ {
+				ts += 2
+				out = append(out, sideTuple(fmt.Sprintf("k%d", i%5), Left, fmt.Sprintf("l%03d", i), ts))
+			}
+			return out
+		}(), []int64{60, 140, 220}, []int{10, 60, 110}},
+		// Watermark lands inside a bucket's span, so live buckets straddle
+		// the expiry horizon at the cut.
+		{"wm-straddling", func() []Tuple {
+			var out []Tuple
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%3)
+				out = append(out, sideTuple(key, Left, fmt.Sprintf("l%03d", i), int64(i*3)))
+				out = append(out, sideTuple(key, Right, fmt.Sprintf("r%03d", i), int64(i*3+1)))
+			}
+			return out
+		}(), []int64{31, 155, 317, 471}, []int{51, 151, 303}},
+	}
+	run := func(op *IntervalJoinOperator, tuples []Tuple, wms []int64, wi *int) {
+		for _, tp := range tuples {
+			if err := op.OnTuple(tp); err != nil {
+				t.Fatal(err)
+			}
+			for *wi < len(wms) && wms[*wi] <= tp.TS {
+				if err := op.OnWatermark(wms[*wi], 0); err != nil {
+					t.Fatal(err)
+				}
+				*wi++
+			}
+		}
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Golden: uninterrupted run.
+			var golden []string
+			gb := mkBackend(filepath.Join(t.TempDir(), "golden"))
+			gop, err := NewIntervalJoinOperator(spec, gb, func(tp Tuple) { golden = append(golden, string(tp.Value)) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			gwi := 0
+			run(gop, tc.tuples, tc.wms, &gwi)
+			if err := gop.Finish(0); err != nil {
+				t.Fatal(err)
+			}
+			gb.Destroy()
+			sort.Strings(golden)
+
+			for _, cut := range tc.cuts {
+				base := t.TempDir()
+				var got []string
+				b1 := mkBackend(filepath.Join(base, "pre"))
+				op1, err := NewIntervalJoinOperator(spec, b1, func(tp Tuple) { got = append(got, string(tp.Value)) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				wi := 0
+				run(op1, tc.tuples[:cut], tc.wms, &wi)
+				// Checkpoint the cut: backend state + operator snapshot.
+				cp, ok := statebackend.AsCheckpointer(b1)
+				if !ok {
+					t.Fatal("flowkv backend lost its checkpointer")
+				}
+				cpDir := filepath.Join(base, "cp")
+				if err := cp.CheckpointMeta(cpDir, op1.snapshotState()); err != nil {
+					t.Fatal(err)
+				}
+				b1.Destroy()
+				// Restore into fresh instances and replay the suffix.
+				b2 := mkBackend(filepath.Join(base, "post"))
+				cp2, _ := statebackend.AsCheckpointer(b2)
+				snap, err := cp2.RestoreMeta(cpDir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				op2, err := NewIntervalJoinOperator(spec, b2, func(tp Tuple) { got = append(got, string(tp.Value)) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := op2.restoreState(snap); err != nil {
+					t.Fatal(err)
+				}
+				if again := op2.snapshotState(); !bytes.Equal(snap, again) {
+					t.Fatalf("cut %d: snapshot not stable across restore", cut)
+				}
+				run(op2, tc.tuples[cut:], tc.wms, &wi)
+				if err := op2.Finish(0); err != nil {
+					t.Fatal(err)
+				}
+				b2.Destroy()
+				sort.Strings(got)
+				if len(got) != len(golden) {
+					t.Fatalf("cut %d: %d joins, want %d", cut, len(got), len(golden))
+				}
+				for i := range golden {
+					if got[i] != golden[i] {
+						t.Fatalf("cut %d: join %d = %q, want %q", cut, i, got[i], golden[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCommittedLayout covers the generation-directory scanner feeding the
+// rescale path and flowkvctl's resumability report.
+func TestCommittedLayout(t *testing.T) {
+	dir := t.TempDir()
+	gd := filepath.Join(dir, genDirName(3))
+	for _, sub := range []string{"s01-w00", "s01-w01", "s01-w02", "s02-shared", "junk", "s03-w00"} {
+		if err := os.MkdirAll(filepath.Join(gd, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layout, err := CommittedLayout(nil, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := layout[1]; cs.Workers != 3 || cs.Shared {
+		t.Errorf("stage 1 layout = %+v", cs)
+	}
+	if cs := layout[2]; !cs.Shared {
+		t.Errorf("stage 2 layout = %+v", cs)
+	}
+	if cs := layout[3]; cs.Workers != 1 || cs.Shared {
+		t.Errorf("stage 3 layout = %+v", cs)
+	}
+	if _, ok := layout[0]; ok {
+		t.Error("phantom stage 0")
+	}
+	if _, err := CommittedLayout(nil, dir, 9); err == nil {
+		t.Error("missing generation accepted")
+	}
+}

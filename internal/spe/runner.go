@@ -12,6 +12,7 @@ import (
 	"flowkv/internal/core"
 	"flowkv/internal/metrics"
 	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
 )
 
 // Stage is one operator of a pipeline, executed by Parallelism workers.
@@ -34,9 +35,9 @@ type Stage struct {
 	// other kinds are wrapped with statebackend.Synchronized. Workers
 	// still own disjoint key ranges (tuples are routed by key hash), so
 	// per-key state never interleaves across workers. Holistic aggregates
-	// over aligned windows are rejected in this mode: their trigger path
-	// bulk-reads a whole window, which would steal the keys of workers
-	// whose watermark has not yet passed the window end.
+	// over aligned windows run each worker behind a view that reads only
+	// its own key range from the merged window and defers the wholesale
+	// drop until every owner has fired (see shared.go).
 	ShareBackend bool
 	// Map is a stateless transform; it may emit zero or more tuples.
 	Map func(t Tuple, emit func(Tuple))
@@ -220,6 +221,15 @@ type stageRT struct {
 	ops    []statefulOperator
 	shared statebackend.Backend // non-nil in ShareBackend mode
 
+	// Holistic aligned windows over a shared backend: per-worker key-range
+	// views and the deferred whole-window drop tracker (see shared.go).
+	// views is nil for every other stage shape; drops is additionally nil
+	// when the shared backend cannot serve partitioned window reads (the
+	// operators then fall back to consuming per-key reads, which need no
+	// deferred drop).
+	views []*workerView
+	drops *sharedDrops
+
 	barMu sync.Mutex
 	barN  int
 }
@@ -301,15 +311,28 @@ func (r *runtime) buildOperators() error {
 		emitTuple, _ := r.sender(i)
 		rt.ops = make([]statefulOperator, rt.par)
 		if rt.stage.ShareBackend && (rt.stage.Window != nil || rt.stage.Join != nil) {
-			if rt.stage.Window != nil && rt.stage.Window.IsHolistic() &&
-				rt.stage.Window.Assigner.Kind().Aligned() {
-				return fmt.Errorf("spe: stage %s: ShareBackend does not support holistic aggregates over aligned windows (bulk window reads cross worker key ranges)", rt.stage.Name)
-			}
 			b, err := rt.stage.NewBackend(0)
 			if err != nil {
 				return fmt.Errorf("spe: stage %s shared backend: %w", rt.stage.Name, err)
 			}
 			rt.shared = statebackend.Synchronized(b)
+			if rt.stage.Window != nil && rt.stage.Window.IsHolistic() &&
+				rt.stage.Window.Assigner.Kind().Aligned() {
+				// Holistic aligned triggers bulk-read whole windows; behind a
+				// shared backend each worker must read only its own key range
+				// and the merged window is dropped once every owner fired.
+				part, _ := statebackend.AsPartitionedWindowReader(rt.shared)
+				if part != nil {
+					shared := rt.shared
+					rt.drops = newSharedDrops(rt.par, func(w window.Window) error {
+						return shared.DropAppended(nil, w)
+					})
+				}
+				rt.views = make([]*workerView, rt.par)
+				for w := 0; w < rt.par; w++ {
+					rt.views[w] = newWorkerView(rt.shared, part, rt.drops, w, rt.par)
+				}
+			}
 		}
 		for w := 0; w < rt.par; w++ {
 			if rt.stage.Window == nil && rt.stage.Join == nil {
@@ -317,6 +340,9 @@ func (r *runtime) buildOperators() error {
 			}
 			var err error
 			backend := rt.shared
+			if rt.views != nil {
+				backend = rt.views[w]
+			}
 			if backend == nil {
 				backend, err = rt.stage.NewBackend(w)
 				if err != nil {
@@ -337,6 +363,28 @@ func (r *runtime) buildOperators() error {
 		}
 	}
 	return nil
+}
+
+// reseedSharedWindows re-registers restored state with the shared-stage
+// drop trackers after a job resume: each worker's restored watermark and
+// the aligned windows still owing triggers, exactly what live ingestion
+// would have registered. Called before any worker goroutine starts.
+func (r *runtime) reseedSharedWindows() {
+	for _, rt := range r.rts {
+		if rt.views == nil || rt.drops == nil {
+			continue
+		}
+		for w, op := range rt.ops {
+			wo, ok := op.(*WindowOperator)
+			if !ok {
+				continue
+			}
+			rt.drops.reseedWM(w, wo.wm)
+			for win := range wo.aligned {
+				rt.views[w].register(win)
+			}
+		}
+	}
 }
 
 // destroyBackends releases every backend built so far (construction
@@ -506,6 +554,12 @@ func (r *runtime) worker(stageIdx, w int, rt *stageRT, op statefulOperator, fw *
 			if op != nil {
 				if err := op.OnWatermark(wm, msg.WallNS); err != nil {
 					r.opFail(rt.stage.Name, w, op, err)
+				} else if rt.drops != nil {
+					// Advance the shared-stage drop tracker only after this
+					// worker's triggers for the watermark actually fired.
+					if err := rt.drops.noteWM(w, wm); err != nil {
+						r.opFail(rt.stage.Name, w, op, err)
+					}
 				}
 			}
 			fw.observe(w, wm, msg.WallNS)
@@ -522,6 +576,10 @@ func (r *runtime) worker(stageIdx, w int, rt *stageRT, op statefulOperator, fw *
 	if op != nil && !r.halted.Load() {
 		if err := op.Finish(time.Now().UnixNano()); err != nil {
 			r.opFail(rt.stage.Name, w, op, err)
+		} else if rt.drops != nil {
+			if err := rt.drops.noteWM(w, window.MaxTime); err != nil {
+				r.opFail(rt.stage.Name, w, op, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,193 @@
+package spe
+
+import (
+	"sync"
+
+	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
+)
+
+// Shared-backend support for holistic aggregates over aligned windows.
+//
+// In ShareBackend mode every worker of a stage hits one store, but the
+// holistic aligned trigger path bulk-reads a whole window — which would
+// steal the keys of workers whose watermark has not passed the window
+// end yet. The worker view fixes the read side: each worker's ReadWindow
+// is served as a non-consuming drain filtered to the keys it owns
+// (routeKey(key, par) == worker). The drop side is deferred to a
+// per-stage tracker: a window's merged state is unlinked wholesale only
+// once (a) every worker that appended into it has fired it, and (b) the
+// stage-minimum watermark has passed the window end. Condition (b) makes
+// late appends impossible after the drop — once min(wm) >= End, every
+// worker's operator classifies further tuples of that window as late —
+// so a slower worker can neither lose unread keys nor revive a dropped
+// window.
+
+// sharedDrops coordinates the deferred whole-window drops of one shared
+// stage. All methods are safe for concurrent use by the stage's workers.
+type sharedDrops struct {
+	drop func(window.Window) error
+
+	mu      sync.Mutex
+	wms     []int64               // last watermark each worker processed
+	pending map[window.Window]int // workers registered, not yet fired
+	fired   []window.Window       // fully fired, waiting for the stage-min watermark
+}
+
+func newSharedDrops(par int, drop func(window.Window) error) *sharedDrops {
+	wms := make([]int64, par)
+	for i := range wms {
+		wms[i] = -1 << 62
+	}
+	return &sharedDrops{drop: drop, wms: wms, pending: make(map[window.Window]int)}
+}
+
+// noteRegister records that one more worker holds live state in win (its
+// first append, or a restored registration).
+func (d *sharedDrops) noteRegister(win window.Window) {
+	d.mu.Lock()
+	d.pending[win]++
+	d.mu.Unlock()
+}
+
+// noteFired records that one registered worker drained its keys from
+// win. When the last one fires, the window joins the drop queue.
+func (d *sharedDrops) noteFired(win window.Window) error {
+	d.mu.Lock()
+	d.pending[win]--
+	if d.pending[win] <= 0 {
+		delete(d.pending, win)
+		d.fired = append(d.fired, win)
+	}
+	return d.dropDueLocked()
+}
+
+// noteWM records worker w's watermark and unlinks every fully-fired
+// window the stage minimum has passed.
+func (d *sharedDrops) noteWM(w int, wm int64) error {
+	d.mu.Lock()
+	if wm > d.wms[w] {
+		d.wms[w] = wm
+	}
+	return d.dropDueLocked()
+}
+
+// reseedWM seeds worker w's restored watermark after a job resume,
+// before any window registrations are replayed.
+func (d *sharedDrops) reseedWM(w int, wm int64) {
+	d.mu.Lock()
+	if wm > d.wms[w] {
+		d.wms[w] = wm
+	}
+	d.mu.Unlock()
+}
+
+// dropDueLocked unlinks the due windows. The caller holds mu, which is
+// released before the drops (store I/O never runs under the tracker
+// lock).
+func (d *sharedDrops) dropDueLocked() error {
+	min := d.wms[0]
+	for _, v := range d.wms[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	var due []window.Window
+	kept := d.fired[:0]
+	for _, win := range d.fired {
+		if win.End <= min {
+			due = append(due, win)
+		} else {
+			kept = append(kept, win)
+		}
+	}
+	d.fired = kept
+	d.mu.Unlock()
+	for _, win := range due {
+		if err := d.drop(win); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerView is the per-worker facade over a shared stage backend. It
+// delegates everything to the shared backend except the holistic aligned
+// trigger path: ReadWindow serves only the keys this worker owns,
+// without consuming the window, and Append registers the window with the
+// drop tracker. Capability probes (checkpointing, health, self-heal)
+// look through it via Unwrap.
+//
+// A view is used from its worker's goroutine only (like any private
+// backend); the shared backend underneath and the drop tracker carry the
+// cross-worker synchronization.
+type workerView struct {
+	statebackend.Backend
+	part   statebackend.PartitionedWindowReader // nil: fall back to per-key reads
+	drops  *sharedDrops                         // nil when part is nil
+	worker int
+	par    int
+	seen   map[window.Window]struct{} // windows registered with the tracker
+}
+
+func newWorkerView(shared statebackend.Backend, part statebackend.PartitionedWindowReader, drops *sharedDrops, worker, par int) *workerView {
+	return &workerView{
+		Backend: shared,
+		part:    part,
+		drops:   drops,
+		worker:  worker,
+		par:     par,
+		seen:    make(map[window.Window]struct{}),
+	}
+}
+
+// Unwrap lets capability probes reach the shared backend.
+func (v *workerView) Unwrap() statebackend.Backend { return v.Backend }
+
+func (v *workerView) owns(key []byte) bool { return routeKey(key, v.par) == v.worker }
+
+// register records this worker's first append into w with the tracker.
+func (v *workerView) register(w window.Window) {
+	if v.drops == nil {
+		return
+	}
+	if _, ok := v.seen[w]; ok {
+		return
+	}
+	v.seen[w] = struct{}{}
+	v.drops.noteRegister(w)
+}
+
+func (v *workerView) Append(key, value []byte, w window.Window, ts int64) error {
+	v.register(w)
+	return v.Backend.Append(key, value, w, ts)
+}
+
+// ReadWindow drains this worker's own key range from w without consuming
+// the window; the tracker unlinks the merged state once every owner has
+// fired and the stage watermark has passed. Shared backends without
+// partitioned reads report ok=false, sending the operator to its per-key
+// ReadAppended fallback — which is naturally partitioned, since each
+// worker only knows its own registered keys.
+func (v *workerView) ReadWindow(w window.Window, emit func(key []byte, values [][]byte) error) (bool, error) {
+	if v.part == nil {
+		return false, nil
+	}
+	if err := v.part.ReadWindowOwned(w, v.owns, emit); err != nil {
+		return true, err
+	}
+	if v.drops != nil {
+		if _, ok := v.seen[w]; ok {
+			delete(v.seen, w)
+			if err := v.drops.noteFired(w); err != nil {
+				return true, err
+			}
+		}
+	}
+	return true, nil
+}
+
+var (
+	_ statebackend.Backend   = (*workerView)(nil)
+	_ statebackend.Unwrapper = (*workerView)(nil)
+)

@@ -169,25 +169,82 @@ func TestSharedBackendFlowKVIncremental(t *testing.T) {
 	}
 }
 
-// TestSharedBackendRejectsHolisticAligned: the holistic+aligned trigger
-// path bulk-reads a whole window, which in shared mode would consume keys
-// owned by workers whose watermark has not passed yet. Run must refuse
-// the configuration up front.
-func TestSharedBackendRejectsHolisticAligned(t *testing.T) {
+// runSharedHolisticAligned runs a 4-worker fixed-window holistic count
+// over the given shared backend constructor and checks the exact result
+// set: 3 windows of 100 tuples for each of 24 keys. The holistic+aligned
+// trigger path bulk-reads whole windows, which naively would consume keys
+// owned by workers whose watermark has not passed yet — the per-worker
+// view must serve each worker only its own key range.
+func runSharedHolisticAligned(t *testing.T, newBackend func(int) (statebackend.Backend, error)) {
+	t.Helper()
+	const keys = 24
 	pipe := &Pipeline{
+		WatermarkEvery: 64,
 		Stages: []Stage{{
-			Name:         "bad",
-			Parallelism:  2,
+			Name:         "count",
+			Parallelism:  4,
 			ShareBackend: true,
 			Window:       &OperatorSpec{Assigner: window.FixedAssigner{Size: 100}, Holistic: listLenAgg},
-			NewBackend: func(int) (statebackend.Backend, error) {
-				return memBackend(t), nil
-			},
+			NewBackend:   newBackend,
 		}},
 	}
-	if _, err := Run(pipe, func(func(Tuple)) {}, nil); err == nil {
-		t.Fatal("holistic aligned windows with a shared backend must be rejected")
+	source := func(emit func(Tuple)) {
+		for ts := 0; ts < 300; ts++ {
+			for k := 0; k < keys; k++ {
+				emit(Tuple{Key: []byte(fmt.Sprintf("k%02d", k)), TS: int64(ts)})
+			}
+		}
 	}
+	sink, got := collectSink()
+	if _, err := Run(pipe, source, sink); err != nil {
+		t.Fatal(err)
+	}
+	res := got()
+	if len(res) != keys {
+		t.Fatalf("results for %d keys, want %d", len(res), keys)
+	}
+	for k, vs := range res {
+		if len(vs) != 3 {
+			t.Errorf("key %s: %d windows, want 3: %v", k, len(vs), vs)
+			continue
+		}
+		for i, v := range vs {
+			if v != "100" {
+				t.Errorf("key %s window %d: count %s, want 100", k, i, v)
+			}
+		}
+	}
+}
+
+// TestSharedBackendFlowKVHolisticAligned drives the partitioned drain
+// path: one shared FlowKV AAR store, each worker's ReadWindow served as a
+// non-consuming key-filtered scan, the merged window dropped wholesale
+// once every owner fired and the stage watermark passed.
+func TestSharedBackendFlowKVHolisticAligned(t *testing.T) {
+	assigner := window.FixedAssigner{Size: 100}
+	runSharedHolisticAligned(t, func(int) (statebackend.Backend, error) {
+		return statebackend.Open(statebackend.Config{
+			Kind:       statebackend.KindFlowKV,
+			Dir:        filepath.Join(t.TempDir(), "shared-aar"),
+			Agg:        core.AggHolistic,
+			WindowKind: window.Fixed,
+			Assigner:   assigner,
+			FlowKV: core.Options{
+				WriteBufferBytes: 4 << 10, // force the disk path
+				Instances:        4,
+			},
+		})
+	})
+}
+
+// TestSharedBackendHolisticAlignedFallback drives the per-key fallback:
+// a shared backend without partitioned window reads (in-mem) makes the
+// worker view return ok=false from ReadWindow, and each worker drains
+// only its own registered keys via ReadAppended.
+func TestSharedBackendHolisticAlignedFallback(t *testing.T) {
+	runSharedHolisticAligned(t, func(int) (statebackend.Backend, error) {
+		return memBackend(t), nil
+	})
 }
 
 // TestSharedBackendSynchronizedLSM: a non-FlowKV backend shared across

@@ -6,7 +6,7 @@ import "flowkv/internal/core"
 // crash-consistent snapshot of the backend's durable state into a
 // directory, carrying opaque application metadata (operator control
 // state, source offsets) that commits atomically with the store cut.
-// Only the FlowKV backend implements it today; jobs reject stages whose
+// Only the FlowKV backend implements it today; jobs fail stages whose
 // backends do not.
 type Checkpointer interface {
 	// CheckpointMeta writes a verified snapshot of the backend into dir
@@ -30,15 +30,18 @@ func (b *flowkvBackend) RestoreMeta(dir string) ([]byte, error) {
 }
 
 // AsCheckpointer extracts the checkpoint capability from a backend,
-// looking through the Synchronized wrapper.
+// looking through wrappers (Synchronized, shared-stage worker views).
 func AsCheckpointer(b Backend) (Checkpointer, bool) {
-	if c, ok := b.(Checkpointer); ok {
-		return c, true
+	for {
+		if c, ok := b.(Checkpointer); ok {
+			return c, true
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
 	}
-	if s, ok := b.(*syncBackend); ok {
-		return AsCheckpointer(s.b)
-	}
-	return nil, false
 }
 
 // StartSelfHeal starts a background recoverer on b's FlowKV store: a
@@ -47,11 +50,8 @@ func AsCheckpointer(b Backend) (Checkpointer, bool) {
 // backend kinds without a degraded mode. The returned stop function must
 // be called before the backend is closed.
 func StartSelfHeal(b Backend, opts core.SelfHealOptions) (stop func(), ok bool) {
-	fb, ok := b.(*flowkvBackend)
-	if !ok {
-		if s, isSync := b.(*syncBackend); isSync {
-			return StartSelfHeal(s.b, opts)
-		}
+	fb, isFlowKV := unwrap(b).(*flowkvBackend)
+	if !isFlowKV {
 		return nil, false
 	}
 	h := fb.store.StartSelfHealer(opts)

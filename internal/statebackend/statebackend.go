@@ -235,24 +235,74 @@ func (b *flowkvBackend) Destroy() error { return b.store.Destroy() }
 // Stats exposes FlowKV-specific metrics (prefetch hit ratio etc.).
 func (b *flowkvBackend) Stats() core.Stats { return b.store.Stats() }
 
-// FlowKVStats extracts FlowKV store statistics from a backend, reporting
-// ok=false for other kinds.
+// Unwrapper is implemented by backend wrappers (Synchronized, the SPE's
+// shared-stage worker views); Unwrap returns the next backend in the
+// chain so capability probes reach the concrete store.
+type Unwrapper interface{ Unwrap() Backend }
+
+// unwrap follows the wrapper chain to the innermost backend.
+func unwrap(b Backend) Backend {
+	for {
+		u, ok := b.(Unwrapper)
+		if !ok {
+			return b
+		}
+		b = u.Unwrap()
+	}
+}
+
+// FlowKVStats extracts FlowKV store statistics from a backend (looking
+// through wrappers), reporting ok=false for other kinds.
 func FlowKVStats(b Backend) (core.Stats, bool) {
-	fb, ok := b.(*flowkvBackend)
+	fb, ok := unwrap(b).(*flowkvBackend)
 	if !ok {
 		return core.Stats{}, false
 	}
 	return fb.Stats(), true
 }
 
-// FlowKVHealth reports the FlowKV failure-handling state of b, with
-// ok=false for other backend kinds (which have no degraded mode).
+// FlowKVHealth reports the FlowKV failure-handling state of b (looking
+// through wrappers), with ok=false for other backend kinds (which have
+// no degraded mode).
 func FlowKVHealth(b Backend) (core.Health, bool) {
-	fb, ok := b.(*flowkvBackend)
+	fb, ok := unwrap(b).(*flowkvBackend)
 	if !ok {
 		return 0, false
 	}
 	return fb.store.Health(), true
+}
+
+// PartitionedWindowReader is the optional capability behind shared-
+// backend holistic aligned stages: read one window's state restricted to
+// a key-ownership predicate, grouped by key, WITHOUT consuming the
+// window, so several workers sharing one store can each drain their own
+// key range and the window is dropped wholesale afterwards. Only the
+// FlowKV backend over an AAR store provides it.
+type PartitionedWindowReader interface {
+	ReadWindowOwned(w window.Window, own func(key []byte) bool, emit func(key []byte, values [][]byte) error) error
+}
+
+func (b *flowkvBackend) ReadWindowOwned(w window.Window, own func(key []byte) bool, emit func(key []byte, values [][]byte) error) error {
+	part, err := b.store.ReadWindowOwned(w, own)
+	if err != nil {
+		return err
+	}
+	for _, kv := range part {
+		if err := emit(kv.Key, kv.Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsPartitionedWindowReader reports whether b (looking through wrappers)
+// can serve partitioned non-consuming window reads.
+func AsPartitionedWindowReader(b Backend) (PartitionedWindowReader, bool) {
+	fb, ok := unwrap(b).(*flowkvBackend)
+	if !ok || fb.store.Pattern() != core.PatternAAR {
+		return nil, false
+	}
+	return fb, true
 }
 
 // lsmBackend adapts the LSM tree with composite keys, list-merge appends
