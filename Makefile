@@ -24,6 +24,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/binio/ -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzParseManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/spe/ -fuzz FuzzDecodeJobRecord -fuzztime $(FUZZTIME)
 
 # One testing.B benchmark per paper figure lives in bench_test.go;
 # store microbenchmarks live under the internal packages.

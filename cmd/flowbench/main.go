@@ -12,6 +12,7 @@
 //	flowbench -query Q7 -backend flowkv -json -   # one run, JSON report
 //	flowbench -recovery              # crash-restart recovery demo
 //	flowbench -recovery -rescale     # recovery with resume at parallelism+1
+//	flowbench -tenants 4             # noisy-neighbor demo: 4 noisy tenants + 1 victim
 package main
 
 import (
@@ -29,8 +30,9 @@ import (
 // report is the -json output: single-query runs (with per-backend health
 // and error counters) and recovery-demo outcomes.
 type report struct {
-	Runs     []harness.RunOutcome      `json:"runs,omitempty"`
-	Recovery []harness.RecoveryOutcome `json:"recovery,omitempty"`
+	Runs     []harness.RunOutcome       `json:"runs,omitempty"`
+	Recovery []harness.RecoveryOutcome  `json:"recovery,omitempty"`
+	Tenants  *harness.TenantDemoOutcome `json:"tenants,omitempty"`
 }
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		windowMs  = flag.Int64("window", 1000, "window size / session gap in ms for -query")
 		recovery  = flag.Bool("recovery", false, "run the crash-restart recovery demo (kill, resume, verify exactly-once)")
 		rescale   = flag.Bool("rescale", false, "with -recovery: resume crashed jobs at parallelism+1, splitting committed key ranges on restart")
+		tenants   = flag.Int("tenants", 0, "run the multi-tenant demo: this many noisy tenants over-submitting their quota next to one SLO victim, with an injected slot failure")
 		jsonPath  = flag.String("json", "", "write -query/-recovery outcomes as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
@@ -104,6 +107,15 @@ func main() {
 			runErr = err
 		}
 	}
+	if *tenants > 0 {
+		ran = true
+		fmt.Printf("== multi-tenant demo: %d noisy tenants + 1 victim, 3 slots, 1 forced failure ==\n", *tenants)
+		out, err := harness.TenantDemo(sc, *tenants, os.Stdout)
+		rep.Tenants = &out
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	if *ablations {
 		ran = true
 		if _, err := harness.Ablations(sc, os.Stdout); err != nil {
@@ -134,7 +146,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *jsonPath != "" && (rep.Runs != nil || rep.Recovery != nil) {
+	if *jsonPath != "" && (rep.Runs != nil || rep.Recovery != nil || rep.Tenants != nil) {
 		if err := writeJSON(*jsonPath, rep); err != nil {
 			fatal(err)
 		}

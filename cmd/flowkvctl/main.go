@@ -14,6 +14,7 @@
 //	flowkvctl checkpoints <parent-dir> # list and verify checkpoints
 //	flowkvctl job <job-dir>            # inspect a job's committed progress
 //	flowkvctl job <job-dir> <par>      # additionally: can it resume at <par> workers?
+//	flowkvctl tenants <manager-dir>    # per-tenant admission stats and pool health
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"flowkv/internal/binio"
 	"flowkv/internal/core"
+	"flowkv/internal/jobmanager"
 	"flowkv/internal/metrics"
 	"flowkv/internal/spe"
 	"flowkv/internal/window"
@@ -63,6 +65,8 @@ func main() {
 			}
 		}
 		err = cmdJob(path, target)
+	case "tenants":
+		err = cmdTenants(path)
 	default:
 		usage()
 	}
@@ -73,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job} <path> [job-target-parallelism]")
+	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job|tenants} <path> [job-target-parallelism]")
 	os.Exit(2)
 }
 
@@ -435,4 +439,40 @@ func cmdRMW(path string) error {
 		return nil
 	})
 	return err
+}
+
+// cmdTenants renders a job manager directory's persisted TENANTS.json:
+// per-tenant admission counters (admitted/throttled/shed), write-side
+// bandwidth accounting, admit-latency quantiles, failovers, and the
+// store pool's slot health.
+func cmdTenants(dir string) error {
+	doc, err := jobmanager.ReadTenantsFile(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %-8s %-7s %9s %9s %8s %10s %10s %7s %9s %6s\n",
+		"tenant", "strategy", "state", "slot", "admitted", "throttled", "shed",
+		"admit-p50", "admit-p99", "stalls", "failovers", "ckpts")
+	for _, s := range doc.Tenants {
+		fmt.Printf("%-10s %-14s %-8s %-7s %9d %9d %8d %10v %10v %7d %9d %6d\n",
+			s.Tenant, s.Strategy, s.State, s.Slot, s.Admitted, s.Throttled, s.Shed,
+			s.AdmitP50.Round(time.Microsecond), s.AdmitP99.Round(time.Microsecond),
+			s.WriteStalls, s.Failovers, s.Checkpoints)
+		if s.Err != "" {
+			fmt.Printf("  error: %s\n", s.Err)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %-9s %9s  %s\n", "slot", "health", "failovers", "tenants")
+	for _, s := range doc.Slots {
+		health := "healthy"
+		if !s.Healthy {
+			health = "FAILED"
+		}
+		fmt.Printf("%-8s %-9s %9d  %s\n", s.ID, health, s.Failovers, strings.Join(s.Tenants, ","))
+		if s.Err != "" {
+			fmt.Printf("  cause: %s\n", s.Err)
+		}
+	}
+	return nil
 }

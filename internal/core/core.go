@@ -224,6 +224,11 @@ type Store struct {
 	herrMu sync.Mutex
 	herr   error
 
+	// healthSubs are the NotifyHealth subscribers, invoked on every
+	// health transition.
+	subsMu     sync.Mutex
+	healthSubs []func(Health, error)
+
 	writeErrs   metrics.Counter
 	readErrs    metrics.Counter
 	readRetries metrics.Counter

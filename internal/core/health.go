@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"flowkv/internal/core/aar"
@@ -78,6 +79,34 @@ func (s *Store) Err() error {
 func (s *Store) setHealth(h Health) {
 	s.health.Store(int32(h))
 	s.healthGauge.Set(int64(h))
+	s.notifyHealth(h)
+}
+
+// NotifyHealth subscribes fn to health transitions: it is invoked once
+// per state change (Healthy→Degraded, Degraded→Failed, →Healthy on
+// recovery) with the new state and the error that caused the departure
+// from Healthy (nil on return to Healthy). Callbacks run synchronously
+// on the transitioning goroutine — a pool registry flipping a flag, not
+// slow work — and must not call back into the store.
+func (s *Store) NotifyHealth(fn func(Health, error)) {
+	s.subsMu.Lock()
+	s.healthSubs = append(s.healthSubs, fn)
+	s.subsMu.Unlock()
+}
+
+// notifyHealth fans a transition out to the subscribers, outside every
+// store lock (the health word is already updated).
+func (s *Store) notifyHealth(h Health) {
+	s.subsMu.Lock()
+	subs := s.healthSubs
+	s.subsMu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	err := s.Err()
+	for _, fn := range subs {
+		fn(h, err)
+	}
 }
 
 // degrade records err and moves Healthy→Degraded. Failed is sticky; a
@@ -91,6 +120,7 @@ func (s *Store) degrade(err error) {
 	s.herrMu.Unlock()
 	if s.health.CompareAndSwap(int32(Healthy), int32(Degraded)) {
 		s.healthGauge.Set(int64(Degraded))
+		s.notifyHealth(Degraded)
 	}
 }
 
@@ -141,29 +171,44 @@ func retryableRead(err error) bool {
 }
 
 // readRetry runs f, retrying transient read failures up to
-// Options.ReadRetries times with exponential backoff starting at
-// Options.ReadRetryBackoff. Disk reads hitting a transient EIO (a
-// recoverable medium or transport hiccup) succeed on retry without
-// surfacing to the caller or changing the health state.
+// Options.ReadRetries times with full-jitter exponential backoff: the
+// attempt sleeps a uniform random duration in (0, cap], where cap
+// starts at Options.ReadRetryBackoff and doubles per attempt. Disk
+// reads hitting a transient EIO (a recoverable medium or transport
+// hiccup) succeed on retry without surfacing to the caller or changing
+// the health state. The jitter matters when several workers share one
+// backend: a deterministic schedule would march every worker back onto
+// the faulted device in lockstep, re-colliding on each attempt, while
+// full jitter spreads the retry instants across the whole backoff
+// window.
 func (s *Store) readRetry(f func() error) error {
 	err := f()
 	if err == nil {
 		return nil
 	}
-	backoff := s.opts.ReadRetryBackoff
+	cap := s.opts.ReadRetryBackoff
 	for attempt := 0; attempt < s.opts.ReadRetries; attempt++ {
 		if !retryableRead(err) {
 			break
 		}
 		s.readRetries.Inc()
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(fullJitter(cap))
+		cap *= 2
 		if err = f(); err == nil {
 			return nil
 		}
 	}
 	s.readErrs.Inc()
 	return err
+}
+
+// fullJitter draws a uniform sleep in (0, cap] — the "full jitter"
+// backoff policy. Never zero, so a retry always yields the scheduler.
+func fullJitter(cap time.Duration) time.Duration {
+	if cap <= 1 {
+		return 1
+	}
+	return time.Duration(rand.Int63n(int64(cap))) + 1
 }
 
 // poisoned probes every instance and returns the first log-poisoning

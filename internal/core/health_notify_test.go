@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"flowkv/internal/faultfs"
+)
+
+// TestNotifyHealthSubscription walks the full health machine under a
+// subscriber: Healthy→Degraded on a write-path fault, Degraded→Failed
+// when recovery itself faults, and →Healthy once the fault clears. Each
+// transition must fire exactly one callback carrying the causal error
+// (nil on the return to Healthy).
+func TestNotifyHealthSubscription(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	s := openBatteryStore(t, PatternAUR, inj)
+
+	type event struct {
+		h   Health
+		err error
+	}
+	var events []event
+	s.NotifyHealth(func(h Health, err error) {
+		events = append(events, event{h, err})
+	})
+
+	degradeStore(t, PatternAUR, inj, s)
+	if len(events) != 1 || events[0].h != Degraded {
+		t.Fatalf("after degrade: events = %+v, want one Degraded", events)
+	}
+	if events[0].err == nil || !errors.Is(events[0].err, faultfs.ErrDiskIO) {
+		t.Fatalf("degraded notification error = %v, want ErrDiskIO cause", events[0].err)
+	}
+
+	// Recovery faults (reopen-at-durable truncate fails): Failed fires.
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpTruncate, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO})
+	if err := s.Recover(); err == nil {
+		t.Fatal("recover under truncate fault succeeded")
+	}
+	if len(events) != 2 || events[1].h != Failed {
+		t.Fatalf("after failed recover: events = %+v, want Degraded,Failed", events)
+	}
+
+	// Fault clears: Recover succeeds and the Healthy notification
+	// carries no error.
+	inj.Reset()
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover after fault cleared: %v", err)
+	}
+	if len(events) != 3 || events[2].h != Healthy || events[2].err != nil {
+		t.Fatalf("after recovery: events = %+v, want trailing Healthy with nil error", events)
+	}
+
+	// Repeat write errors while already Degraded must not re-notify.
+	degradeStore(t, PatternAUR, inj, s)
+	if err := s.Sync(); err == nil {
+		t.Fatal("sync while degraded succeeded")
+	}
+	if len(events) != 4 {
+		t.Fatalf("redundant degrade notified: events = %+v", events)
+	}
+	inj.Reset()
+}

@@ -1,0 +1,192 @@
+package jobmanager
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flowkv/internal/core"
+	"flowkv/internal/faultfs"
+)
+
+// Slot is one pooled store location: a directory (and filesystem seam)
+// that a tenant's backends are built over. The pool hands slots to
+// tenants and tracks each slot's health so a failing backend moves its
+// tenants to a replacement instead of halting them.
+type Slot struct {
+	// ID names the slot in stats and failover records.
+	ID string
+	// Dir is the slot's state root; each tenant gets a subdirectory.
+	Dir string
+	// FS is the filesystem seam backends on this slot use (fault
+	// injection); nil means the real filesystem.
+	FS faultfs.FS
+}
+
+// SlotStatus is one slot's registry snapshot.
+type SlotStatus struct {
+	ID string `json:"id"`
+	// Healthy reports the slot accepts new tenants.
+	Healthy bool `json:"healthy"`
+	// Err is the failure that marked the slot unhealthy ("" if none).
+	Err string `json:"err,omitempty"`
+	// Tenants currently placed on the slot, sorted.
+	Tenants []string `json:"tenants,omitempty"`
+	// Failovers counts tenants that were moved OFF this slot after it
+	// failed.
+	Failovers int64 `json:"failovers"`
+}
+
+type slotState struct {
+	slot      Slot
+	healthy   bool
+	err       error
+	tenants   map[string]struct{}
+	failovers int64
+}
+
+// Pool is the backend registry: the fixed slot set, each slot's health,
+// and the tenant placement. Health flips come from two directions —
+// synchronously from store health subscriptions (SubscribeHealth →
+// Observe) the moment a store transitions, and from the manager when a
+// job halts on a backend error — so Acquire never places a tenant on a
+// slot already known bad.
+type Pool struct {
+	mu    sync.Mutex
+	order []string
+	state map[string]*slotState
+}
+
+// NewPool builds a registry over the slot set; every slot starts
+// healthy.
+func NewPool(slots []Slot) (*Pool, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("jobmanager: pool needs at least one slot")
+	}
+	p := &Pool{state: make(map[string]*slotState, len(slots))}
+	for _, s := range slots {
+		if s.ID == "" {
+			return nil, fmt.Errorf("jobmanager: slot with empty ID")
+		}
+		if _, dup := p.state[s.ID]; dup {
+			return nil, fmt.Errorf("jobmanager: duplicate slot ID %q", s.ID)
+		}
+		if s.FS == nil {
+			s.FS = faultfs.OS
+		}
+		p.state[s.ID] = &slotState{slot: s, healthy: true, tenants: make(map[string]struct{})}
+		p.order = append(p.order, s.ID)
+	}
+	return p, nil
+}
+
+// Acquire places tenant on the least-loaded healthy slot not in
+// exclude (the tenant's own failover history) and returns it.
+func (p *Pool) Acquire(tenant string, exclude map[string]bool) (Slot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *slotState
+	for _, id := range p.order {
+		st := p.state[id]
+		if !st.healthy || exclude[id] {
+			continue
+		}
+		if best == nil || len(st.tenants) < len(best.tenants) {
+			best = st
+		}
+	}
+	if best == nil {
+		return Slot{}, fmt.Errorf("jobmanager: no healthy slot available for tenant %s (pool %d, excluded %d)",
+			tenant, len(p.order), len(exclude))
+	}
+	best.tenants[tenant] = struct{}{}
+	return best.slot, nil
+}
+
+// Release removes tenant from a slot's placement (job finished or moved
+// away).
+func (p *Pool) Release(tenant, slotID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[slotID]; ok {
+		delete(st.tenants, tenant)
+	}
+}
+
+// MarkFailed flips a slot unhealthy and counts one failover per tenant
+// still placed on it. Idempotent: repeat marks (every tenant of the
+// slot reports the same failure) keep the first error.
+func (p *Pool) MarkFailed(slotID string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[slotID]
+	if !ok {
+		return
+	}
+	if st.healthy {
+		st.healthy = false
+		st.err = err
+	}
+}
+
+// MarkHealthy returns a repaired slot to rotation.
+func (p *Pool) MarkHealthy(slotID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[slotID]; ok {
+		st.healthy = true
+		st.err = nil
+	}
+}
+
+// Observe is the health-subscription sink: a store on slotID
+// transitioned to h. Failed retires the slot immediately — before the
+// job even halts — so concurrent Acquires already steer clear.
+// Degraded does not retire the slot: degraded stores heal in place
+// (self-heal, checkpoint retry) and the job layer decides when degraded
+// becomes fatal.
+func (p *Pool) Observe(slotID string, h core.Health, err error) {
+	if h == core.Failed {
+		p.MarkFailed(slotID, err)
+	}
+}
+
+// noteFailover counts one completed tenant move off slotID.
+func (p *Pool) noteFailover(slotID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[slotID]; ok {
+		st.failovers++
+	}
+}
+
+// Slots returns the slot set in registration order.
+func (p *Pool) Slots() []Slot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Slot, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.state[id].slot)
+	}
+	return out
+}
+
+// Status snapshots the registry in registration order.
+func (p *Pool) Status() []SlotStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SlotStatus, 0, len(p.order))
+	for _, id := range p.order {
+		st := p.state[id]
+		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers}
+		if st.err != nil {
+			s.Err = st.err.Error()
+		}
+		for t := range st.tenants {
+			s.Tenants = append(s.Tenants, t)
+		}
+		sort.Strings(s.Tenants)
+		out = append(out, s)
+	}
+	return out
+}

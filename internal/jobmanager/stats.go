@@ -1,0 +1,77 @@
+package jobmanager
+
+import (
+	"time"
+
+	"flowkv/internal/metrics"
+)
+
+// tenantStats is the live per-tenant accounting: lock-free counters the
+// admission path bumps on every decision, an admit-latency histogram,
+// and a queue-depth gauge (tuples currently delayed inside Reserve
+// waits).
+type tenantStats struct {
+	admitted   metrics.Counter // tuples admitted at the ingest choke point
+	throttled  metrics.Counter // tuples admitted after a rate-limit delay
+	shed       metrics.Counter // tuples refused (dropped) at the ingest choke point
+	bytesIn    metrics.Counter // store-write bytes admitted
+	bytesSlow  metrics.Counter // store-write calls delayed by the bandwidth limiter
+	queueDepth metrics.Gauge   // tuples currently held in an admission wait
+	admitLat   *metrics.Histogram
+	failovers  metrics.Counter
+	ckpts      metrics.Counter
+}
+
+func newTenantStats() *tenantStats {
+	return &tenantStats{admitLat: metrics.NewHistogram()}
+}
+
+// Stats is one tenant's externally visible snapshot — what
+// `flowkvctl tenants` prints and the noisy-neighbor battery asserts on.
+type Stats struct {
+	Tenant   string `json:"tenant"`
+	Strategy string `json:"strategy"`
+	// State is "running", "done" or "failed".
+	State string `json:"state"`
+	// Slot is the pool slot currently (or last) hosting the tenant.
+	Slot string `json:"slot"`
+	// Admitted/Throttled/Shed count ingest admission decisions:
+	// admitted tuples entered the pipeline (Throttled counts the subset
+	// that waited), shed tuples were refused and dropped.
+	Admitted  int64 `json:"admitted"`
+	Throttled int64 `json:"throttled"`
+	Shed      int64 `json:"shed"`
+	// WriteBytes counts store-write bytes through the bandwidth choke
+	// point; WriteStalls counts writes the bandwidth limiter delayed.
+	WriteBytes  int64 `json:"write_bytes"`
+	WriteStalls int64 `json:"write_stalls"`
+	// QueueDepth is the number of tuples currently parked in admission
+	// waits.
+	QueueDepth int64 `json:"queue_depth"`
+	// AdmitP50/P99 are admission-latency quantiles (the delay Reserve
+	// imposed before a tuple entered the pipeline).
+	AdmitP50 time.Duration `json:"admit_p50_ns"`
+	AdmitP99 time.Duration `json:"admit_p99_ns"`
+	// Failovers counts completed moves to a replacement slot.
+	Failovers int64 `json:"failovers"`
+	// Checkpoints counts committed generations across runs.
+	Checkpoints int64 `json:"checkpoints"`
+	// Err is the terminal error for State=="failed".
+	Err string `json:"err,omitempty"`
+}
+
+// snapshot freezes the live counters into a Stats.
+func (ts *tenantStats) snapshot() Stats {
+	return Stats{
+		Admitted:    ts.admitted.Load(),
+		Throttled:   ts.throttled.Load(),
+		Shed:        ts.shed.Load(),
+		WriteBytes:  ts.bytesIn.Load(),
+		WriteStalls: ts.bytesSlow.Load(),
+		QueueDepth:  ts.queueDepth.Load(),
+		AdmitP50:    ts.admitLat.P50(),
+		AdmitP99:    ts.admitLat.P99(),
+		Failovers:   ts.failovers.Load(),
+		Checkpoints: ts.ckpts.Load(),
+	}
+}

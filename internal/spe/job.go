@@ -17,6 +17,7 @@ import (
 	"flowkv/internal/faultfs"
 	"flowkv/internal/metrics"
 	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
 )
 
 // Jobs: checkpointed pipeline runs with exactly-once resume.
@@ -75,6 +76,12 @@ const (
 // ErrJobKilled reports a run aborted by the KillAfterTuples crash knob.
 var ErrJobKilled = errors.New("spe: job killed (simulated crash)")
 
+// ErrCheckpointTimeout reports a barrier checkpoint that waited out its
+// DegradedCheckpointTimeout without the store returning to Healthy. The
+// run halts with a typed *Halt wrapping this error; the job stays
+// resumable from the previous committed generation.
+var ErrCheckpointTimeout = errors.New("spe: checkpoint degraded-wait deadline exceeded")
+
 // Job configures a checkpointed pipeline run.
 type Job struct {
 	// Pipeline is the dataflow; every stateful backend must support
@@ -107,6 +114,20 @@ type Job struct {
 	// SelfHealWait bounds how long a barrier checkpoint waits for a
 	// degraded store to heal. Default 5s.
 	SelfHealWait time.Duration
+	// DegradedCheckpointTimeout, when positive, overrides SelfHealWait
+	// as the wait-and-retry-while-Degraded deadline, and hardens the
+	// failure mode: where an expired SelfHealWait surfaces whatever raw
+	// checkpoint error last occurred, an expired
+	// DegradedCheckpointTimeout halts the run with a typed *Halt whose
+	// error wraps ErrCheckpointTimeout — the signal a job manager keys
+	// failover on.
+	DegradedCheckpointTimeout time.Duration
+	// OnCheckpoint, when set, is invoked after every committed
+	// generation (the JOB rename has landed) with the generation number
+	// and whether it was the final commit. It runs on the coordinator
+	// goroutine between barriers — keep it fast. Job managers use it to
+	// track per-tenant checkpoint progress.
+	OnCheckpoint func(gen int64, final bool)
 }
 
 // JobMeta is the committed progress record stored in the JOB file.
@@ -212,9 +233,12 @@ type jobStage struct {
 	// Private mode: one backend + checkpointer per worker.
 	backends []statebackend.Backend
 	cps      []statebackend.Checkpointer
-	// Shared mode: the stage's single backend and checkpointer.
+	// Shared mode: the stage's single backend and checkpointer, plus the
+	// deferred drop tracker whose fired-window queue rides inside the
+	// single-owner cut (nil when the backend has no partitioned reads).
 	shared   statebackend.Backend
 	sharedCP statebackend.Checkpointer
+	drops    *sharedDrops
 }
 
 // eachBackend visits the stage's distinct backends (one in shared mode).
@@ -325,6 +349,7 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 				return fail(fmt.Errorf("spe: stage %s: shared backend %s does not support checkpointing", rt.stage.Name, rt.shared.Name()))
 			}
 			js.shared, js.sharedCP = rt.shared, cp
+			js.drops = rt.drops
 		}
 		for wi, op := range rt.ops {
 			snapOp, ok := op.(opSnapshotter)
@@ -484,16 +509,20 @@ func (jr *jobRun) commit(final bool) error {
 			for w, op := range js.ops {
 				snaps[w] = op.snapshotState()
 			}
+			var fired []window.Window
+			if js.drops != nil {
+				fired = js.drops.snapshotFired()
+			}
 			dir := filepath.Join(genDir, sharedDirName(js.si))
-			if err := jr.checkpointBackend(js.sharedCP, js.shared, dir, encodeShardSnaps(snaps)); err != nil {
-				return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+			if err := jr.checkpointBackend(js.sharedCP, js.shared, dir, encodeShardSnaps(snaps, fired)); err != nil {
+				return jr.checkpointFailed(js, -1, js.shared, gen, err)
 			}
 			continue
 		}
 		for w, op := range js.ops {
 			dir := filepath.Join(genDir, workerDirName(js.si, w))
 			if err := jr.checkpointBackend(js.cps[w], js.backends[w], dir, op.snapshotState()); err != nil {
-				return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+				return jr.checkpointFailed(js, w, js.backends[w], gen, err)
 			}
 		}
 	}
@@ -521,7 +550,29 @@ func (jr *jobRun) commit(final bool) error {
 	// GC failures do not invalidate the commit; stale generations are
 	// re-cleared on the next run.
 	clearGens(jr.fsys, j.Dir, gen)
+	if j.OnCheckpoint != nil {
+		j.OnCheckpoint(gen, final)
+	}
 	return nil
+}
+
+// checkpointFailed shapes a checkpoint error. A degraded-wait deadline
+// expiry becomes a typed *Halt naming the stage, worker and backend —
+// the structured failure a job manager keys failover on — latched into
+// the run result exactly as a worker-side halt would be (the workers
+// are parked at the barrier, so the coordinator owns the result).
+func (jr *jobRun) checkpointFailed(js *jobStage, worker int, b statebackend.Backend, gen int64, err error) error {
+	if !errors.Is(err, ErrCheckpointTimeout) {
+		return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
+	}
+	h := &Halt{Stage: js.name, Worker: worker, Backend: b.Name(), Err: err}
+	jr.r.errMu.Lock()
+	if jr.r.res.Halted == nil {
+		jr.r.res.Halted = h
+	}
+	jr.r.errMu.Unlock()
+	jr.r.halted.Store(true)
+	return h
 }
 
 // checkpointBackend snapshots one backend with meta as its application
@@ -536,10 +587,14 @@ func (jr *jobRun) commit(final bool) error {
 // uncommitted and stays resumable.
 func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend.Backend, dir string, meta []byte) error {
 	err := cp.CheckpointMeta(dir, meta)
-	if err == nil || jr.j.SelfHeal == nil {
+	typedDeadline := jr.j.DegradedCheckpointTimeout > 0
+	if err == nil || (jr.j.SelfHeal == nil && !typedDeadline) {
 		return err
 	}
-	wait := jr.j.SelfHealWait
+	wait := jr.j.DegradedCheckpointTimeout
+	if wait <= 0 {
+		wait = jr.j.SelfHealWait
+	}
 	if wait <= 0 {
 		wait = 5 * time.Second
 	}
@@ -564,6 +619,9 @@ func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend
 			return err
 		}
 		wasDegraded = false
+	}
+	if typedDeadline {
+		return fmt.Errorf("%w after %v (last error: %v)", ErrCheckpointTimeout, wait, err)
 	}
 	return err
 }
@@ -599,7 +657,7 @@ func (jr *jobRun) restoreCommitted(meta JobMeta) error {
 			if err != nil {
 				return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
 			}
-			snaps, err := decodeShardSnaps(combined)
+			snaps, fired, err := decodeShardSnaps(combined)
 			if err != nil {
 				return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
 			}
@@ -612,6 +670,13 @@ func (jr *jobRun) restoreCommitted(meta JobMeta) error {
 				if err := op.restoreState(snaps[w]); err != nil {
 					return fmt.Errorf("spe: job resume gen %d: %w", meta.Gen, err)
 				}
+			}
+			// Requeue the committed fired-window list: these windows'
+			// merged state is still linked in the shared store but no
+			// operator snapshot references them anymore, so without the
+			// reseed a resumed stage would leak them as orphans.
+			if js.drops != nil {
+				js.drops.reseedFired(fired)
 			}
 			continue
 		}

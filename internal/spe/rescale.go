@@ -181,37 +181,64 @@ func repartitionOpSnaps(snaps [][]byte, newPar int, join bool) ([][]byte, error)
 
 // shardSnapsMagic frames the per-worker operator snapshots of one
 // shared-backend stage inside the stage's single checkpoint metadata.
-const shardSnapsMagic = "flowkv-shardsnaps1\n"
+// v2 appends the drop tracker's fully-fired window queue — windows every
+// owner has drained but whose merged state still waits on the stage-min
+// watermark — so a resumed stage drops them instead of leaking orphan
+// window state; v1 frames (no queue) still decode with an empty queue.
+const (
+	shardSnapsMagic   = "flowkv-shardsnaps2\n"
+	shardSnapsMagicV1 = "flowkv-shardsnaps1\n"
+)
 
 // maxShardSnaps bounds the decoded worker count against corrupt input.
 const maxShardSnaps = 1 << 16
 
-func encodeShardSnaps(snaps [][]byte) []byte {
+func encodeShardSnaps(snaps [][]byte, fired []window.Window) []byte {
 	b := []byte(shardSnapsMagic)
 	b = binio.PutUvarint(b, uint64(len(snaps)))
 	for _, s := range snaps {
 		b = binio.PutBytes(b, s)
 	}
+	b = binio.PutUvarint(b, uint64(len(fired)))
+	for _, w := range fired {
+		b = binio.PutVarint(b, w.Start)
+		b = binio.PutVarint(b, w.End)
+	}
 	return b
 }
 
-func decodeShardSnaps(b []byte) ([][]byte, error) {
+func decodeShardSnaps(b []byte) (snaps [][]byte, fired []window.Window, err error) {
+	v1 := false
 	d := snapDecoder{b: b}
 	if err := d.magic(shardSnapsMagic); err != nil {
-		return nil, err
+		v1 = true
+		d = snapDecoder{b: b}
+		if err := d.magic(shardSnapsMagicV1); err != nil {
+			return nil, nil, err
+		}
 	}
 	n := d.uvarint()
 	if n > maxShardSnaps {
-		return nil, fmt.Errorf("spe: corrupt shared-stage snapshot: %d workers", n)
+		return nil, nil, fmt.Errorf("spe: corrupt shared-stage snapshot: %d workers", n)
 	}
-	out := make([][]byte, 0, n)
+	snaps = make([][]byte, 0, n)
 	for i := uint64(0); i < n; i++ {
-		out = append(out, d.bytes())
+		snaps = append(snaps, d.bytes())
+	}
+	if !v1 {
+		f := d.uvarint()
+		if f > maxShardSnaps {
+			return nil, nil, fmt.Errorf("spe: corrupt shared-stage snapshot: %d fired windows", f)
+		}
+		for i := uint64(0); i < f; i++ {
+			w := window.Window{Start: d.varint(), End: d.varint()}
+			fired = append(fired, w)
+		}
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("spe: corrupt shared-stage snapshot: %w", d.err)
+		return nil, nil, fmt.Errorf("spe: corrupt shared-stage snapshot: %w", d.err)
 	}
-	return out, nil
+	return snaps, fired, nil
 }
 
 // rerouteCheckpointState restores one committed worker checkpoint into a

@@ -102,6 +102,16 @@ func (h *Halt) Error() string {
 	return fmt.Sprintf("stage %s worker %d (backend %s): %v", h.Stage, h.Worker, h.Backend, h.Err)
 }
 
+// Unwrap exposes the latched error to errors.Is/As, so callers can key
+// on typed causes (core.ErrFailed, ErrCheckpointTimeout) through the
+// halt.
+func (h *Halt) Unwrap() error {
+	if h == nil {
+		return nil
+	}
+	return h.Err
+}
+
 // MarshalJSON flattens the halt's error to a string so failed runs stay
 // readable in JSON reports (error values marshal to "{}" otherwise).
 func (h *Halt) MarshalJSON() ([]byte, error) {

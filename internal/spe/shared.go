@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"sort"
 	"sync"
 
 	"flowkv/internal/statebackend"
@@ -79,6 +80,37 @@ func (d *sharedDrops) reseedWM(w int, wm int64) {
 	if wm > d.wms[w] {
 		d.wms[w] = wm
 	}
+	d.mu.Unlock()
+}
+
+// snapshotFired returns the fully-fired windows still queued for the
+// stage-min watermark, sorted canonically — the tracker state a
+// single-owner checkpoint cut must persist: these windows appear in no
+// worker's operator snapshot anymore (every owner drained its keys),
+// yet their merged state is still linked in the shared store.
+func (d *sharedDrops) snapshotFired() []window.Window {
+	d.mu.Lock()
+	out := append([]window.Window(nil), d.fired...)
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// reseedFired requeues a committed fired-window list after a job
+// resume, before any worker goroutine starts. The windows unlink at the
+// first watermark advance past their end (or at Finish), exactly as
+// they would have in the uninterrupted run.
+func (d *sharedDrops) reseedFired(wins []window.Window) {
+	if len(wins) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.fired = append(d.fired, wins...)
 	d.mu.Unlock()
 }
 

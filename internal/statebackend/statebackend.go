@@ -272,6 +272,19 @@ func FlowKVHealth(b Backend) (core.Health, bool) {
 	return fb.store.Health(), true
 }
 
+// SubscribeHealth registers fn for health-transition notifications on
+// b's FlowKV store (looking through wrappers), reporting ok=false for
+// backend kinds without a health machine. The callback contract is
+// core.Store.NotifyHealth's: synchronous, cheap, no re-entry.
+func SubscribeHealth(b Backend, fn func(core.Health, error)) bool {
+	fb, ok := unwrap(b).(*flowkvBackend)
+	if !ok {
+		return false
+	}
+	fb.store.NotifyHealth(fn)
+	return true
+}
+
 // PartitionedWindowReader is the optional capability behind shared-
 // backend holistic aligned stages: read one window's state restricted to
 // a key-ownership predicate, grouped by key, WITHOUT consuming the
