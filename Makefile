@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-core
+.PHONY: all build vet test race fuzz bench bench-core bench-delta
 
 all: vet build test
 
@@ -24,6 +24,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/binio/ -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzParseManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzParseDeltaManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spe/ -fuzz FuzzDecodeJobRecord -fuzztime $(FUZZTIME)
 
 # One testing.B benchmark per paper figure lives in bench_test.go;
@@ -35,3 +36,9 @@ bench:
 # results recorded in BENCH_core.json.
 bench-core:
 	$(GO) run ./cmd/storebench -parallel 8 -syncEvery 250 -json BENCH_core.json
+
+# Incremental-checkpoint benchmark: commit bytes and p99 commit latency
+# as state grows 100x, full vs incremental vs incremental+group-commit,
+# merged into BENCH_core.json under the "delta" key.
+bench-delta:
+	$(GO) run ./cmd/storebench -delta -json BENCH_core.json

@@ -259,7 +259,11 @@ func cmdHealth(dir string) error {
 }
 
 // cmdCheckpoints lists every checkpoint under parent, verifying each
-// against its MANIFEST (file sizes and CRC32C checksums).
+// against its MANIFEST (file sizes and CRC32C checksums). Incremental
+// checkpoints additionally show their chain: depth and the resolved
+// parent path back toward the base, truncated with "…" where ancestors
+// have already been garbage-collected (the directories are physically
+// self-contained, so a truncated chain is still restorable).
 func cmdCheckpoints(parent string) error {
 	infos, err := core.ListCheckpoints(nil, parent)
 	if err != nil {
@@ -269,7 +273,7 @@ func cmdCheckpoints(parent string) error {
 		fmt.Println("no checkpoints found")
 		return nil
 	}
-	fmt.Println("checkpoint            pattern  inst  files       size       age  status")
+	fmt.Println("checkpoint            pattern  inst  files       size       age  chain  status")
 	var invalid int
 	for _, ci := range infos {
 		status := "verified"
@@ -281,9 +285,30 @@ func cmdCheckpoints(parent string) error {
 		if !ci.ModTime.IsZero() {
 			age = time.Since(ci.ModTime).Round(time.Second).String()
 		}
-		fmt.Printf("%-20s  %-7s %5d %6d %10s %9s  %s\n",
+		chain := "base"
+		if ci.Depth > 0 && ci.Parent == "" {
+			// Incremental, but the parent lives outside this directory
+			// (the SPE chains across generation dirs): depth only.
+			chain = fmt.Sprintf("d%d", ci.Depth)
+		}
+		if ci.Parent != "" {
+			chain = fmt.Sprintf("d%d", ci.Depth)
+			if names, cerr := core.CheckpointChain(nil, ci.Path); cerr != nil {
+				invalid++
+				status = fmt.Sprintf("INVALID: %v", cerr)
+			} else {
+				suffix := ""
+				// names runs child -> base; Depth+1 entries means the walk
+				// reached the base, fewer means GC truncated the chain.
+				if len(names) < ci.Depth+1 {
+					suffix = "…"
+				}
+				chain = fmt.Sprintf("d%d←%s%s", ci.Depth, strings.Join(names[1:], "←"), suffix)
+			}
+		}
+		fmt.Printf("%-20s  %-7s %5d %6d %10s %9s  %-5s  %s\n",
 			filepath.Base(ci.Path), ci.Pattern, ci.Instances, ci.Files,
-			metrics.FormatBytes(ci.SizeBytes), age, status)
+			metrics.FormatBytes(ci.SizeBytes), age, chain, status)
 	}
 	if invalid > 0 {
 		return fmt.Errorf("%d of %d checkpoints failed verification", invalid, len(infos))

@@ -11,6 +11,10 @@
 //	storebench -parallel 8 -json BENCH_core.json
 //	                           # concurrent composite-store benchmark:
 //	                           # 1 vs 8 workers on one core.Store
+//	storebench -delta -json BENCH_core.json
+//	                           # incremental-checkpoint benchmark: commit
+//	                           # bytes and p99 latency as state grows
+//	                           # 100x, full vs incr vs incr+group-commit
 package main
 
 import (
@@ -36,7 +40,8 @@ func main() {
 		dir       = flag.String("dir", "", "state directory (default: temp)")
 		parallel  = flag.Int("parallel", 0, "run the concurrent composite-store benchmark with this many workers (plus a 1-worker baseline), skipping the baseline store comparison")
 		syncEvery = flag.Int("syncEvery", 2000, "ops between Sync calls in the -parallel benchmark (0 disables)")
-		jsonOut   = flag.String("json", "", "write -parallel results as JSON to this file")
+		jsonOut   = flag.String("json", "", "write -parallel results as JSON to this file (-delta merges under a \"delta\" key)")
+		delta     = flag.Bool("delta", false, "run the incremental-checkpoint benchmark: commit bytes and latency as state grows 100x, full vs incremental vs incremental+group-commit")
 	)
 	flag.Parse()
 
@@ -48,6 +53,11 @@ func main() {
 			fatal(err)
 		}
 		defer os.RemoveAll(base)
+	}
+
+	if *delta {
+		runDeltaBench(base, *ops, *jsonOut)
+		return
 	}
 
 	if *parallel > 0 {

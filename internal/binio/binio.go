@@ -27,6 +27,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // polynomial RocksDB and many storage systems use for record integrity.
 func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
+// ChecksumUpdate extends a running CRC-32C with p, so large files can be
+// checksummed in streaming chunks. ChecksumUpdate(0, b) == Checksum(b).
+func ChecksumUpdate(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, castagnoli, p)
+}
+
 // PutUint32 appends v to dst in little-endian order.
 func PutUint32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/ckpt"
 	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
@@ -132,6 +133,12 @@ type Store struct {
 	ioMu  sync.Mutex
 	files map[window.Window]*logfile.Log
 	reads map[window.Window]*readState
+	// epochs gives each per-window log file a random identity, recorded
+	// in delta-checkpoint SEGMENTS manifests. A later delta may reuse a
+	// parent checkpoint's segments for a window only while the live
+	// file's epoch still matches: drop-then-recreate of the same window
+	// changes the epoch and forces a full copy of that file.
+	epochs map[window.Window]uint64
 
 	// syncMu admits one split sync at a time; held around (not under)
 	// ioMu so the fsyncs run with ioMu released.
@@ -151,12 +158,13 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	return &Store{
-		opts:  opts,
-		dir:   dir,
-		bd:    opts.Breakdown,
-		buf:   make(map[window.Window]*bucket),
-		files: make(map[window.Window]*logfile.Log),
-		reads: make(map[window.Window]*readState),
+		opts:   opts,
+		dir:    dir,
+		bd:     opts.Breakdown,
+		buf:    make(map[window.Window]*bucket),
+		files:  make(map[window.Window]*logfile.Log),
+		reads:  make(map[window.Window]*readState),
+		epochs: make(map[window.Window]uint64),
 	}, nil
 }
 
@@ -280,6 +288,7 @@ func (s *Store) flushBucket(w window.Window, b *bucket) ([]kvPair, error) {
 			return b.entries, err
 		}
 		s.files[w] = l
+		s.epochs[w] = ckpt.Rand64()
 	}
 	if s.opts.FineGrained {
 		return flushFine(l, b.entries)
@@ -485,6 +494,7 @@ func (s *Store) getWindow(w window.Window) ([]KeyValues, error) {
 		// Exhausted: clean the per-window log from disk (step ④).
 		delete(s.reads, w)
 		delete(s.files, w)
+		delete(s.epochs, w)
 		if rs.log == nil {
 			return nil, nil
 		}
@@ -514,6 +524,7 @@ func (s *Store) DropWindow(w window.Window) error {
 	}
 	s.mu.Unlock()
 	delete(s.reads, w)
+	delete(s.epochs, w)
 	if l := s.files[w]; l != nil {
 		delete(s.files, w)
 		return l.Remove()

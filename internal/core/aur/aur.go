@@ -57,6 +57,7 @@ import (
 	"sync"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/ckpt"
 	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
@@ -159,6 +160,14 @@ type span struct {
 	n   int
 }
 
+// statMark records that an identity's Stat entry changed after the last
+// committed delta cut: tomb for removals (consume, Drop), an upsert
+// otherwise. seq lets a checkpoint retire exactly the marks it absorbed.
+type statMark struct {
+	seq  uint64
+	tomb bool
+}
+
 // Store is a single AUR store instance, safe for concurrent use.
 type Store struct {
 	opts Options
@@ -173,6 +182,15 @@ type Store struct {
 	onDisk   map[id]int64 // bytes of flushed record data per live id
 	flushing map[id]*bufEntry
 	closed   bool
+	// statDeltas marks identities whose Stat entry changed since the
+	// last committed delta checkpoint, so an incremental checkpoint
+	// ships only those rows (as upserts or tombstones) instead of
+	// rewriting the whole table. statSeq orders the marks; lastCutID is
+	// the SEGMENTS CutID of the last committed delta cut, which a
+	// parent checkpoint must match for its stat stream to be extended.
+	statDeltas map[id]statMark
+	statSeq    uint64
+	lastCutID  uint64
 
 	prefetch      map[id][][]byte
 	prefetchBytes int64
@@ -190,6 +208,12 @@ type Store struct {
 	dataLog  *logfile.Log
 	indexLog *logfile.Log
 	gen      int
+	// genEpoch is a random identity for the current log generation,
+	// recorded in delta-checkpoint SEGMENTS manifests. Compaction (or
+	// any other generation swap) changes it, so a delta checkpoint can
+	// only extend a parent whose logs are still a live prefix; a
+	// mismatch falls back to a full copy.
+	genEpoch uint64
 	dead     int64 // dead bytes in the current data log
 
 	// Evaluation metrics.
@@ -208,19 +232,27 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		opts:     opts,
-		dir:      dir,
-		bd:       opts.Breakdown,
-		buf:      make(map[id]*bufEntry),
-		stat:     make(map[id]*statEntry),
-		onDisk:   make(map[id]int64),
-		consumed: make(map[string]struct{}),
-		prefetch: make(map[id][][]byte),
+		opts:       opts,
+		dir:        dir,
+		bd:         opts.Breakdown,
+		buf:        make(map[id]*bufEntry),
+		stat:       make(map[id]*statEntry),
+		onDisk:     make(map[id]int64),
+		consumed:   make(map[string]struct{}),
+		prefetch:   make(map[id][][]byte),
+		statDeltas: make(map[id]statMark),
 	}
 	if err := s.openGen(0); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// markStatLocked records a Stat-table mutation for the next delta
+// checkpoint; caller holds mu.
+func (s *Store) markStatLocked(ident id, tomb bool) {
+	s.statSeq++
+	s.statDeltas[ident] = statMark{seq: s.statSeq, tomb: tomb}
 }
 
 // openGen swaps in fresh log generations; caller holds ioMu (or is Open).
@@ -235,6 +267,7 @@ func (s *Store) openGen(gen int) error {
 		return err
 	}
 	s.dataLog, s.indexLog, s.gen = data, index, gen
+	s.genEpoch = ckpt.Rand64()
 	return nil
 }
 
@@ -286,8 +319,10 @@ func (s *Store) append(key, value []byte, w window.Window, ts int64) error {
 	if st == nil {
 		st = &statEntry{maxTS: ts}
 		s.stat[ident] = st
+		s.markStatLocked(ident, false)
 	} else if ts > st.maxTS {
 		st.maxTS = ts
+		s.markStatLocked(ident, false)
 	}
 	if s.opts.Predictor != nil {
 		if ett, ok := s.opts.Predictor.ETT(w, st.maxTS); ok {
@@ -485,6 +520,7 @@ func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
 			delete(s.buf, ident)
 		}
 		delete(s.stat, ident)
+		s.markStatLocked(ident, true)
 		s.mu.Unlock()
 		return bufVals, nil
 	}
@@ -530,6 +566,7 @@ func (s *Store) get(key []byte, w window.Window) ([][]byte, error) {
 		delete(s.buf, ident)
 	}
 	delete(s.stat, ident)
+	s.markStatLocked(ident, true)
 	s.mu.Unlock()
 
 	if diskVals == nil && bufVals == nil {
@@ -680,6 +717,7 @@ func (s *Store) Drop(key []byte, w window.Window) error {
 			delete(s.buf, ident)
 		}
 		delete(s.stat, ident)
+		s.markStatLocked(ident, true)
 		s.mu.Unlock()
 		return nil
 	}
@@ -703,6 +741,7 @@ func (s *Store) Drop(key []byte, w window.Window) error {
 		s.consumed[string(identBytes(ident))] = struct{}{}
 	}
 	delete(s.stat, ident)
+	s.markStatLocked(ident, true)
 	s.mu.Unlock()
 	return nil
 }
@@ -1102,16 +1141,16 @@ func (s *Store) compact(live map[string]*liveEntry, order []*liveEntry) error {
 }
 
 func (s *Store) compactInner(_ map[string]*liveEntry, order []*liveEntry) error {
-	oldData, oldIndex, oldGen := s.dataLog, s.indexLog, s.gen
+	oldData, oldIndex, oldGen, oldEpoch := s.dataLog, s.indexLog, s.gen, s.genEpoch
 	if err := s.openGen(oldGen + 1); err != nil {
-		s.dataLog, s.indexLog, s.gen = oldData, oldIndex, oldGen
+		s.dataLog, s.indexLog, s.gen, s.genEpoch = oldData, oldIndex, oldGen, oldEpoch
 		return err
 	}
 	abort := func() {
 		// Revert to the old generation: nothing references the half-built
 		// new logs yet, and the old ones still hold every live byte.
 		badData, badIndex := s.dataLog, s.indexLog
-		s.dataLog, s.indexLog, s.gen = oldData, oldIndex, oldGen
+		s.dataLog, s.indexLog, s.gen, s.genEpoch = oldData, oldIndex, oldGen, oldEpoch
 		badData.Remove() // best effort; the fault may also block the unlinks
 		badIndex.Remove()
 	}

@@ -141,7 +141,21 @@ type Options struct {
 	// RetainCheckpoints keeps the K newest verified checkpoints among the
 	// siblings of each Checkpoint target directory, garbage-collecting
 	// older ones after a successful checkpoint. 0 disables retention GC.
+	// Generations a kept incremental checkpoint still references through
+	// its parent chain are retained as well.
 	RetainCheckpoints int
+	// MaxDeltaChain caps the incremental-checkpoint chain depth: when a
+	// CheckpointDelta would exceed it, the checkpoint is written as a
+	// fresh full base instead. The cap bounds how long retention GC must
+	// keep ancestor generations alive and how far the RMW replay stream
+	// can grow before it is re-based. Default 16; negative disables
+	// incremental checkpoints entirely (every CheckpointDelta is full).
+	MaxDeltaChain int
+	// DisableGroupCommit makes CheckpointDelta fsync each written file
+	// immediately (the historical per-log discipline) instead of
+	// batching every instance's fsyncs into one sync window per
+	// checkpoint. Ablation only.
+	DisableGroupCommit bool
 	// ReadRetries bounds the retry attempts for transient read I/O
 	// errors before the error surfaces to the caller. Default 3.
 	ReadRetries int
@@ -191,6 +205,9 @@ func (o *Options) fill() {
 	if o.ReadRetryBackoff <= 0 {
 		o.ReadRetryBackoff = time.Millisecond
 	}
+	if o.MaxDeltaChain == 0 {
+		o.MaxDeltaChain = 16
+	}
 }
 
 // KeyValues re-exports the AAR group type for consumers of GetWindow.
@@ -234,6 +251,12 @@ type Store struct {
 	readRetries metrics.Counter
 	recoveries  metrics.Counter
 	healthGauge metrics.Gauge
+
+	// Incremental-checkpoint byte accounting: bytes carried into
+	// committed delta checkpoints by hard link vs physically rewritten
+	// (new segments, copy fallbacks, and per-checkpoint snapshots).
+	ckptLinkedBytes metrics.Counter
+	ckptCopiedBytes metrics.Counter
 }
 
 // windowDrain is an in-progress parallel GetWindow drain of one window:
@@ -717,6 +740,13 @@ type Stats struct {
 	ReadRetries int64
 	// Recoveries counts successful Recover calls.
 	Recoveries int64
+	// CkptLinkedBytes is the total bytes carried into committed
+	// incremental checkpoints by hard link (not rewritten);
+	// CkptCopiedBytes is the bytes physically written — new segment
+	// tails, copy fallbacks, and per-checkpoint snapshot files. Their
+	// ratio is the delta saving.
+	CkptLinkedBytes int64
+	CkptCopiedBytes int64
 }
 
 // Stats returns the store's aggregated evaluation metrics.
@@ -730,6 +760,8 @@ func (s *Store) Stats() Stats {
 	st.ReadErrors = s.readErrs.Load()
 	st.ReadRetries = s.readRetries.Load()
 	st.Recoveries = s.recoveries.Load()
+	st.CkptLinkedBytes = s.ckptLinkedBytes.Load()
+	st.CkptCopiedBytes = s.ckptCopiedBytes.Load()
 	for _, a := range s.aars {
 		st.BufferedBytes += a.BufferedBytes()
 		if d, err := a.DiskUsage(); err == nil {

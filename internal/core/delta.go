@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flowkv/internal/binio"
+	"flowkv/internal/ckpt"
+	"flowkv/internal/faultfs"
+)
+
+// CheckpointDelta writes a checkpoint of the composite store into dir,
+// incrementally against the checkpoint at parent: sealed bytes already
+// persisted by the parent are hard-linked into the new directory (copy
+// fallback when the filesystem refuses links) and only the bytes written
+// since the parent's cut are re-persisted. parent is resolved
+// fail-safe — a missing, corrupt, or foreign parent, a chain already at
+// Options.MaxDeltaChain, or a per-file validity mismatch inside an
+// instance all silently fall back to writing full data, never to a
+// corrupt checkpoint. An empty parent writes a full (chain base)
+// checkpoint in the segmented format.
+//
+// The crash-consistency protocol is CheckpointWithMeta's, unchanged:
+// stage into "<dir>.tmp", move any previous checkpoint aside to
+// "<dir>.old", atomically rename the staging directory onto dir, fsync
+// the parent directory, then clear the old copy. The delta path adds
+// group commit: instances write their files unsynced and report what
+// needs durability; the store fsyncs them in one batched window (fanned
+// across Options.Parallelism workers) before the manifest is written,
+// so a barrier pays one sync wave instead of one fsync per file per
+// instance. Options.DisableGroupCommit reverts to immediate per-file
+// fsyncs for ablation. Hard-linked segments are already durable and are
+// never re-synced.
+//
+// meta is the opaque application metadata, exactly as in
+// CheckpointWithMeta. The resulting directory is physically
+// self-contained: restoring it never reads the parent, which may be
+// deleted freely (links keep shared inodes alive).
+func (s *Store) CheckpointDelta(dir, parent string, meta []byte) error {
+	if err := s.guardWrite(); err != nil {
+		return err
+	}
+	fsys := s.opts.FS
+	parentName, depth, parentMetas := s.resolveParent(dir, parent)
+	if parentMetas == nil {
+		parent = ""
+	}
+	tmp := dir + ".tmp"
+	old := dir + ".old"
+	if err := fsys.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear stale tmp: %w", err)
+	}
+	if err := fsys.RemoveAll(old); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear stale old: %w", err)
+	}
+	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: %w", err)
+	}
+	results, err := s.checkpointDeltaInto(tmp, parent, parentName, depth, parentMetas, meta)
+	if err != nil {
+		fsys.RemoveAll(tmp)
+		// Same poisoning rule as the full path: a failed flush of the
+		// live logs degrades the store; a failure confined to the
+		// staging directory leaves it Healthy.
+		if perr := s.poisoned(); perr != nil {
+			s.degrade(perr)
+		}
+		return err
+	}
+	if err := fsys.Rename(dir, old); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		fsys.RemoveAll(tmp)
+		return fmt.Errorf("flowkv: checkpoint: move previous aside: %w", err)
+	}
+	if err := fsys.Rename(tmp, dir); err != nil {
+		fsys.RemoveAll(tmp)
+		return fmt.Errorf("flowkv: checkpoint: commit: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: sync parent: %w", err)
+	}
+	// The checkpoint is committed: run the instance commit hooks (RMW
+	// retires the dirty marks it diffed — doing this before the rename
+	// would lose deltas if the commit crashed) and account the bytes.
+	for _, res := range results {
+		if res.Commit != nil {
+			res.Commit()
+		}
+		s.ckptLinkedBytes.Add(res.LinkedBytes)
+		s.ckptCopiedBytes.Add(res.CopiedBytes)
+	}
+	if err := fsys.RemoveAll(old); err != nil {
+		return fmt.Errorf("flowkv: checkpoint: clear previous: %w", err)
+	}
+	if k := s.opts.RetainCheckpoints; k > 0 {
+		if err := gcCheckpoints(fsys, dir, k); err != nil {
+			return fmt.Errorf("flowkv: checkpoint: retention gc: %w", err)
+		}
+	}
+	return nil
+}
+
+// resolveParent decides what the new checkpoint diffs against. It
+// returns the parent name to record in the MANIFEST (empty when the
+// checkpoint is a chain base, or when the parent is not a sibling
+// directory and the reference cannot be expressed as one), the new
+// checkpoint's chain depth, and each instance's decoded SEGMENTS meta
+// (nil entries force a full copy for that instance; a nil slice means no
+// parent at all). Every rejection is a silent fallback to full data — an
+// unreadable parent must make the checkpoint bigger, never wrong.
+//
+// A non-sibling parent (the SPE commits generation N against a
+// checkpoint of the same base name inside generation N-1's directory)
+// still drives segment reuse and the depth-based rebase cadence, but is
+// recorded as "" so the chain walk (display, GC refcounting) never
+// resolves a name to the wrong directory — or, worse, to the checkpoint
+// itself.
+func (s *Store) resolveParent(dir, parent string) (string, int, []*ckpt.Meta) {
+	if parent == "" || s.opts.MaxDeltaChain < 0 {
+		return "", 0, nil
+	}
+	fsys := s.opts.FS
+	m, err := readManifest(fsys, parent, s.pattern, s.opts.Instances)
+	if err != nil {
+		return "", 0, nil
+	}
+	depth := m.depth + 1
+	if depth > s.opts.MaxDeltaChain {
+		return "", 0, nil
+	}
+	metas := make([]*ckpt.Meta, s.opts.Instances)
+	for i := range metas {
+		// A read error or a legacy flat instance dir yields a nil meta:
+		// that instance writes full data but the checkpoint still chains.
+		if im, err := ckpt.ReadMeta(fsys, instDir(parent, i)); err == nil {
+			metas[i] = im
+		}
+	}
+	name := ""
+	if filepath.Dir(parent) == filepath.Dir(dir) {
+		name = filepath.Base(parent)
+	}
+	return name, depth, metas
+}
+
+// checkpointDeltaInto stages the delta snapshot: per-instance segment
+// directories, the group-commit sync window, APPMETA, and the MANIFEST
+// (entries precomputed from the instance results — the staging
+// directory is never re-hashed, which would re-read every hard-linked
+// segment and put the O(total-state) cost back into the commit).
+func (s *Store) checkpointDeltaInto(tmp, parent, parentName string, depth int, parentMetas []*ckpt.Meta, meta []byte) ([]*ckpt.Result, error) {
+	fsys := s.opts.FS
+	results := make([]*ckpt.Result, s.opts.Instances)
+	if err := s.eachInstance(func(i int) error {
+		var pm *ckpt.Meta
+		if parentMetas != nil {
+			pm = parentMetas[i]
+		}
+		pdir := ""
+		if parent != "" {
+			pdir = instDir(parent, i)
+		}
+		var (
+			res *ckpt.Result
+			err error
+		)
+		switch s.pattern {
+		case PatternAAR:
+			res, err = s.aars[i].CheckpointDelta(instDir(tmp, i), pm, pdir)
+		case PatternAUR:
+			res, err = s.aurs[i].CheckpointDelta(instDir(tmp, i), pm, pdir)
+		default:
+			res, err = s.rmws[i].CheckpointDelta(instDir(tmp, i), pm, pdir)
+		}
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		if s.opts.DisableGroupCommit {
+			if err := syncFiles(fsys, res.NeedSync); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !s.opts.DisableGroupCommit {
+		// Group commit: one batched sync window for every file all
+		// instances wrote this barrier, fanned across the same worker
+		// budget as the instance snapshots.
+		var all []string
+		for _, res := range results {
+			all = append(all, res.NeedSync...)
+		}
+		if err := s.syncWindow(all); err != nil {
+			return nil, err
+		}
+	}
+	// Directory entries last: the files are durable, now make their
+	// names durable too.
+	if err := s.eachInstance(func(i int) error {
+		return fsys.SyncDir(instDir(tmp, i))
+	}); err != nil {
+		return nil, fmt.Errorf("flowkv: checkpoint: sync instance dir: %w", err)
+	}
+	if meta != nil {
+		if err := writeAppMeta(fsys, tmp, meta); err != nil {
+			return nil, err
+		}
+	}
+	var entries []manifestEntry
+	for i, res := range results {
+		prefix := fmt.Sprintf("inst-%02d", i)
+		for _, e := range res.Entries {
+			entries = append(entries, manifestEntry{
+				path: path.Join(prefix, e.Path),
+				size: e.Size,
+				crc:  e.CRC,
+			})
+		}
+	}
+	if meta != nil {
+		entries = append(entries, manifestEntry{
+			path: appMetaName,
+			size: int64(len(meta)),
+			crc:  binio.Checksum(meta),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].path < entries[j].path })
+	m := &manifest{
+		pattern:   s.pattern,
+		instances: s.opts.Instances,
+		parent:    parentName,
+		depth:     depth,
+		entries:   entries,
+	}
+	if err := writeManifestEncoded(fsys, tmp, m); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// syncWindow fsyncs every path, fanning across Options.Parallelism
+// workers. It is the group-commit window: called once per barrier with
+// the union of every instance's unsynced files.
+func (s *Store) syncWindow(paths []string) error {
+	fsys := s.opts.FS
+	workers := s.opts.Parallelism
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers <= 1 {
+		return syncFiles(fsys, paths)
+	}
+	var (
+		next  int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				if err := syncFiles(fsys, paths[i:i+1]); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// syncFiles fsyncs each named file in order.
+func syncFiles(fsys faultfs.FS, paths []string) error {
+	for _, p := range paths {
+		f, err := fsys.OpenFile(p, os.O_WRONLY, 0)
+		if err != nil {
+			return fmt.Errorf("flowkv: checkpoint: sync %s: %w", p, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("flowkv: checkpoint: sync %s: %w", p, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("flowkv: checkpoint: sync %s: %w", p, err)
+		}
+	}
+	return nil
+}

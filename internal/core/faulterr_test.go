@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -281,6 +282,102 @@ func TestFaultInjectionBattery(t *testing.T) {
 					t.Errorf("%d acked writes silently lost, e.g.:\n  %s",
 						len(lost), strings.Join(lost[:max], "\n  "))
 				}
+			})
+		}
+	}
+}
+
+// TestFaultInjectionLinkFallback fails the hard-link op — once and
+// persistently — under an incremental checkpoint. Link refusal is the
+// one fault the delta path must absorb completely: LinkOrCopy falls back
+// to copying the parent's segment, the commit succeeds, the store stays
+// Healthy, and the resulting checkpoint restores every acked write. A
+// persistent link fault must additionally account zero linked bytes for
+// the commit (everything went through the copy path).
+func TestFaultInjectionLinkFallback(t *testing.T) {
+	cases := []faultCase{
+		{name: "link-once", rule: faultfs.Rule{Op: faultfs.OpLink}},
+		{name: "link-persistent", rule: faultfs.Rule{
+			Op: faultfs.OpLink, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO}},
+	}
+	for _, p := range []Pattern{PatternAAR, PatternAUR, PatternRMW} {
+		for _, fc := range cases {
+			p, fc := p, fc
+			t.Run(fmt.Sprintf("%v/%s", p, fc.name), func(t *testing.T) {
+				inj := faultfs.NewInjector(faultfs.OS)
+				agg, wk, opts := crashConfig(p)
+				opts.FS = inj
+				base := t.TempDir()
+				opts.Dir = filepath.Join(base, "store")
+				s, err := Open(agg, wk, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Destroy()
+				o := newCrashOracle(p)
+				rng := rand.New(rand.NewSource(int64(p)*13 + int64(len(fc.name))))
+				ctr := 0
+				// An anchor plus a fault-free workload and base: the delta
+				// commit under fire is guaranteed to attempt links.
+				aw := window.Window{Start: 1 << 30, End: 1<<30 + 100}
+				if p == PatternRMW {
+					err = s.PutAggregate([]byte("anchor"), aw, []byte("a"))
+				} else {
+					err = s.Append([]byte("anchor"), []byte("a"), aw, aw.Start)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 100; i++ {
+					if err := o.step(rng, s, &ctr); err != nil {
+						t.Fatalf("workload: %v", err)
+					}
+				}
+				ck1 := filepath.Join(base, "ck1")
+				if err := s.CheckpointDelta(ck1, "", nil); err != nil {
+					t.Fatalf("base checkpoint: %v", err)
+				}
+				for i := 0; i < 40; i++ {
+					if err := o.step(rng, s, &ctr); err != nil {
+						t.Fatalf("workload: %v", err)
+					}
+				}
+				before := s.Stats()
+				inj.SetRule(fc.rule)
+				ck2 := filepath.Join(base, "ck2")
+				if err := s.CheckpointDelta(ck2, ck1, nil); err != nil {
+					t.Fatalf("delta commit under %s must fall back to copy, got: %v", fc.name, err)
+				}
+				if !inj.Fired() {
+					t.Fatalf("case %s: link rule never fired — scenario tests nothing", fc.name)
+				}
+				inj.Reset()
+				if got := s.Health(); got != Healthy {
+					t.Errorf("case %s: link refusal degraded the store to %v", fc.name, got)
+				}
+				after := s.Stats()
+				if fc.rule.Class == faultfs.ClassPersistent {
+					if linked := after.CkptLinkedBytes - before.CkptLinkedBytes; linked != 0 {
+						t.Errorf("case %s: %d bytes linked despite persistent link faults", fc.name, linked)
+					}
+				}
+				if copied := after.CkptCopiedBytes - before.CkptCopiedBytes; copied == 0 {
+					t.Errorf("case %s: commit copied nothing", fc.name)
+				}
+				// The acked-writes oracle: the checkpoint written through the
+				// fallback restores everything that was acked at its cut.
+				restOpts := opts
+				restOpts.FS = nil
+				restOpts.Dir = filepath.Join(base, "restored")
+				fresh, err := Open(agg, wk, restOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer fresh.Destroy()
+				if err := fresh.Restore(ck2); err != nil {
+					t.Fatalf("case %s: fallback checkpoint does not restore: %v", fc.name, err)
+				}
+				o.verify(t, fc.name, fresh)
 			})
 		}
 	}

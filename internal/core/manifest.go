@@ -15,9 +15,15 @@ import (
 // without a valid MANIFEST is not a checkpoint.
 const manifestName = "MANIFEST"
 
-// manifestMagic identifies the manifest format; bump the suffix on
-// incompatible changes.
+// manifestMagic identifies the original manifest format. Full
+// checkpoints still emit it, so their directories stay byte-compatible
+// with every earlier release.
 const manifestMagic = "flowkv-checkpoint-v1"
+
+// manifestMagicV2 is the incremental-checkpoint manifest format: the
+// header additionally records the parent generation's base name and the
+// chain depth. Readers accept both magics.
+const manifestMagicV2 = "flowkv-checkpoint-v2"
 
 // ErrCheckpointInvalid is the sentinel matched (via errors.Is) by every
 // rejection of a partial, corrupted, or mismatched checkpoint directory.
@@ -54,6 +60,24 @@ type manifestEntry struct {
 	path string
 	size int64
 	crc  uint32
+}
+
+// manifest is the decoded MANIFEST of a checkpoint directory.
+type manifest struct {
+	pattern   Pattern
+	instances int
+	// parent is the base name of the sibling checkpoint directory this
+	// incremental checkpoint was diffed against, "" for a full (chain
+	// base) checkpoint. Every checkpoint directory is physically
+	// self-contained — reused segments are hard-linked in, so restore
+	// never touches the parent — but the reference drives chain display,
+	// retention-GC refcounting, and chain verification.
+	parent string
+	// depth is the incremental chain length: 0 for a base, parent's
+	// depth + 1 otherwise. Stored rather than derived so the chain cap
+	// needs no walking (ancestors may already be garbage-collected).
+	depth   int
+	entries []manifestEntry
 }
 
 // snapshotDir walks root through fsys and returns one entry per regular
@@ -93,15 +117,26 @@ func snapshotDir(fsys faultfs.FS, root string) ([]manifestEntry, error) {
 }
 
 // encodeManifest serializes a manifest: a header record (magic, pattern,
-// instance count) followed by one record per file, all CRC-framed through
-// binio.
-func encodeManifest(p Pattern, instances int, entries []manifestEntry) []byte {
+// instance count, and for incremental checkpoints the parent name and
+// chain depth) followed by one record per file, all CRC-framed through
+// binio. A manifest with no parent and depth 0 is emitted in the v1
+// format, byte-identical to pre-incremental checkpoints.
+func encodeManifest(m *manifest) []byte {
 	var buf, payload []byte
-	payload = binio.PutString(payload[:0], manifestMagic)
-	payload = binio.PutUvarint(payload, uint64(p))
-	payload = binio.PutUvarint(payload, uint64(instances))
+	v2 := m.parent != "" || m.depth != 0
+	if v2 {
+		payload = binio.PutString(payload[:0], manifestMagicV2)
+	} else {
+		payload = binio.PutString(payload[:0], manifestMagic)
+	}
+	payload = binio.PutUvarint(payload, uint64(m.pattern))
+	payload = binio.PutUvarint(payload, uint64(m.instances))
+	if v2 {
+		payload = binio.PutString(payload, m.parent)
+		payload = binio.PutUvarint(payload, uint64(m.depth))
+	}
 	buf = binio.AppendRecord(buf, payload)
-	for _, e := range entries {
+	for _, e := range m.entries {
 		payload = binio.PutString(payload[:0], e.path)
 		payload = binio.PutUvarint(payload, uint64(e.size))
 		payload = binio.PutUint32(payload, e.crc)
@@ -110,52 +145,77 @@ func encodeManifest(p Pattern, instances int, entries []manifestEntry) []byte {
 	return buf
 }
 
-// parseManifest decodes a serialized manifest. On rejection it returns a
-// non-empty reason and zero values; it never panics, whatever the input
-// (fuzzed by FuzzParseManifest).
-func parseManifest(b []byte) (p Pattern, instances int, entries []manifestEntry, reason string) {
+// parseManifest decodes a serialized manifest, accepting both the v1 and
+// the v2 (parent-bearing) header. On rejection it returns a non-empty
+// reason and a nil manifest; it never panics, whatever the input (fuzzed
+// by FuzzParseManifest and FuzzParseDeltaManifest).
+func parseManifest(b []byte) (*manifest, string) {
 	header, n, err := binio.ReadRecord(b)
 	if err != nil {
-		return 0, 0, nil, fmt.Sprintf("corrupt header: %v", err)
+		return nil, fmt.Sprintf("corrupt header: %v", err)
 	}
 	b = b[n:]
 	magic, hn, err := binio.String(header)
-	if err != nil || magic != manifestMagic {
-		return 0, 0, nil, "bad magic"
+	if err != nil || (magic != manifestMagic && magic != manifestMagicV2) {
+		return nil, "bad magic"
 	}
 	header = header[hn:]
 	pat, hn, err := binio.Uvarint(header)
 	if err != nil {
-		return 0, 0, nil, "truncated header"
+		return nil, "truncated header"
 	}
 	header = header[hn:]
-	inst, _, err := binio.Uvarint(header)
+	inst, hn, err := binio.Uvarint(header)
 	if err != nil {
-		return 0, 0, nil, "truncated header"
+		return nil, "truncated header"
+	}
+	header = header[hn:]
+	m := &manifest{pattern: Pattern(pat), instances: int(inst)}
+	if magic == manifestMagicV2 {
+		parent, pn, err := binio.String(header)
+		if err != nil {
+			return nil, "truncated header"
+		}
+		header = header[pn:]
+		depth, _, err := binio.Uvarint(header)
+		if err != nil {
+			return nil, "truncated header"
+		}
+		// A parent reference is a sibling directory's base name; path
+		// separators or traversal would let a crafted manifest point the
+		// chain walk (GC refcounting, flowkvctl display) outside the
+		// checkpoint parent directory.
+		if parent != filepath.Base(parent) && parent != "" {
+			return nil, "parent is not a sibling name"
+		}
+		if parent == "." || parent == ".." {
+			return nil, "parent is not a sibling name"
+		}
+		m.parent, m.depth = parent, int(depth)
 	}
 	for len(b) > 0 {
 		rec, n, err := binio.ReadRecord(b)
 		if err != nil {
-			return 0, 0, nil, fmt.Sprintf("corrupt entry: %v", err)
+			return nil, fmt.Sprintf("corrupt entry: %v", err)
 		}
 		b = b[n:]
 		name, fn, err := binio.String(rec)
 		if err != nil {
-			return 0, 0, nil, "truncated entry"
+			return nil, "truncated entry"
 		}
 		rec = rec[fn:]
 		size, fn, err := binio.Uvarint(rec)
 		if err != nil {
-			return 0, 0, nil, "truncated entry"
+			return nil, "truncated entry"
 		}
 		rec = rec[fn:]
 		crc, err := binio.Uint32(rec)
 		if err != nil {
-			return 0, 0, nil, "truncated entry"
+			return nil, "truncated entry"
 		}
-		entries = append(entries, manifestEntry{path: name, size: int64(size), crc: crc})
+		m.entries = append(m.entries, manifestEntry{path: name, size: int64(size), crc: crc})
 	}
-	return Pattern(pat), int(inst), entries, ""
+	return m, ""
 }
 
 // writeManifest snapshots dir and writes its MANIFEST. The manifest file
@@ -167,7 +227,16 @@ func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error 
 	if err != nil {
 		return fmt.Errorf("flowkv: manifest: %w", err)
 	}
-	buf := encodeManifest(p, instances, entries)
+	return writeManifestEncoded(fsys, dir, &manifest{pattern: p, instances: instances, entries: entries})
+}
+
+// writeManifestEncoded writes a fully-specified manifest — entries
+// precomputed by the caller, not re-read from disk. The delta checkpoint
+// path depends on this: re-hashing the directory would re-read every
+// hard-linked segment and put the O(total-state) cost back into every
+// commit.
+func writeManifestEncoded(fsys faultfs.FS, dir string, m *manifest) error {
+	buf := encodeManifest(m)
 	f, err := fsys.Create(filepath.Join(dir, manifestName))
 	if err != nil {
 		return fmt.Errorf("flowkv: manifest: %w", err)
@@ -188,23 +257,23 @@ func writeManifest(fsys faultfs.FS, dir string, p Pattern, instances int) error 
 
 // readManifest parses dir's MANIFEST, validating the magic and that the
 // checkpoint was taken with the same pattern and instance count.
-func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) ([]manifestEntry, error) {
+func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) (*manifest, error) {
 	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
 	}
-	bad := func(reason string) ([]manifestEntry, error) {
+	bad := func(reason string) (*manifest, error) {
 		return nil, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
 	}
-	pat, inst, entries, reason := parseManifest(b)
+	m, reason := parseManifest(b)
 	if reason != "" {
 		return bad(reason)
 	}
-	if pat != p || inst != instances {
+	if m.pattern != p || m.instances != instances {
 		return bad(fmt.Sprintf("checkpoint is %v/%d instances, store is %v/%d",
-			pat, inst, p, instances))
+			m.pattern, m.instances, p, instances))
 	}
-	return entries, nil
+	return m, nil
 }
 
 // verifyCheckpoint rejects dir unless its current contents match its
@@ -213,11 +282,11 @@ func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) ([]mani
 // bit-flip, a file from a half-finished later attempt — yields a
 // CheckpointError rather than a silently partial restore.
 func verifyCheckpoint(fsys faultfs.FS, dir string, p Pattern, instances int) error {
-	want, err := readManifest(fsys, dir, p, instances)
+	m, err := readManifest(fsys, dir, p, instances)
 	if err != nil {
 		return err
 	}
-	return verifyContents(fsys, dir, want)
+	return verifyContents(fsys, dir, m.entries)
 }
 
 // verifyContents checks dir's current files against the manifest entries

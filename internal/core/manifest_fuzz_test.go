@@ -1,8 +1,16 @@
 package core
 
 import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
+
+func encodeManifestV1(p Pattern, instances int, entries []manifestEntry) []byte {
+	return encodeManifest(&manifest{pattern: p, instances: instances, entries: entries})
+}
 
 // FuzzParseManifest feeds arbitrary bytes to the checkpoint MANIFEST
 // parser. The parser is the gate between a possibly-corrupted checkpoint
@@ -11,37 +19,110 @@ import (
 // trip unchanged (the manifest format is canonical).
 func FuzzParseManifest(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(encodeManifest(PatternAAR, 4, nil))
-	f.Add(encodeManifest(PatternAUR, 2, []manifestEntry{
+	f.Add(encodeManifestV1(PatternAAR, 4, nil))
+	f.Add(encodeManifestV1(PatternAUR, 2, []manifestEntry{
 		{path: "inst-0000/data-000000.log", size: 4096, crc: 0xdeadbeef},
 		{path: "inst-0000/index-000000.log", size: 128, crc: 1},
 	}))
-	f.Add(encodeManifest(PatternRMW, 1, []manifestEntry{{path: "inst-0000/rmw.log", size: 0, crc: 0}}))
+	f.Add(encodeManifestV1(PatternRMW, 1, []manifestEntry{{path: "inst-0000/rmw.log", size: 0, crc: 0}}))
 	// Truncated and bit-flipped variants of a valid manifest.
-	full := encodeManifest(PatternAUR, 8, []manifestEntry{{path: "x", size: 7, crc: 9}})
+	full := encodeManifestV1(PatternAUR, 8, []manifestEntry{{path: "x", size: 7, crc: 9}})
 	f.Add(full[:len(full)-3])
 	flipped := append([]byte(nil), full...)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		p, inst, entries, reason := parseManifest(b)
+		m, reason := parseManifest(b)
 		if reason != "" {
 			return
 		}
-		re := encodeManifest(p, inst, entries)
-		p2, inst2, entries2, reason2 := parseManifest(re)
-		if reason2 != "" {
-			t.Fatalf("re-encoded manifest rejected: %s", reason2)
-		}
-		if p2 != p || inst2 != inst || len(entries2) != len(entries) {
-			t.Fatalf("round trip changed header: %v/%d/%d -> %v/%d/%d",
-				p, inst, len(entries), p2, inst2, len(entries2))
-		}
-		for i := range entries {
-			if entries2[i] != entries[i] {
-				t.Fatalf("round trip changed entry %d: %+v -> %+v", i, entries[i], entries2[i])
-			}
-		}
+		roundTripManifest(t, m)
 	})
+}
+
+// FuzzParseDeltaManifest targets the v2 (parent-bearing) header:
+// parent references, chain depth, and truncated or bit-flipped segment
+// entries. Accepted manifests must round-trip canonically, a full
+// manifest (no parent, depth 0) must re-encode to the v1 format, and
+// parent references must always be plain sibling names — never paths
+// that would let a crafted manifest walk the chain out of the checkpoint
+// directory.
+func FuzzParseDeltaManifest(f *testing.F) {
+	segs := []manifestEntry{
+		{path: "inst-00/SEGMENTS", size: 96, crc: 0x1234},
+		{path: "inst-00/win_0_10.log.seg-000000000000", size: 4096, crc: 0xdeadbeef},
+		{path: "inst-00/win_0_10.log.seg-000000004096", size: 512, crc: 0xfeed},
+		{path: "APPMETA", size: 33, crc: 7},
+	}
+	f.Add(encodeManifest(&manifest{pattern: PatternAAR, instances: 1, parent: "gen-000004", depth: 3, entries: segs}))
+	f.Add(encodeManifest(&manifest{pattern: PatternRMW, instances: 2, parent: "gen-000001", depth: 1,
+		entries: []manifestEntry{{path: "inst-00/rmw.dlt.seg-000000000000", size: 64, crc: 1}}}))
+	// Depth without parent (a base written at the chain cap).
+	f.Add(encodeManifest(&manifest{pattern: PatternAUR, instances: 4, parent: "", depth: 0, entries: segs[:1]}))
+	// Hostile parents: traversal and separators must be rejected.
+	f.Add(encodeManifest(&manifest{pattern: PatternAAR, instances: 1, parent: "gen-000001", depth: 1}))
+	full := encodeManifest(&manifest{pattern: PatternAUR, instances: 2, parent: "gen-000007", depth: 2, entries: segs})
+	f.Add(full[:len(full)-5])
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, reason := parseManifest(b)
+		if reason != "" {
+			return
+		}
+		if m.parent == "." || m.parent == ".." ||
+			bytes.ContainsAny([]byte(m.parent), "/\\") {
+			t.Fatalf("accepted non-sibling parent %q", m.parent)
+		}
+		roundTripManifest(t, m)
+	})
+}
+
+func roundTripManifest(t *testing.T, m *manifest) {
+	t.Helper()
+	re := encodeManifest(m)
+	m2, reason2 := parseManifest(re)
+	if reason2 != "" {
+		t.Fatalf("re-encoded manifest rejected: %s", reason2)
+	}
+	if m2.pattern != m.pattern || m2.instances != m.instances ||
+		m2.parent != m.parent || m2.depth != m.depth || len(m2.entries) != len(m.entries) {
+		t.Fatalf("round trip changed header: %+v -> %+v", m, m2)
+	}
+	for i := range m.entries {
+		if m2.entries[i] != m.entries[i] {
+			t.Fatalf("round trip changed entry %d: %+v -> %+v", i, m.entries[i], m2.entries[i])
+		}
+	}
+}
+
+// TestCheckpointChainCycle crafts two checkpoints whose manifests name
+// each other as parents; resolving the chain must fail with
+// ErrCheckpointInvalid instead of walking forever.
+func TestCheckpointChainCycle(t *testing.T) {
+	dir := t.TempDir()
+	writeCycleManifest(t, dir, "gen-000001", "gen-000002")
+	writeCycleManifest(t, dir, "gen-000002", "gen-000001")
+	_, err := CheckpointChain(nil, dir+"/gen-000002")
+	if err == nil {
+		t.Fatal("cycle in parent chain accepted")
+	}
+	if !errors.Is(err, ErrCheckpointInvalid) {
+		t.Fatalf("cycle error is %v, want ErrCheckpointInvalid", err)
+	}
+}
+
+func writeCycleManifest(t *testing.T, parent, name, ref string) {
+	t.Helper()
+	d := filepath.Join(parent, name)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	buf := encodeManifest(&manifest{pattern: PatternAAR, instances: 1, parent: ref, depth: 1})
+	if err := os.WriteFile(filepath.Join(d, manifestName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -26,6 +26,11 @@ type CheckpointInfo struct {
 	SizeBytes int64
 	// ModTime is the directory's modification time (checkpoint age).
 	ModTime time.Time
+	// Parent is the sibling checkpoint this incremental checkpoint was
+	// diffed against ("" for a full/base checkpoint); Depth is its
+	// position in the incremental chain (0 = base).
+	Parent string
+	Depth  int
 	// Err is non-nil when the checkpoint failed verification: missing,
 	// truncated, or bit-flipped files, or extra files not in the MANIFEST.
 	Err error
@@ -64,17 +69,18 @@ func ListCheckpoints(fsys faultfs.FS, parent string) ([]CheckpointInfo, error) {
 			out = append(out, ci)
 			continue
 		}
-		pat, inst, entries, reason := parseManifest(b)
+		m, reason := parseManifest(b)
 		if reason != "" {
 			ci.Err = &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
 			out = append(out, ci)
 			continue
 		}
-		ci.Pattern, ci.Instances, ci.Files = pat, inst, len(entries)
-		for _, me := range entries {
+		ci.Pattern, ci.Instances, ci.Files = m.pattern, m.instances, len(m.entries)
+		ci.Parent, ci.Depth = m.parent, m.depth
+		for _, me := range m.entries {
 			ci.SizeBytes += me.size
 		}
-		ci.Err = verifyContents(fsys, dir, entries)
+		ci.Err = verifyContents(fsys, dir, m.entries)
 		out = append(out, ci)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -97,20 +103,71 @@ func VerifyCheckpointDir(fsys faultfs.FS, dir string) (Pattern, int, error) {
 	if err != nil {
 		return 0, 0, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
 	}
-	pat, inst, entries, reason := parseManifest(b)
+	m, reason := parseManifest(b)
 	if reason != "" {
 		return 0, 0, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
 	}
-	return pat, inst, verifyContents(fsys, dir, entries)
+	return m.pattern, m.instances, verifyContents(fsys, dir, m.entries)
+}
+
+// CheckpointChain resolves dir's incremental-checkpoint chain by
+// following parent references: it returns the base names of the chain
+// from dir itself down toward the base, stopping early (without error)
+// when an ancestor has already been garbage-collected. Checkpoint
+// directories are physically self-contained, so a truncated chain is
+// still restorable from dir alone; the walk exists for display, GC
+// refcounting, and to reject malformed chains — a cycle in the parent
+// references yields a CheckpointError (errors.Is ErrCheckpointInvalid).
+// A nil fsys means the real OS filesystem.
+func CheckpointChain(fsys faultfs.FS, dir string) ([]string, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	parent := filepath.Dir(dir)
+	name := filepath.Base(dir)
+	var chain []string
+	seen := make(map[string]bool)
+	for name != "" {
+		if seen[name] {
+			return nil, &CheckpointError{Dir: filepath.Join(parent, name),
+				Reason: fmt.Sprintf("cycle in checkpoint parent chain at %q", name)}
+		}
+		seen[name] = true
+		chain = append(chain, name)
+		b, err := fsys.ReadFile(filepath.Join(parent, name, manifestName))
+		if err != nil {
+			if len(chain) == 1 {
+				return nil, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
+			}
+			chain = chain[:len(chain)-1] // ancestor already collected
+			break
+		}
+		m, reason := parseManifest(b)
+		if reason != "" {
+			if len(chain) == 1 {
+				return nil, &CheckpointError{Dir: dir, File: manifestName, Reason: reason}
+			}
+			chain = chain[:len(chain)-1]
+			break
+		}
+		name = m.parent
+	}
+	return chain, nil
 }
 
 // gcCheckpoints enforces Options.RetainCheckpoints: among the sibling
 // directories of the just-committed checkpoint, the keep newest valid
-// checkpoints survive and older ones are removed. Only directories whose
-// MANIFEST parses are candidates — anything else next to the checkpoints
-// (store data directories, stray files, in-flight ".tmp"/".old"
-// directories) is never touched. The just-committed checkpoint is always
-// kept regardless of timestamps.
+// checkpoints survive and older ones are removed — except generations a
+// surviving incremental checkpoint still references through its parent
+// chain, which are retained too (refcounted GC). Hard links make every
+// directory physically self-contained, so collecting a parent would not
+// corrupt its children; keeping referenced ancestors preserves the
+// verifiable chain (flowkvctl display, CheckpointChain) until a newer
+// base makes them unreachable. Only directories whose MANIFEST parses
+// are candidates — anything else next to the checkpoints (store data
+// directories, stray files, in-flight ".tmp"/".old" directories) is
+// never touched. The just-committed checkpoint is always kept regardless
+// of timestamps.
 func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
 	parent := filepath.Dir(just)
 	ents, err := fsys.ReadDir(parent)
@@ -118,14 +175,16 @@ func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
 		return err
 	}
 	type cand struct {
-		path string
-		name string
-		mod  time.Time
+		path   string
+		name   string
+		parent string
+		mod    time.Time
 	}
 	base := filepath.Base(just)
+	justParent := ""
 	var cands []cand
 	for _, e := range ents {
-		if !e.IsDir() || e.Name() == base ||
+		if !e.IsDir() ||
 			strings.HasSuffix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".old") {
 			continue
 		}
@@ -134,10 +193,15 @@ func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
 		if rerr != nil {
 			continue
 		}
-		if _, _, _, reason := parseManifest(b); reason != "" {
+		m, reason := parseManifest(b)
+		if reason != "" {
 			continue
 		}
-		c := cand{path: dir, name: e.Name()}
+		if e.Name() == base {
+			justParent = m.parent
+			continue
+		}
+		c := cand{path: dir, name: e.Name(), parent: m.parent}
 		if info, ierr := e.Info(); ierr == nil {
 			c.mod = info.ModTime()
 		}
@@ -149,9 +213,32 @@ func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
 		}
 		return cands[i].name > cands[j].name
 	})
-	// The just-committed checkpoint occupies one of the keep slots.
+	// Seed the kept set with the just-committed checkpoint and the
+	// keep-1 newest siblings, then close it over parent references: any
+	// candidate a kept checkpoint links against survives this round. The
+	// visited set bounds the walk even if crafted manifests form a
+	// parent cycle.
+	parentOf := make(map[string]string, len(cands)+1)
+	parentOf[base] = justParent
+	for _, c := range cands {
+		parentOf[c.name] = c.parent
+	}
+	kept := map[string]bool{base: true}
+	for i := 0; i < keep-1 && i < len(cands); i++ {
+		kept[cands[i].name] = true
+	}
+	reachable := make(map[string]bool, len(kept))
+	for name := range kept {
+		for cur := name; cur != "" && !reachable[cur]; {
+			reachable[cur] = true
+			cur = parentOf[cur]
+		}
+	}
 	var first error
 	for i := keep - 1; i >= 0 && i < len(cands); i++ {
+		if reachable[cands[i].name] {
+			continue
+		}
 		if rerr := fsys.RemoveAll(cands[i].path); rerr != nil && first == nil {
 			first = rerr
 		}

@@ -90,6 +90,13 @@ type span struct {
 	n   int
 }
 
+// deltaMark records one identity's latest mutation since the last
+// committed delta checkpoint.
+type deltaMark struct {
+	seq  uint64
+	tomb bool
+}
+
 // Store is a single RMW store instance, safe for concurrent use.
 type Store struct {
 	opts Options
@@ -104,6 +111,16 @@ type Store struct {
 	flushing map[id][]byte // batch detached by an in-flight flush, nil otherwise
 	dead     int64
 	closed   bool
+	// deltas tracks every identity mutated since the last committed
+	// delta checkpoint: an upsert (Put) or a tombstone (fetch-&-remove).
+	// CheckpointDelta persists exactly these marks on top of the parent
+	// checkpoint; the seq lets its post-commit hook retire only marks
+	// that were not re-dirtied while the checkpoint was being written.
+	// lastCutID names the last committed delta cut — a delta extends its
+	// parent only when the parent's recorded cut matches.
+	deltas    map[id]deltaMark
+	deltaSeq  uint64
+	lastCutID uint64
 
 	// ioMu serializes log I/O: flush, compaction, indexed reads,
 	// checkpoint/restore. Never acquired while holding mu.
@@ -128,16 +145,24 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		opts:  opts,
-		dir:   dir,
-		bd:    opts.Breakdown,
-		buf:   make(map[id][]byte),
-		index: make(map[id]span),
+		opts:   opts,
+		dir:    dir,
+		bd:     opts.Breakdown,
+		buf:    make(map[id][]byte),
+		index:  make(map[id]span),
+		deltas: make(map[id]deltaMark),
 	}
 	if err := s.openGen(0); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// markDeltaLocked records a mutation of ident for the next delta
+// checkpoint; the caller holds mu.
+func (s *Store) markDeltaLocked(ident id, tomb bool) {
+	s.deltaSeq++
+	s.deltas[ident] = deltaMark{seq: s.deltaSeq, tomb: tomb}
 }
 
 // openGen swaps in a fresh log generation; caller holds ioMu (or is Open).
@@ -184,6 +209,7 @@ func (s *Store) put(key []byte, w window.Window, agg []byte) error {
 	copy(ac, agg)
 	s.buf[ident] = ac
 	s.bufBytes += int64(len(ac))
+	s.markDeltaLocked(ident, false)
 	need := s.bufBytes+int64(len(s.buf))*48 > s.opts.WriteBufferBytes
 	s.mu.Unlock()
 	s.puts.Inc()
@@ -227,6 +253,7 @@ func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 		if v, ok := s.buf[ident]; ok {
 			s.bufBytes -= int64(len(v))
 			delete(s.buf, ident)
+			s.markDeltaLocked(ident, true)
 			s.mu.Unlock()
 			s.gets.Inc()
 			return v, true, nil
@@ -249,6 +276,7 @@ func (s *Store) get(key []byte, w window.Window) ([]byte, bool, error) {
 	if v, ok := s.buf[ident]; ok {
 		s.bufBytes -= int64(len(v))
 		delete(s.buf, ident)
+		s.markDeltaLocked(ident, true)
 		s.mu.Unlock()
 		s.ioMu.Unlock()
 		s.gets.Inc()
@@ -308,6 +336,7 @@ func (s *Store) reread(ident id) ([]byte, bool, error) {
 	if v, ok := s.buf[ident]; ok {
 		s.bufBytes -= int64(len(v))
 		delete(s.buf, ident)
+		s.markDeltaLocked(ident, true)
 		s.mu.Unlock()
 		s.gets.Inc()
 		return v, true, nil
@@ -337,6 +366,7 @@ func (s *Store) finishGet(ident id, sp span) {
 	if cur, still := s.index[ident]; still && cur == sp {
 		delete(s.index, ident)
 		s.dead += int64(sp.n)
+		s.markDeltaLocked(ident, true)
 	}
 	s.mu.Unlock()
 	s.gets.Inc()

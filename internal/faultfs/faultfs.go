@@ -67,6 +67,10 @@ type FS interface {
 	// Open opens a file read-only.
 	Open(path string) (File, error)
 	Rename(oldpath, newpath string) error
+	// Link creates newpath as a hard link to oldpath. Filesystems
+	// without hard-link support return an error; callers that can fall
+	// back to a copy use LinkOrCopy instead of calling Link directly.
+	Link(oldpath, newpath string) error
 	Remove(path string) error
 	RemoveAll(path string) error
 	MkdirAll(path string, perm os.FileMode) error
@@ -111,6 +115,7 @@ func (osFS) Open(path string) (File, error) {
 }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Link(oldpath, newpath string) error   { return os.Link(oldpath, newpath) }
 func (osFS) Remove(path string) error             { return os.Remove(path) }
 func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
 func (osFS) MkdirAll(path string, perm os.FileMode) error {
@@ -154,6 +159,33 @@ func CopyFile(fsys FS, src, dst string) error {
 	return out.Close()
 }
 
+// LinkOrCopy hard-links src to dst, falling back to a full copy when the
+// filesystem refuses the link (no hard-link support, cross-device, or an
+// injected link fault). It reports whether the cheap path was taken: a
+// linked file's bytes are already durable (they were fsynced when the
+// source was sealed), while a copied file still needs an fsync before any
+// commit that references it — the caller owns that sync, so group-commit
+// checkpoints can batch it.
+func LinkOrCopy(fsys FS, src, dst string) (linked bool, err error) {
+	if err := fsys.Link(src, dst); err == nil {
+		return true, nil
+	}
+	in, err := fsys.Open(src)
+	if err != nil {
+		return false, err
+	}
+	defer in.Close()
+	out, err := fsys.Create(dst)
+	if err != nil {
+		return false, err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return false, err
+	}
+	return false, out.Close()
+}
+
 // Op classifies a mutating filesystem operation for rule matching.
 type Op int
 
@@ -171,6 +203,9 @@ const (
 	OpTruncate
 	// OpRename matches FS.Rename.
 	OpRename
+	// OpLink matches FS.Link (hard-link creation, the incremental-
+	// checkpoint segment-reuse path). Counted as a mutating operation.
+	OpLink
 	// OpRemove matches FS.Remove and FS.RemoveAll.
 	OpRemove
 	// OpMkdir matches FS.MkdirAll.
@@ -197,6 +232,8 @@ func (o Op) String() string {
 		return "truncate"
 	case OpRename:
 		return "rename"
+	case OpLink:
+		return "link"
 	case OpRemove:
 		return "remove"
 	case OpMkdir:
@@ -486,6 +523,13 @@ func (i *Injector) Rename(oldpath, newpath string) error {
 		return err
 	}
 	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Link(oldpath, newpath string) error {
+	if _, err := i.check(OpLink, newpath); err != nil {
+		return err
+	}
+	return i.base.Link(oldpath, newpath)
 }
 
 func (i *Injector) Remove(path string) error {

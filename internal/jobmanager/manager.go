@@ -170,6 +170,29 @@ type tenantRun struct {
 	slotID string
 	err    error
 	result *spe.JobResult
+
+	// backends are the current run's stateful-stage backends, polled at
+	// each checkpoint for incremental-checkpoint byte accounting. A
+	// failover rebuilds them on the new slot, so the previous run's
+	// totals are folded into the stats gauges' base first (see buildJob).
+	backends []statebackend.Backend
+}
+
+// pollCkptBytes folds the current backends' linked/copied checkpoint
+// byte counters into the tenant's stats gauges on top of base values
+// carried over from earlier runs.
+func (tr *tenantRun) pollCkptBytes(linkedBase, copiedBase int64) {
+	var linked, copied int64
+	tr.mu.Lock()
+	for _, b := range tr.backends {
+		if st, ok := statebackend.FlowKVStats(b); ok {
+			linked += st.CkptLinkedBytes
+			copied += st.CkptCopiedBytes
+		}
+	}
+	tr.mu.Unlock()
+	tr.stats.ckptLinked.Set(linkedBase + linked)
+	tr.stats.ckptCopied.Set(copiedBase + copied)
 }
 
 func (tr *tenantRun) setSlot(id string) {
@@ -365,6 +388,14 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 	t := tr.t
 	p := *t.Pipeline
 	p.Stages = append([]spe.Stage(nil), t.Pipeline.Stages...)
+	// A rebuilt job means fresh stores whose checkpoint byte counters
+	// restart at zero: freeze what the previous run accumulated as the
+	// new base and start collecting the new run's backends.
+	linkedBase := tr.stats.ckptLinked.Load()
+	copiedBase := tr.stats.ckptCopied.Load()
+	tr.mu.Lock()
+	tr.backends = nil
+	tr.mu.Unlock()
 	for i := range p.Stages {
 		st := &p.Stages[i]
 		if st.Window == nil && st.Join == nil {
@@ -379,6 +410,9 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 			statebackend.SubscribeHealth(b, func(h core.Health, herr error) {
 				m.pool.Observe(slot.ID, h, herr)
 			})
+			tr.mu.Lock()
+			tr.backends = append(tr.backends, b)
+			tr.mu.Unlock()
 			if writeLim != nil {
 				return newLimitedBackend(b, writeLim, tr.stats, nil), nil
 			}
@@ -396,7 +430,10 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 		CheckpointEvery:           t.CheckpointEvery,
 		SelfHeal:                  t.SelfHeal,
 		DegradedCheckpointTimeout: dct,
-		OnCheckpoint:              func(int64, bool) { tr.stats.ckpts.Inc() },
+		OnCheckpoint: func(int64, bool) {
+			tr.stats.ckpts.Inc()
+			tr.pollCkptBytes(linkedBase, copiedBase)
+		},
 	}
 }
 

@@ -20,6 +20,11 @@ type tenantStats struct {
 	admitLat   *metrics.Histogram
 	failovers  metrics.Counter
 	ckpts      metrics.Counter
+	// ckptLinked/ckptCopied mirror the FlowKV stores' incremental
+	// checkpoint byte counters (gauges: refreshed from the backends at
+	// every committed checkpoint, on a base carried across failovers).
+	ckptLinked metrics.Gauge
+	ckptCopied metrics.Gauge
 }
 
 func newTenantStats() *tenantStats {
@@ -56,6 +61,11 @@ type Stats struct {
 	Failovers int64 `json:"failovers"`
 	// Checkpoints counts committed generations across runs.
 	Checkpoints int64 `json:"checkpoints"`
+	// CkptLinkedBytes/CkptCopiedBytes price the tenant's durability:
+	// bytes its incremental checkpoints carried forward by hard link vs
+	// bytes physically rewritten since the tenant started.
+	CkptLinkedBytes int64 `json:"ckpt_linked_bytes"`
+	CkptCopiedBytes int64 `json:"ckpt_copied_bytes"`
 	// Err is the terminal error for State=="failed".
 	Err string `json:"err,omitempty"`
 }
@@ -63,15 +73,17 @@ type Stats struct {
 // snapshot freezes the live counters into a Stats.
 func (ts *tenantStats) snapshot() Stats {
 	return Stats{
-		Admitted:    ts.admitted.Load(),
-		Throttled:   ts.throttled.Load(),
-		Shed:        ts.shed.Load(),
-		WriteBytes:  ts.bytesIn.Load(),
-		WriteStalls: ts.bytesSlow.Load(),
-		QueueDepth:  ts.queueDepth.Load(),
-		AdmitP50:    ts.admitLat.P50(),
-		AdmitP99:    ts.admitLat.P99(),
-		Failovers:   ts.failovers.Load(),
-		Checkpoints: ts.ckpts.Load(),
+		Admitted:        ts.admitted.Load(),
+		Throttled:       ts.throttled.Load(),
+		Shed:            ts.shed.Load(),
+		WriteBytes:      ts.bytesIn.Load(),
+		WriteStalls:     ts.bytesSlow.Load(),
+		QueueDepth:      ts.queueDepth.Load(),
+		AdmitP50:        ts.admitLat.P50(),
+		AdmitP99:        ts.admitLat.P99(),
+		Failovers:       ts.failovers.Load(),
+		Checkpoints:     ts.ckpts.Load(),
+		CkptLinkedBytes: ts.ckptLinked.Load(),
+		CkptCopiedBytes: ts.ckptCopied.Load(),
 	}
 }

@@ -503,6 +503,16 @@ func (jr *jobRun) commit(final bool) error {
 	if err := jr.fsys.RemoveAll(genDir); err != nil {
 		return fmt.Errorf("spe: job checkpoint: clear gen dir: %w", err)
 	}
+	// Checkpoints are priced incrementally against the previous
+	// generation, which clearGens has kept alive exactly for this: each
+	// backend hard-links the bytes gen-1 already persisted and rewrites
+	// only the delta. Any unusable parent (first generation, a
+	// parallelism change, a legacy-format ancestor) silently falls back
+	// to a full base.
+	prevGenDir := ""
+	if jr.gen >= 1 {
+		prevGenDir = filepath.Join(j.Dir, genDirName(jr.gen))
+	}
 	for _, js := range jr.stages {
 		if js.shared != nil {
 			snaps := make([][]byte, len(js.ops))
@@ -514,14 +524,22 @@ func (jr *jobRun) commit(final bool) error {
 				fired = js.drops.snapshotFired()
 			}
 			dir := filepath.Join(genDir, sharedDirName(js.si))
-			if err := jr.checkpointBackend(js.sharedCP, js.shared, dir, encodeShardSnaps(snaps, fired)); err != nil {
+			parent := ""
+			if prevGenDir != "" {
+				parent = filepath.Join(prevGenDir, sharedDirName(js.si))
+			}
+			if err := jr.checkpointBackend(js.sharedCP, js.shared, dir, parent, encodeShardSnaps(snaps, fired)); err != nil {
 				return jr.checkpointFailed(js, -1, js.shared, gen, err)
 			}
 			continue
 		}
 		for w, op := range js.ops {
 			dir := filepath.Join(genDir, workerDirName(js.si, w))
-			if err := jr.checkpointBackend(js.cps[w], js.backends[w], dir, op.snapshotState()); err != nil {
+			parent := ""
+			if prevGenDir != "" {
+				parent = filepath.Join(prevGenDir, workerDirName(js.si, w))
+			}
+			if err := jr.checkpointBackend(js.cps[w], js.backends[w], dir, parent, op.snapshotState()); err != nil {
 				return jr.checkpointFailed(js, w, js.backends[w], gen, err)
 			}
 		}
@@ -585,8 +603,18 @@ func (jr *jobRun) checkpointFailed(js *jobStage, worker int, b statebackend.Back
 // reaches Failed, or a failure that persists with the store Healthy
 // (confined to the snapshot directory), aborts the attempt; the run ends
 // uncommitted and stays resumable.
-func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend.Backend, dir string, meta []byte) error {
-	err := cp.CheckpointMeta(dir, meta)
+func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend.Backend, dir, parent string, meta []byte) error {
+	// Backends with the incremental capability always go through the
+	// delta path — with an empty or unusable parent it writes a full
+	// base in the segmented format, so later generations can link
+	// against it; plain Checkpointers take full snapshots forever.
+	snap := func() error {
+		if dc, ok := cp.(statebackend.DeltaCheckpointer); ok {
+			return dc.CheckpointDeltaMeta(dir, parent, meta)
+		}
+		return cp.CheckpointMeta(dir, meta)
+	}
+	err := snap()
 	typedDeadline := jr.j.DegradedCheckpointTimeout > 0
 	if err == nil || (jr.j.SelfHeal == nil && !typedDeadline) {
 		return err
@@ -610,7 +638,7 @@ func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		if err = cp.CheckpointMeta(dir, meta); err == nil {
+		if err = snap(); err == nil {
 			return nil
 		}
 		if !wasDegraded {

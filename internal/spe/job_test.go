@@ -513,3 +513,66 @@ func TestJobMetaRoundTrip(t *testing.T) {
 		t.Fatal("corrupt JOB file accepted")
 	}
 }
+
+// TestJobGenerationsChainIncrementally is the SPE leg of the
+// incremental-checkpoint battery: every barrier commit after the first
+// generation must go through the delta path, chaining on the previous
+// generation's checkpoint of the same worker. The chain crosses
+// generation directories, so the MANIFEST records depth but no sibling
+// parent name; every committed checkpoint still verifies standalone
+// (hard links keep it self-contained even though clearGens deletes the
+// parent generation right after the commit).
+func TestJobGenerationsChainIncrementally(t *testing.T) {
+	tuples := crashTuples(600)
+	const every = 97
+	for _, pat := range crashPatterns() {
+		pat := pat
+		t.Run(pat.name, func(t *testing.T) {
+			base := t.TempDir()
+			job := &Job{
+				Pipeline:        crashPipeline(pat, filepath.Join(base, "state"), nil, 1<<10),
+				Source:          NewSliceSource(tuples),
+				Dir:             filepath.Join(base, "job"),
+				CheckpointEvery: every,
+			}
+			res, err := job.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Final {
+				t.Fatal("job did not finish")
+			}
+			meta, err := ReadJobMeta(nil, job.Dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meta.Gen < 2 {
+				t.Fatalf("job committed only generation %d; the chain was never exercised", meta.Gen)
+			}
+			genDir := filepath.Join(job.Dir, genDirName(meta.Gen))
+			infos, err := core.ListCheckpoints(nil, genDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) == 0 {
+				t.Fatalf("no checkpoints in committed generation %s", genDir)
+			}
+			for _, ci := range infos {
+				if ci.Err != nil {
+					t.Errorf("%s fails verification: %v", ci.Path, ci.Err)
+				}
+				if ci.Depth < 1 {
+					t.Errorf("%s has depth %d: generation %d did not chain on its predecessor",
+						ci.Path, ci.Depth, meta.Gen)
+				}
+				if ci.Parent != "" {
+					t.Errorf("%s records sibling parent %q; cross-generation parents must not be recorded as siblings",
+						ci.Path, ci.Parent)
+				}
+				if _, cerr := core.CheckpointChain(nil, ci.Path); cerr != nil {
+					t.Errorf("chain walk of %s: %v", ci.Path, cerr)
+				}
+			}
+		})
+	}
+}

@@ -19,9 +19,27 @@ type Checkpointer interface {
 	RestoreMeta(dir string) ([]byte, error)
 }
 
+// DeltaCheckpointer is the incremental refinement of Checkpointer: the
+// snapshot into dir is priced against the checkpoint at parent — bytes
+// the parent already persisted are hard-linked rather than rewritten,
+// and the per-barrier fsyncs collapse into one group-commit window. An
+// empty parent (or an unusable one — the fallback is always to full
+// data) writes a full base. The resulting directory remains physically
+// self-contained and restores through plain RestoreMeta.
+type DeltaCheckpointer interface {
+	Checkpointer
+	// CheckpointDeltaMeta is CheckpointMeta diffed against parent.
+	CheckpointDeltaMeta(dir, parent string, meta []byte) error
+}
+
 // CheckpointMeta implements Checkpointer over core.Store.
 func (b *flowkvBackend) CheckpointMeta(dir string, meta []byte) error {
 	return b.store.CheckpointWithMeta(dir, meta)
+}
+
+// CheckpointDeltaMeta implements DeltaCheckpointer over core.Store.
+func (b *flowkvBackend) CheckpointDeltaMeta(dir, parent string, meta []byte) error {
+	return b.store.CheckpointDelta(dir, parent, meta)
 }
 
 // RestoreMeta implements Checkpointer over core.Store.
@@ -34,6 +52,22 @@ func (b *flowkvBackend) RestoreMeta(dir string) ([]byte, error) {
 func AsCheckpointer(b Backend) (Checkpointer, bool) {
 	for {
 		if c, ok := b.(Checkpointer); ok {
+			return c, true
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
+	}
+}
+
+// AsDeltaCheckpointer extracts the incremental-checkpoint capability,
+// looking through wrappers like AsCheckpointer. Callers holding only a
+// Checkpointer fall back to full snapshots.
+func AsDeltaCheckpointer(b Backend) (DeltaCheckpointer, bool) {
+	for {
+		if c, ok := b.(DeltaCheckpointer); ok {
 			return c, true
 		}
 		u, ok := b.(Unwrapper)
@@ -58,4 +92,4 @@ func StartSelfHeal(b Backend, opts core.SelfHealOptions) (stop func(), ok bool) 
 	return h.Stop, true
 }
 
-var _ Checkpointer = (*flowkvBackend)(nil)
+var _ DeltaCheckpointer = (*flowkvBackend)(nil)
