@@ -12,6 +12,7 @@
 //	flowbench -query Q7 -backend flowkv -json -   # one run, JSON report
 //	flowbench -recovery              # crash-restart recovery demo
 //	flowbench -recovery -rescale     # recovery with resume at parallelism+1
+//	flowbench -migrate               # live key-range migration demo (bounded p99 on untouched keys)
 //	flowbench -tenants 4             # noisy-neighbor demo: 4 noisy tenants + 1 victim
 package main
 
@@ -32,6 +33,7 @@ import (
 type report struct {
 	Runs     []harness.RunOutcome       `json:"runs,omitempty"`
 	Recovery []harness.RecoveryOutcome  `json:"recovery,omitempty"`
+	Migrate  []harness.MigrateOutcome   `json:"migrate,omitempty"`
 	Tenants  *harness.TenantDemoOutcome `json:"tenants,omitempty"`
 }
 
@@ -49,6 +51,7 @@ func main() {
 		windowMs  = flag.Int64("window", 1000, "window size / session gap in ms for -query")
 		recovery  = flag.Bool("recovery", false, "run the crash-restart recovery demo (kill, resume, verify exactly-once)")
 		rescale   = flag.Bool("rescale", false, "with -recovery: resume crashed jobs at parallelism+1, splitting committed key ranges on restart")
+		migrate   = flag.Bool("migrate", false, "run the live key-range migration demo (hand off one hash bucket mid-stream, verify exactly-once and bounded p99 on untouched keys)")
 		tenants   = flag.Int("tenants", 0, "run the multi-tenant demo: this many noisy tenants over-submitting their quota next to one SLO victim, with an injected slot failure")
 		jsonPath  = flag.String("json", "", "write -query/-recovery outcomes as JSON to this file (\"-\" for stdout)")
 	)
@@ -107,6 +110,15 @@ func main() {
 			runErr = err
 		}
 	}
+	if *migrate {
+		ran = true
+		fmt.Println("== live key-range migration ==")
+		outs, err := harness.MigrateDemo(sc, os.Stdout)
+		rep.Migrate = outs
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	if *tenants > 0 {
 		ran = true
 		fmt.Printf("== multi-tenant demo: %d noisy tenants + 1 victim, 3 slots, 1 forced failure ==\n", *tenants)
@@ -146,7 +158,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *jsonPath != "" && (rep.Runs != nil || rep.Recovery != nil || rep.Tenants != nil) {
+	if *jsonPath != "" && (rep.Runs != nil || rep.Recovery != nil || rep.Migrate != nil || rep.Tenants != nil) {
 		if err := writeJSON(*jsonPath, rep); err != nil {
 			fatal(err)
 		}

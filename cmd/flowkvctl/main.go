@@ -14,6 +14,7 @@
 //	flowkvctl checkpoints <parent-dir> # list and verify checkpoints
 //	flowkvctl job <job-dir>            # inspect a job's committed progress
 //	flowkvctl job <job-dir> <par>      # additionally: can it resume at <par> workers?
+//	flowkvctl migration <job-dir>      # live-migration journal and routing tables
 //	flowkvctl tenants <manager-dir>    # per-tenant admission stats and pool health
 package main
 
@@ -65,6 +66,8 @@ func main() {
 			}
 		}
 		err = cmdJob(path, target)
+	case "migration":
+		err = cmdMigration(path)
 	case "tenants":
 		err = cmdTenants(path)
 	default:
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job|tenants} <path> [job-target-parallelism]")
+	fmt.Fprintln(os.Stderr, "usage: flowkvctl {ls|index|data|aar|rmw|health|checkpoints|job|migration|tenants} <path> [job-target-parallelism]")
 	os.Exit(2)
 }
 
@@ -440,6 +443,77 @@ func cmdJob(dir string, target int) error {
 	if invalid > 0 {
 		return fmt.Errorf("%d of %d worker checkpoints failed verification", invalid, workers)
 	}
+	return nil
+}
+
+// cmdMigration inspects a job's live-migration state: the committed
+// routing tables from the JOB record (flagging buckets that no longer
+// live on their hash-default worker) and every journaled migration
+// attempt with its protocol state. In-flight attempts (preparing /
+// prepared) are normal only while the job runs; seen in a cold
+// directory they mean the job died mid-handoff and the next Resume
+// will reconcile them — committed iff the routing flip made it into
+// the JOB record, aborted otherwise. Leftover mig-* staging
+// directories are reported too (Resume clears them).
+func cmdMigration(dir string) error {
+	meta, err := spe.ReadJobMeta(nil, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed generation: %d\n", meta.Gen)
+	fmt.Println("routing tables:")
+	if len(meta.Routing) == 0 {
+		fmt.Println("  (none recorded: every bucket on its hash-default worker)")
+	}
+	moved := 0
+	for si, tab := range meta.Routing {
+		par := len(tab)
+		if si < len(meta.StagePars) && meta.StagePars[si] > 0 {
+			par = int(meta.StagePars[si])
+		}
+		fmt.Printf("  stage %2d (%d workers, %d buckets):", si, par, len(tab))
+		anyMoved := false
+		for b, w := range tab {
+			if par > 0 && int(w) != b%par {
+				fmt.Printf(" bucket %d->worker %d", b, w)
+				anyMoved = true
+				moved++
+			}
+		}
+		if !anyMoved {
+			fmt.Print(" identity (no buckets migrated)")
+		}
+		fmt.Println()
+	}
+
+	recs, err := spe.ReadMigrationJournal(nil, dir)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Println("migration journal: empty (no migrations attempted)")
+		return nil
+	}
+	fmt.Println("migration journal:")
+	fmt.Println("  seq     stage  bucket  from  to   base-gen  state      detail")
+	var inflight int
+	for _, r := range recs {
+		detail := r.Detail
+		if r.State == spe.MigStatePreparing || r.State == spe.MigStatePrepared {
+			inflight++
+			if detail == "" {
+				detail = "(in flight; reconciled on next Resume)"
+			}
+		}
+		fmt.Printf("  %-7d %5d %7d %5d %4d %10d  %-9s  %s\n",
+			r.Seq, r.Stage, r.Bucket, r.From, r.To, r.BaseGen, r.State, detail)
+		staging := filepath.Join(dir, fmt.Sprintf("mig-%06d", r.Seq))
+		if _, serr := os.Stat(staging); serr == nil {
+			fmt.Printf("          staging dir present: %s\n", staging)
+		}
+	}
+	fmt.Printf("%d attempts: %d in flight, %d buckets off their hash-default worker\n",
+		len(recs), inflight, moved)
 	return nil
 }
 

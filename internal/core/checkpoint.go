@@ -91,7 +91,7 @@ func (s *Store) CheckpointWithMeta(dir string, meta []byte) error {
 	// do not invalidate it (and do not degrade the store — acknowledged
 	// state is unaffected by a failed unlink of an old checkpoint).
 	if k := s.opts.RetainCheckpoints; k > 0 {
-		if err := gcCheckpoints(fsys, dir, k); err != nil {
+		if err := gcCheckpoints(fsys, dir, k, s.protectedParents()); err != nil {
 			return fmt.Errorf("flowkv: checkpoint: retention gc: %w", err)
 		}
 	}

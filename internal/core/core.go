@@ -242,9 +242,27 @@ type Store struct {
 	herr   error
 
 	// healthSubs are the NotifyHealth subscribers, invoked on every
-	// health transition.
-	subsMu     sync.Mutex
-	healthSubs []func(Health, error)
+	// health transition; lastNotified dedups repeats of the same state
+	// (a healer retrying Recover must not spam Failed), re-armed by the
+	// next actual state change.
+	subsMu       sync.Mutex
+	healthSubs   []func(Health, error)
+	lastNotified atomic.Int32
+
+	// retryCaps holds each instance's escalated read-retry starting
+	// backoff in nanoseconds (0 = Options.ReadRetryBackoff). An instance
+	// that needed retries to answer keeps a raised cap so later reads
+	// back off from where the episode left them; Recover resets every
+	// cap — recovered media must not inherit Degraded-era pessimism.
+	retryCaps []atomic.Int64
+
+	// inflightParents refcounts the parent checkpoints that concurrent
+	// CheckpointDelta calls are currently hard-linking against, keyed by
+	// cleaned path. Retention GC never removes a registered directory:
+	// without the guard, one chain's post-commit GC could unlink the
+	// segments another chain's in-flight delta resolved moments earlier.
+	gcMu            sync.Mutex
+	inflightParents map[string]int
 
 	writeErrs   metrics.Counter
 	readErrs    metrics.Counter
@@ -296,9 +314,10 @@ func Open(agg AggKind, wk window.Kind, opts Options) (*Store, error) {
 func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 	opts.fill()
 	s := &Store{
-		pattern: p,
-		opts:    opts,
-		drains:  make(map[window.Window]*windowDrain),
+		pattern:   p,
+		opts:      opts,
+		drains:    make(map[window.Window]*windowDrain),
+		retryCaps: make([]atomic.Int64, opts.Instances),
 	}
 	perInstanceBuf := opts.WriteBufferBytes / int64(opts.Instances)
 	pred := opts.Predictor
@@ -462,7 +481,7 @@ func (s *Store) startDrain(w window.Window) *windowDrain {
 					default:
 					}
 					var part []KeyValues
-					err := s.readRetry(func() error {
+					err := s.readRetry(i, func() error {
 						var rerr error
 						part, rerr = s.aars[i].GetWindow(w)
 						return rerr
@@ -537,9 +556,10 @@ func (s *Store) Get(key []byte, w window.Window) ([][]byte, error) {
 		return nil, err
 	}
 	var vals [][]byte
-	err := s.readRetry(func() error {
+	inst := s.route(key)
+	err := s.readRetry(inst, func() error {
 		var rerr error
-		vals, rerr = s.aurs[s.route(key)].Get(key, w)
+		vals, rerr = s.aurs[inst].Get(key, w)
 		return rerr
 	})
 	return vals, err
@@ -555,9 +575,10 @@ func (s *Store) Read(key []byte, w window.Window) ([][]byte, error) {
 		return nil, err
 	}
 	var vals [][]byte
-	err := s.readRetry(func() error {
+	inst := s.route(key)
+	err := s.readRetry(inst, func() error {
 		var rerr error
-		vals, rerr = s.aurs[s.route(key)].Read(key, w)
+		vals, rerr = s.aurs[inst].Read(key, w)
 		return rerr
 	})
 	return vals, err
@@ -575,9 +596,10 @@ func (s *Store) GetAggregate(key []byte, w window.Window) ([]byte, bool, error) 
 		agg []byte
 		ok  bool
 	)
-	err := s.readRetry(func() error {
+	inst := s.route(key)
+	err := s.readRetry(inst, func() error {
 		var rerr error
-		agg, ok, rerr = s.rmws[s.route(key)].Get(key, w)
+		agg, ok, rerr = s.rmws[inst].Get(key, w)
 		return rerr
 	})
 	return agg, ok, err

@@ -48,6 +48,11 @@ func (s *Store) CheckpointDelta(dir, parent string, meta []byte) error {
 		return err
 	}
 	fsys := s.opts.FS
+	// Shield the parent from concurrent retention GC before resolving:
+	// between resolveParent reading its manifest and the links landing,
+	// another chain's post-commit GC must not unlink it.
+	release := s.protectParent(parent)
+	defer release()
 	parentName, depth, parentMetas := s.resolveParent(dir, parent)
 	if parentMetas == nil {
 		parent = ""
@@ -99,11 +104,51 @@ func (s *Store) CheckpointDelta(dir, parent string, meta []byte) error {
 		return fmt.Errorf("flowkv: checkpoint: clear previous: %w", err)
 	}
 	if k := s.opts.RetainCheckpoints; k > 0 {
-		if err := gcCheckpoints(fsys, dir, k); err != nil {
+		if err := gcCheckpoints(fsys, dir, k, s.protectedParents()); err != nil {
 			return fmt.Errorf("flowkv: checkpoint: retention gc: %w", err)
 		}
 	}
 	return nil
+}
+
+// protectParent registers path as an in-flight delta's hard-link source
+// and returns the matching release. Refcounted: concurrent deltas may
+// share a parent. An empty path registers nothing.
+func (s *Store) protectParent(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	key := filepath.Clean(path)
+	s.gcMu.Lock()
+	if s.inflightParents == nil {
+		s.inflightParents = make(map[string]int)
+	}
+	s.inflightParents[key]++
+	s.gcMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.gcMu.Lock()
+			if s.inflightParents[key]--; s.inflightParents[key] <= 0 {
+				delete(s.inflightParents, key)
+			}
+			s.gcMu.Unlock()
+		})
+	}
+}
+
+// protectedParents snapshots the in-flight parent set for a GC pass.
+func (s *Store) protectedParents() map[string]bool {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if len(s.inflightParents) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(s.inflightParents))
+	for k := range s.inflightParents {
+		out[k] = true
+	}
+	return out
 }
 
 // resolveParent decides what the new checkpoint diffs against. It

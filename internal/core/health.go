@@ -95,8 +95,15 @@ func (s *Store) NotifyHealth(fn func(Health, error)) {
 }
 
 // notifyHealth fans a transition out to the subscribers, outside every
-// store lock (the health word is already updated).
+// store lock (the health word is already updated). Repeats of the
+// already-notified state are suppressed — a self-healer calling Recover
+// in a loop re-fails into Failed on every attempt, and subscribers are
+// owed one transition, not one per attempt. The next different state
+// re-arms delivery.
 func (s *Store) notifyHealth(h Health) {
+	if s.lastNotified.Swap(int32(h)) == int32(h) {
+		return
+	}
 	s.subsMu.Lock()
 	subs := s.healthSubs
 	s.subsMu.Unlock()
@@ -170,36 +177,86 @@ func retryableRead(err error) bool {
 	return !usageError(err) && !errors.Is(err, logfile.ErrPoisoned)
 }
 
-// readRetry runs f, retrying transient read failures up to
-// Options.ReadRetries times with full-jitter exponential backoff: the
-// attempt sleeps a uniform random duration in (0, cap], where cap
-// starts at Options.ReadRetryBackoff and doubles per attempt. Disk
-// reads hitting a transient EIO (a recoverable medium or transport
-// hiccup) succeed on retry without surfacing to the caller or changing
-// the health state. The jitter matters when several workers share one
-// backend: a deterministic schedule would march every worker back onto
-// the faulted device in lockstep, re-colliding on each attempt, while
-// full jitter spreads the retry instants across the whole backoff
-// window.
-func (s *Store) readRetry(f func() error) error {
+// readRetry runs f against instance inst, retrying transient read
+// failures up to Options.ReadRetries times with full-jitter exponential
+// backoff: the attempt sleeps a uniform random duration in (0, cap],
+// where cap starts at the instance's current starting backoff and
+// doubles per attempt. Disk reads hitting a transient EIO (a
+// recoverable medium or transport hiccup) succeed on retry without
+// surfacing to the caller or changing the health state. The jitter
+// matters when several workers share one backend: a deterministic
+// schedule would march every worker back onto the faulted device in
+// lockstep, re-colliding on each attempt, while full jitter spreads the
+// retry instants across the whole backoff window.
+//
+// An instance that needed backoff to answer raises its own starting cap
+// (doubling, bounded), so successive reads against still-flaky media
+// begin where the last episode ended instead of re-probing from the
+// configured minimum. Recover resets the caps.
+func (s *Store) readRetry(inst int, f func() error) error {
 	err := f()
 	if err == nil {
 		return nil
 	}
-	cap := s.opts.ReadRetryBackoff
+	cap := s.retryCapOf(inst)
+	start := cap
+	retried := false
 	for attempt := 0; attempt < s.opts.ReadRetries; attempt++ {
 		if !retryableRead(err) {
 			break
 		}
+		retried = true
 		s.readRetries.Inc()
 		time.Sleep(fullJitter(cap))
 		cap *= 2
 		if err = f(); err == nil {
+			s.escalateRetryCap(inst, start*2)
 			return nil
 		}
 	}
+	if retried {
+		s.escalateRetryCap(inst, start*2)
+	}
 	s.readErrs.Inc()
 	return err
+}
+
+// retryCapOf returns instance inst's current starting backoff: the
+// configured minimum, or the escalated value a past retry episode left.
+func (s *Store) retryCapOf(inst int) time.Duration {
+	cap := s.opts.ReadRetryBackoff
+	if inst >= 0 && inst < len(s.retryCaps) {
+		if esc := time.Duration(s.retryCaps[inst].Load()); esc > cap {
+			cap = esc
+		}
+	}
+	return cap
+}
+
+// escalateRetryCap raises instance inst's starting backoff to cap,
+// bounded at 64x the configured minimum. Monotonic under concurrency:
+// a racing larger escalation wins.
+func (s *Store) escalateRetryCap(inst int, cap time.Duration) {
+	if inst < 0 || inst >= len(s.retryCaps) {
+		return
+	}
+	if max := s.opts.ReadRetryBackoff << 6; cap > max {
+		cap = max
+	}
+	for {
+		cur := s.retryCaps[inst].Load()
+		if int64(cap) <= cur || s.retryCaps[inst].CompareAndSwap(cur, int64(cap)) {
+			return
+		}
+	}
+}
+
+// resetRetryCaps drops every instance's starting backoff to the
+// configured minimum (the Recover path).
+func (s *Store) resetRetryCaps() {
+	for i := range s.retryCaps {
+		s.retryCaps[i].Store(0)
+	}
 }
 
 // fullJitter draws a uniform sleep in (0, cap] — the "full jitter"
@@ -262,6 +319,9 @@ func (s *Store) Recover() error {
 	s.herrMu.Lock()
 	s.herr = nil
 	s.herrMu.Unlock()
+	// The Degraded episode's pessimism dies with it: recovered media
+	// answers reads at the configured backoff again.
+	s.resetRetryCaps()
 	s.setHealth(Healthy)
 	return nil
 }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flowkv/internal/faultfs"
+	"flowkv/internal/window"
+)
+
+// maxRetryCap returns the largest escalated read-retry starting backoff
+// across the store's instances (0 = every instance at the configured
+// minimum).
+func maxRetryCap(s *Store) int64 {
+	var max int64
+	for i := range s.retryCaps {
+		if v := s.retryCaps[i].Load(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TestRecoverResetsReadRetryBackoff drives an instance's read-retry
+// backoff up with transient read faults, then degrades and recovers the
+// store: the recovered store must read at the configured minimum
+// backoff again, not at the Degraded episode's escalated cap.
+func TestRecoverResetsReadRetryBackoff(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	s := openBatteryStore(t, PatternAUR, inj)
+
+	// A durable baseline so reads actually touch the disk.
+	for k := 0; k < 6; k++ {
+		if err := writeBattery(s, PatternAUR, 0, fmt.Sprintf("key-%d", k), k); err != nil {
+			t.Fatalf("baseline write: %v", err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	// Transient read faults: absorbed by retries, never surfaced — but
+	// the instance that needed backoff must remember it.
+	w := window.Window{Start: 0, End: 100}
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpRead, Class: faultfs.ClassTransient, Times: 2, Err: faultfs.ErrDiskIO})
+	for k := 0; k < 6; k++ {
+		if _, err := s.Read([]byte(fmt.Sprintf("key-%d", k)), w); err != nil {
+			t.Fatalf("read under transient fault: %v", err)
+		}
+	}
+	if !inj.Fired() {
+		t.Fatal("read rule never fired — nothing was escalated")
+	}
+	inj.Reset()
+	if st := s.Stats(); st.ReadRetries == 0 {
+		t.Fatalf("no retries recorded, stats: %+v", st)
+	}
+	if got := maxRetryCap(s); got == 0 {
+		t.Fatal("retry episode left no escalated backoff cap")
+	}
+	if got, want := s.retryCapOf(0), s.opts.ReadRetryBackoff; got < want {
+		t.Fatalf("retryCapOf floor = %v, want >= configured %v", got, want)
+	}
+
+	// Degrade and recover: the escalated caps must not survive.
+	degradeStore(t, PatternAUR, inj, s)
+	inj.Reset()
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := maxRetryCap(s); got != 0 {
+		t.Fatalf("recovered store inherited escalated backoff cap %d ns", got)
+	}
+	// And reads still serve, from the configured minimum.
+	if _, err := s.Read([]byte("key-0"), w); err != nil {
+		t.Fatalf("read after recover: %v", err)
+	}
+}
+
+// TestRetryCapEscalationBounded proves repeated retry episodes cannot
+// raise the starting backoff without limit: the cap saturates at 64x
+// the configured minimum.
+func TestRetryCapEscalationBounded(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	s := openBatteryStore(t, PatternAUR, inj)
+	bound := int64(s.opts.ReadRetryBackoff << 6)
+	for i := 0; i < 200; i++ {
+		s.escalateRetryCap(0, s.retryCapOf(0)*2)
+	}
+	if got := s.retryCaps[0].Load(); got != bound {
+		t.Fatalf("escalation saturated at %d ns, want bound %d ns", got, bound)
+	}
+	// Out-of-range instances are ignored, not panics.
+	s.escalateRetryCap(-1, 1)
+	s.escalateRetryCap(99, 1)
+}
+
+// TestFailedRecoverNotifiesOnce exercises the notification re-arm: a
+// self-healer retrying Recover against a persistent fault re-fails into
+// Failed on every attempt, but subscribers see exactly one Failed
+// event; the eventual return to Healthy re-arms delivery so the next
+// Degraded episode notifies again.
+func TestFailedRecoverNotifiesOnce(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	s := openBatteryStore(t, PatternAUR, inj)
+
+	var events []Health
+	s.NotifyHealth(func(h Health, err error) { events = append(events, h) })
+
+	degradeStore(t, PatternAUR, inj, s)
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpTruncate, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO})
+	for i := 0; i < 4; i++ {
+		if err := s.Recover(); err == nil {
+			t.Fatal("recover under truncate fault succeeded")
+		}
+	}
+	if want := []Health{Degraded, Failed}; len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events after 4 failed recovers = %v, want exactly %v", events, want)
+	}
+
+	inj.Reset()
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover after fault cleared: %v", err)
+	}
+	degradeStore(t, PatternAUR, inj, s)
+	inj.Reset()
+	if want := []Health{Degraded, Failed, Healthy, Degraded}; len(events) != 4 || events[3] != Degraded {
+		t.Fatalf("events = %v, want %v (re-armed after recovery)", events, want)
+	}
+}

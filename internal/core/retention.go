@@ -167,8 +167,11 @@ func CheckpointChain(fsys faultfs.FS, dir string) ([]string, error) {
 // are candidates — anything else next to the checkpoints (store data
 // directories, stray files, in-flight ".tmp"/".old" directories) is
 // never touched. The just-committed checkpoint is always kept regardless
-// of timestamps.
-func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
+// of timestamps, as is any directory in protected — the parents that
+// concurrent in-flight deltas are hard-linking against (keyed by
+// cleaned path); protecting them extends to their chain ancestors
+// through the same reachability closure.
+func gcCheckpoints(fsys faultfs.FS, just string, keep int, protected map[string]bool) error {
 	parent := filepath.Dir(just)
 	ents, err := fsys.ReadDir(parent)
 	if err != nil {
@@ -226,6 +229,11 @@ func gcCheckpoints(fsys faultfs.FS, just string, keep int) error {
 	kept := map[string]bool{base: true}
 	for i := 0; i < keep-1 && i < len(cands); i++ {
 		kept[cands[i].name] = true
+	}
+	for _, c := range cands {
+		if protected[filepath.Clean(c.path)] {
+			kept[c.name] = true
+		}
 	}
 	reachable := make(map[string]bool, len(kept))
 	for name := range kept {

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMigrateDemo runs the live-migration demo at test scale: every
+// pattern-covering query must commit its scheduled handoff, keep the
+// ledger byte-identical to an unmigrated run, and keep the untouched
+// buckets' sink latency bounded while the range moves.
+func TestMigrateDemo(t *testing.T) {
+	sc := quickScale(t)
+	var buf strings.Builder
+	outs, err := MigrateDemo(sc, &buf)
+	if err != nil {
+		t.Fatalf("MigrateDemo: %v\n%s", err, buf.String())
+	}
+	if len(outs) != len(RecoveryQueries()) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(RecoveryQueries()))
+	}
+	for _, out := range outs {
+		if out.Failed {
+			t.Errorf("%s: failed: %s", out.Query, out.FailReason)
+			continue
+		}
+		if !out.ExactlyOnce {
+			t.Errorf("%s: migrated ledger not exactly-once", out.Query)
+		}
+		if out.Committed == 0 {
+			t.Errorf("%s: handoff never committed", out.Query)
+		}
+		if !out.BoundedP99 {
+			t.Errorf("%s: untouched-range p99 unbounded: %v (golden %v)",
+				out.Query, out.OtherP99, out.GoldenOtherP99)
+		}
+		if out.Results == 0 {
+			t.Errorf("%s: empty ledger", out.Query)
+		}
+	}
+	if !strings.Contains(buf.String(), "exactly-once") {
+		t.Errorf("missing table header in output:\n%s", buf.String())
+	}
+}

@@ -234,7 +234,7 @@ func TenantDemo(sc Scale, noisy int, w io.Writer) (TenantDemoOutcome, error) {
 				WriteBPS:       256 << 10,
 				WriteBurst:     4 << 10,
 			},
-			Source: spe.NewSliceSource(demoTuples(noisyCount)),
+			Source:          spe.NewSliceSource(demoTuples(noisyCount)),
 			Pipeline:        demoPipeline(),
 			MakeBackend:     demoBackend(id),
 			CheckpointEvery: every,

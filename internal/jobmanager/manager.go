@@ -125,6 +125,10 @@ type Tenant struct {
 	// CheckpointEvery is the tenant job's barrier cadence (source
 	// tuples per checkpoint). Default 1000.
 	CheckpointEvery int
+	// Migrations schedules live key-range handoffs inside the tenant's
+	// job (spe.Job.Migrations): hash buckets of stateful stages move
+	// between workers while the tenant runs, without a restart.
+	Migrations []spe.Migration
 	// SelfHeal, when set, runs a background healer on the tenant's
 	// stores (degraded stores recover in place instead of failing
 	// over).
@@ -170,6 +174,12 @@ type tenantRun struct {
 	slotID string
 	err    error
 	result *spe.JobResult
+
+	// job is the currently running spe.Job (nil between runs);
+	// rebalance marks that the next clean stop is a planned move, not a
+	// terminal outcome.
+	job       *spe.Job
+	rebalance bool
 
 	// backends are the current run's stateful-stage backends, polled at
 	// each checkpoint for incremental-checkpoint byte accounting. A
@@ -334,19 +344,47 @@ func (m *Manager) runTenant(tr *tenantRun, ingest, writeLim limit.Limiter) {
 	}
 	src := newAdmittedSource(t.Source, ingest, maxWait, tr.stats, nil)
 	exclude := make(map[string]bool)
+	leaving := "" // slot a planned rebalance is moving off of
 	for attempt := 0; ; attempt++ {
-		slot, err := m.pool.Acquire(t.ID, exclude)
+		avoid := exclude
+		if leaving != "" {
+			// A rebalance only avoids the slot it is leaving; the failover
+			// history still applies, but the slot is not burned for good.
+			avoid = make(map[string]bool, len(exclude)+1)
+			for id := range exclude {
+				avoid[id] = true
+			}
+			avoid[leaving] = true
+		}
+		slot, err := m.pool.Acquire(t.ID, avoid)
 		if err != nil {
 			tr.finish(nil, err)
 			return
 		}
 		tr.setSlot(slot.ID)
 		job := m.buildJob(tr, slot, src, writeLim)
+		tr.mu.Lock()
+		tr.job = job
+		tr.mu.Unlock()
 		res, err := runOrResume(job)
+		tr.mu.Lock()
+		tr.job = nil
+		reb := tr.rebalance
+		tr.rebalance = false
+		tr.mu.Unlock()
 		m.pool.Release(t.ID, slot.ID)
+		leaving = ""
 		if err == nil && res.Final {
 			tr.finish(res, nil)
 			return
+		}
+		if err == nil && res.Stopped && reb {
+			// Planned rebalance: resume on a different slot. The committed
+			// checkpoint re-drains onto the new slot's stores; no failover
+			// is counted and the old slot stays in rotation.
+			leaving = slot.ID
+			tr.stats.rebalances.Inc()
+			continue
 		}
 		if err == nil {
 			tr.finish(res, fmt.Errorf("jobmanager: tenant %s run ended without final commit", t.ID))
@@ -365,6 +403,29 @@ func (m *Manager) runTenant(tr *tenantRun, ingest, writeLim limit.Limiter) {
 		tr.finish(res, err)
 		return
 	}
+}
+
+// Rebalance asks a running tenant to move to a different pool slot: its
+// job stops cleanly at the next tuple boundary, the slot is released,
+// and the tenant resumes from its committed checkpoint on the
+// least-loaded healthy slot other than the one it left. Unlike a
+// failover, the old slot stays in rotation and no failover is counted.
+// Returns an error if the tenant is unknown or not currently running.
+func (m *Manager) Rebalance(tenantID string) error {
+	m.mu.Lock()
+	tr := m.tenants[tenantID]
+	m.mu.Unlock()
+	if tr == nil {
+		return fmt.Errorf("jobmanager: unknown tenant %q", tenantID)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.state != "running" || tr.job == nil {
+		return fmt.Errorf("jobmanager: tenant %s is not running (state %s)", tenantID, tr.state)
+	}
+	tr.rebalance = true
+	tr.job.RequestStop()
+	return nil
 }
 
 // haltOf extracts the backend-failure halt from a run outcome, nil when
@@ -428,6 +489,7 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 		Source:                    src,
 		Dir:                       filepath.Join(m.TenantDir(t.ID), "job"),
 		CheckpointEvery:           t.CheckpointEvery,
+		Migrations:                t.Migrations,
 		SelfHeal:                  t.SelfHeal,
 		DegradedCheckpointTimeout: dct,
 		OnCheckpoint: func(int64, bool) {

@@ -175,8 +175,8 @@ func TestNoisyNeighborBattery(t *testing.T) {
 	// Victim: quota far above its own offered load, pure backpressure
 	// (never sheds) so its ledger stays deterministic.
 	victim := Tenant{
-		ID:    "victim",
-		Quota: Quota{IngestEPS: 50_000, WriteBPS: 8 << 20},
+		ID:              "victim",
+		Quota:           Quota{IngestEPS: 50_000, WriteBPS: 8 << 20},
 		Source:          spe.NewSliceSource(victimTuples),
 		Pipeline:        batteryPipeline(),
 		MakeBackend:     batteryBackend("victim"),
@@ -201,8 +201,8 @@ func TestNoisyNeighborBattery(t *testing.T) {
 			MaxIngestDelay: 2 * time.Millisecond,
 			// Tight enough that the burst-admitted tuples' writes (which
 			// cluster at the front of the run) overrun the burst and stall.
-			WriteBPS:       2000,
-			WriteBurst:     32,
+			WriteBPS:   2000,
+			WriteBurst: 32,
 		}
 		if i%2 == 1 {
 			q.Strategy = "gcra"

@@ -2,8 +2,10 @@ package jobmanager
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"flowkv/internal/core"
 	"flowkv/internal/faultfs"
@@ -35,6 +37,9 @@ type SlotStatus struct {
 	// Failovers counts tenants that were moved OFF this slot after it
 	// failed.
 	Failovers int64 `json:"failovers"`
+	// Heals counts how many times the prober returned this slot to
+	// rotation after it had failed.
+	Heals int64 `json:"heals"`
 }
 
 type slotState struct {
@@ -43,6 +48,11 @@ type slotState struct {
 	err       error
 	tenants   map[string]struct{}
 	failovers int64
+	heals     int64
+	// probeOK counts consecutive successful probes since the slot
+	// failed; the prober heals the slot once it reaches the
+	// confirmation threshold.
+	probeOK int
 }
 
 // Pool is the backend registry: the fixed slot set, each slot's health,
@@ -127,6 +137,7 @@ func (p *Pool) MarkFailed(slotID string, err error) {
 		st.healthy = false
 		st.err = err
 	}
+	st.probeOK = 0
 }
 
 // MarkHealthy returns a repaired slot to rotation.
@@ -160,6 +171,128 @@ func (p *Pool) noteFailover(slotID string) {
 	}
 }
 
+// ProberOptions configures the background slot prober.
+type ProberOptions struct {
+	// Interval is the probe cadence for failed slots. Default 5s.
+	Interval time.Duration
+	// Confirmations is how many consecutive probes must succeed before
+	// a failed slot returns to rotation — one lucky I/O must not route
+	// tenants back onto flapping media. Default 3.
+	Confirmations int
+	// Probe checks one slot's media; nil uses a write/read/remove probe
+	// file under the slot directory.
+	Probe func(Slot) error
+}
+
+// StartProber watches failed slots and returns them to rotation once
+// they answer Confirmations consecutive probes — closing the loop that
+// MarkFailed opens: without it a transiently failed slot (remounted
+// disk, freed quota) stays out of the pool until an operator calls
+// MarkHealthy by hand. Healthy slots are not probed. The returned stop
+// function halts the prober and waits for it to exit.
+func (p *Pool) StartProber(opts ProberOptions) (stop func()) {
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	if opts.Confirmations <= 0 {
+		opts.Confirmations = 3
+	}
+	probe := opts.Probe
+	if probe == nil {
+		probe = probeSlotMedia
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			for _, slot := range p.failedSlots() {
+				err := probe(slot)
+				p.noteProbe(slot.ID, err, opts.Confirmations)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// failedSlots snapshots the currently unhealthy slots.
+func (p *Pool) failedSlots() []Slot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Slot
+	for _, id := range p.order {
+		if st := p.state[id]; !st.healthy {
+			out = append(out, st.slot)
+		}
+	}
+	return out
+}
+
+// noteProbe records one probe outcome; the need'th consecutive success
+// heals the slot.
+func (p *Pool) noteProbe(slotID string, err error, need int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[slotID]
+	if !ok || st.healthy {
+		return
+	}
+	if err != nil {
+		st.probeOK = 0
+		return
+	}
+	st.probeOK++
+	if st.probeOK >= need {
+		st.healthy = true
+		st.err = nil
+		st.probeOK = 0
+		st.heals++
+	}
+}
+
+// probeSlotMedia is the default probe: a full write/sync/read/remove
+// round trip of a scratch file under the slot directory, on the slot's
+// own filesystem seam — the same I/O surface tenant stores use.
+func probeSlotMedia(s Slot) error {
+	fsys := s.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(s.Dir, ".probe")
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("flowkv slot probe\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if _, err := fsys.ReadFile(path); err != nil {
+		return err
+	}
+	return fsys.Remove(path)
+}
+
 // Slots returns the slot set in registration order.
 func (p *Pool) Slots() []Slot {
 	p.mu.Lock()
@@ -178,7 +311,7 @@ func (p *Pool) Status() []SlotStatus {
 	out := make([]SlotStatus, 0, len(p.order))
 	for _, id := range p.order {
 		st := p.state[id]
-		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers}
+		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers, Heals: st.heals}
 		if st.err != nil {
 			s.Err = st.err.Error()
 		}

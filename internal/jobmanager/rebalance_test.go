@@ -1,0 +1,278 @@
+package jobmanager
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flowkv/internal/spe"
+	"flowkv/internal/statebackend"
+)
+
+// gatedSource parks the stream once at gateAt so the test can act while
+// the tenant is provably mid-run, then releases it.
+type gatedSource struct {
+	*spe.SliceSource
+	gateAt  int64
+	reached chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedSource(tuples []spe.Tuple, gateAt int64) *gatedSource {
+	return &gatedSource{
+		SliceSource: spe.NewSliceSource(tuples),
+		gateAt:      gateAt,
+		reached:     make(chan struct{}),
+		release:     make(chan struct{}),
+	}
+}
+
+func (g *gatedSource) Next() (spe.Tuple, bool) {
+	if g.Offset() == g.gateAt {
+		g.once.Do(func() { close(g.reached) })
+		<-g.release
+	}
+	return g.SliceSource.Next()
+}
+
+// TestManagerRebalance moves a running tenant to another slot with a
+// planned stop-and-resume — no failover counted, old slot kept in
+// rotation — while the tenant's own live key-range migration runs
+// inside the job. The final ledger must match the unmanaged golden run
+// byte for byte and the migration must be committed in the resumed
+// job's routing table.
+func TestManagerRebalance(t *testing.T) {
+	tuples := batteryTuples(600)
+	const every = 100
+	golden := goldenLedger(t, tuples, every)
+
+	m := newBatteryManager(t, 2, nil, 0)
+	src := newGatedSource(tuples, 350)
+	tenant := Tenant{
+		ID:              "mover",
+		Source:          src,
+		Pipeline:        batteryPipeline(),
+		MakeBackend:     batteryBackend("mover"),
+		CheckpointEvery: every,
+		Migrations:      []spe.Migration{{Stage: 1, Bucket: 0, To: 1}},
+	}
+	if err := m.Submit(tenant); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	select {
+	case <-src.reached:
+	case <-time.After(30 * time.Second):
+		t.Fatal("tenant never reached the gate")
+	}
+	stats, _ := m.Snapshot()
+	firstSlot := stats[0].Slot
+	if firstSlot == "" {
+		t.Fatal("tenant has no slot at the gate")
+	}
+	if err := m.Rebalance("mover"); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if err := m.Rebalance("nobody"); err == nil {
+		t.Fatal("rebalancing an unknown tenant succeeded")
+	}
+	close(src.release)
+
+	results := m.Wait()
+	res := results["mover"]
+	if res.Err != nil {
+		t.Fatalf("tenant failed: %v", res.Err)
+	}
+	if !res.Result.Final {
+		t.Fatal("tenant did not reach final state")
+	}
+	if res.Stats.Rebalances != 1 {
+		t.Fatalf("rebalances = %d, want 1", res.Stats.Rebalances)
+	}
+	if res.Stats.Failovers != 0 {
+		t.Fatalf("failovers = %d, want 0 (planned move must not count)", res.Stats.Failovers)
+	}
+	if res.Stats.Slot == firstSlot {
+		t.Fatalf("tenant still on slot %s after rebalance", firstSlot)
+	}
+	if got := tenantLedger(t, m, "mover"); !bytes.Equal(got, golden) {
+		t.Fatalf("ledger diverges from golden: %d bytes vs %d", len(got), len(golden))
+	}
+	for _, s := range m.Pool().Status() {
+		if !s.Healthy {
+			t.Fatalf("slot %s unhealthy after a planned rebalance", s.ID)
+		}
+	}
+
+	// The in-job live migration must have committed and survived the
+	// cross-slot resume.
+	jobDir := filepath.Join(m.TenantDir("mover"), "job")
+	meta, err := spe.ReadJobMeta(nil, jobDir)
+	if err != nil {
+		t.Fatalf("read tenant job meta: %v", err)
+	}
+	if len(meta.Routing) != 2 || len(meta.Routing[1]) != 2 || meta.Routing[1][0] != 1 {
+		t.Fatalf("routing %v does not show bucket 0 on worker 1", meta.Routing)
+	}
+	recs, err := spe.ReadMigrationJournal(nil, jobDir)
+	if err != nil {
+		t.Fatalf("read migration journal: %v", err)
+	}
+	committed := false
+	for _, r := range recs {
+		if r.State == spe.MigStateCommitted {
+			committed = true
+		}
+	}
+	if !committed {
+		t.Fatalf("no committed migration in journal: %+v", recs)
+	}
+}
+
+// TestJobRequestStopResumes covers the spe-level contract directly: a
+// stopped run returns nil error with Stopped set, commits nothing past
+// the stop, and a plain Resume finishes with a golden-identical ledger.
+func TestJobRequestStopResumes(t *testing.T) {
+	tuples := batteryTuples(600)
+	const every = 100
+	golden := goldenLedger(t, tuples, every)
+
+	base := t.TempDir()
+	mkJob := func(src spe.SeekableSource) *spe.Job {
+		p := batteryPipeline()
+		mk := batteryBackend("stopper")
+		slot := Slot{ID: "s", Dir: filepath.Join(base, "state")}
+		for i := range p.Stages {
+			if p.Stages[i].Window == nil {
+				continue
+			}
+			si := i
+			p.Stages[i].NewBackend = func(w int) (statebackend.Backend, error) {
+				return mk(slot, si, w)
+			}
+		}
+		return &spe.Job{
+			Pipeline:        p,
+			Source:          src,
+			Dir:             filepath.Join(base, "job"),
+			CheckpointEvery: every,
+		}
+	}
+
+	src := newGatedSource(tuples, 250)
+	job := mkJob(src)
+	done := make(chan struct{})
+	var res *spe.JobResult
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = job.Run()
+	}()
+	<-src.reached
+	job.RequestStop()
+	close(src.release)
+	<-done
+	if runErr != nil {
+		t.Fatalf("stopped run errored: %v", runErr)
+	}
+	if !res.Stopped || res.Final {
+		t.Fatalf("stopped=%v final=%v, want stopped, not final", res.Stopped, res.Final)
+	}
+	res2, err := mkJob(src).Resume()
+	if err != nil {
+		t.Fatalf("resume after stop: %v", err)
+	}
+	if !res2.Final || res2.Stopped {
+		t.Fatalf("resume: stopped=%v final=%v, want final", res2.Stopped, res2.Final)
+	}
+	got, err := os.ReadFile(filepath.Join(base, "job", "SINK.log"))
+	if err != nil {
+		t.Fatalf("read ledger: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("ledger diverges from golden: %d bytes vs %d", len(got), len(golden))
+	}
+}
+
+// TestPoolProberHealsSlot drives the healed-slot return path: a failed
+// slot must answer the configured number of consecutive probes before
+// re-entering rotation, and a flapping probe must reset the count.
+func TestPoolProberHealsSlot(t *testing.T) {
+	p, err := NewPool([]Slot{{ID: "a", Dir: t.TempDir()}, {ID: "b", Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	p.MarkFailed("a", errors.New("disk on fire"))
+
+	var calls atomic.Int64
+	probe := func(s Slot) error {
+		if s.ID != "a" {
+			t.Errorf("probed healthy slot %s", s.ID)
+		}
+		// Fail, succeed, fail (resetting the streak), then succeed
+		// forever: healing needs two consecutive successes, so the slot
+		// returns on the 5th call at the earliest.
+		switch calls.Add(1) {
+		case 1, 3:
+			return errors.New("still broken")
+		default:
+			return nil
+		}
+	}
+	stop := p.StartProber(ProberOptions{Interval: time.Millisecond, Confirmations: 2, Probe: probe})
+	defer stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var a SlotStatus
+		for _, s := range p.Status() {
+			if s.ID == "a" {
+				a = s
+			}
+		}
+		if a.Healthy {
+			if a.Heals != 1 {
+				t.Fatalf("heals = %d, want 1", a.Heals)
+			}
+			if n := calls.Load(); n < 5 {
+				t.Fatalf("slot healed after only %d probes (flap must reset the streak)", n)
+			}
+			if a.Err != "" {
+				t.Fatalf("healed slot still carries error %q", a.Err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never healed (%d probes)", calls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolProberDefaultProbe heals a failed slot whose directory is
+// writable using the built-in media probe.
+func TestPoolProberDefaultProbe(t *testing.T) {
+	p, err := NewPool([]Slot{{ID: "a", Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	p.MarkFailed("a", errors.New("transient"))
+	stop := p.StartProber(ProberOptions{Interval: time.Millisecond, Confirmations: 1})
+	defer stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p.Status()[0].Healthy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writable slot never healed under the default probe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

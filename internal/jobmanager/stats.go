@@ -19,6 +19,7 @@ type tenantStats struct {
 	queueDepth metrics.Gauge   // tuples currently held in an admission wait
 	admitLat   *metrics.Histogram
 	failovers  metrics.Counter
+	rebalances metrics.Counter
 	ckpts      metrics.Counter
 	// ckptLinked/ckptCopied mirror the FlowKV stores' incremental
 	// checkpoint byte counters (gauges: refreshed from the backends at
@@ -59,6 +60,9 @@ type Stats struct {
 	AdmitP99 time.Duration `json:"admit_p99_ns"`
 	// Failovers counts completed moves to a replacement slot.
 	Failovers int64 `json:"failovers"`
+	// Rebalances counts planned moves (Manager.Rebalance): clean stops
+	// resumed on another slot, as opposed to failure-driven moves.
+	Rebalances int64 `json:"rebalances"`
 	// Checkpoints counts committed generations across runs.
 	Checkpoints int64 `json:"checkpoints"`
 	// CkptLinkedBytes/CkptCopiedBytes price the tenant's durability:
@@ -82,6 +86,7 @@ func (ts *tenantStats) snapshot() Stats {
 		AdmitP50:        ts.admitLat.P50(),
 		AdmitP99:        ts.admitLat.P99(),
 		Failovers:       ts.failovers.Load(),
+		Rebalances:      ts.rebalances.Load(),
 		Checkpoints:     ts.ckpts.Load(),
 		CkptLinkedBytes: ts.ckptLinked.Load(),
 		CkptCopiedBytes: ts.ckptCopied.Load(),

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"flowkv/internal/binio"
@@ -64,12 +65,14 @@ const (
 	genPrefix   = "gen-"     // checkpoint generation directories
 )
 
-// jobMetaMagic versions the JOB file encoding. v2 appends the per-stage
-// parallelisms (the key-range manifest); v1 files (no manifest) are
-// still readable — their layout is recovered from the generation
-// directory scan.
+// jobMetaMagic versions the JOB file encoding. v3 appends the per-stage
+// routing tables (live-migration ownership); v2 added the per-stage
+// parallelisms (the key-range manifest); v1 files (neither) are still
+// readable — their layout is recovered from the generation directory
+// scan. New JOB files are always written as v3.
 const (
-	jobMetaMagic   = "flowkv-job2\n"
+	jobMetaMagic   = "flowkv-job3\n"
+	jobMetaMagicV2 = "flowkv-job2\n"
 	jobMetaMagicV1 = "flowkv-job1\n"
 )
 
@@ -128,7 +131,24 @@ type Job struct {
 	// goroutine between barriers — keep it fast. Job managers use it to
 	// track per-tenant checkpoint progress.
 	OnCheckpoint func(gen int64, final bool)
+	// Migrations schedules live key-range handoffs: each entry moves one
+	// hash bucket of a private stateful stage to another worker while
+	// the job runs, via the crash-safe two-phase protocol in migrate.go.
+	Migrations []Migration
+
+	// stopReq is armed by RequestStop; the run loop honors it between
+	// tuples.
+	stopReq atomic.Bool
 }
+
+// RequestStop asks a running job to stop cleanly at the next tuple
+// boundary: no commit is taken after the request, the run returns with
+// JobResult.Stopped set and a nil error, and Resume continues from the
+// last committed generation exactly as after a crash — except nothing
+// needs recovering. Job managers use it to relocate a tenant (planned
+// rebalancing) without burning a failover or waiting for end of stream.
+// Safe to call from any goroutine, any number of times.
+func (j *Job) RequestStop() { j.stopReq.Store(true) }
 
 // JobMeta is the committed progress record stored in the JOB file.
 type JobMeta struct {
@@ -153,6 +173,15 @@ type JobMeta struct {
 	// keys with routeKey(key, StagePars[s]) == w. Empty for jobs
 	// committed before the manifest existed (v1 JOB files).
 	StagePars []int64
+	// Routing records each stage's live routing table at commit time:
+	// Routing[s][b] is the worker of stage s that owns hash bucket b
+	// (len StagePars[s] when present). A nil table, or a nil entry for a
+	// stage, means identity — bucket b is owned by worker b. Only live
+	// migration (see migrate.go) produces non-identity tables; the JOB
+	// rename that carries a flipped table is a migration's single commit
+	// point. Resume at a different parallelism resets the stage to
+	// identity (the rescale path re-routes every key from scratch).
+	Routing [][]int64
 }
 
 // SinkRecord is one committed sink result.
@@ -176,6 +205,9 @@ type JobResult struct {
 	Final bool
 	// Killed reports the run was aborted by KillAfterTuples.
 	Killed bool
+	// Stopped reports the run ended early because RequestStop was
+	// called; the job is resumable from Gen.
+	Stopped bool
 	// LedgerLen is the committed sink ledger length in bytes.
 	LedgerLen int64
 }
@@ -239,6 +271,12 @@ type jobStage struct {
 	shared   statebackend.Backend
 	sharedCP statebackend.Checkpointer
 	drops    *sharedDrops
+	// Per-worker self-healer stop functions (nil entries when no healer
+	// runs); sharedHeal covers shared mode. Tracked per worker so live
+	// migration can stop and restart a single worker's healer around a
+	// backend swap.
+	heal       []func()
+	sharedHeal func()
 }
 
 // eachBackend visits the stage's distinct backends (one in shared mode).
@@ -262,6 +300,12 @@ type jobRun struct {
 	lf      faultfs.File
 	ledger  int64 // committed + appended ledger bytes
 	gen     int64 // last committed generation
+
+	// Live-migration state (migrate.go): the loaded journal, the
+	// in-flight attempt, and which plan entries this run has attempted.
+	migs     []MigrationRecord
+	inflight *migRun
+	migTried map[int]bool
 }
 
 func (j *Job) run(meta *JobMeta) (*JobResult, error) {
@@ -368,6 +412,9 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 		}
 		jr.stages = append(jr.stages, js)
 	}
+	if err := jr.validateMigrations(); err != nil {
+		return fail(err)
+	}
 
 	// Restore the committed cut (resume) or rewind the source (fresh).
 	if meta != nil {
@@ -382,32 +429,47 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 		r.sinceWM = int(meta.SinceWM)
 		jr.gen = meta.Gen
 		r.reseedSharedWindows()
-	} else if err := j.Source.SeekTo(0); err != nil {
-		return fail(fmt.Errorf("spe: job: %w", err))
+		// Re-apply committed routing tables. A stage resumed at a
+		// different parallelism drops back to identity: the rescale path
+		// just re-routed every key from scratch.
+		for si, tab := range meta.Routing {
+			if si >= len(r.rts) || len(tab) != r.rts[si].par {
+				continue
+			}
+			route := make([]int, len(tab))
+			identity := true
+			for b, w := range tab {
+				route[b] = int(w)
+				if int(w) != b {
+					identity = false
+				}
+			}
+			if !identity {
+				r.rts[si].route = route
+			}
+		}
+		// Resolve any migration the crash interrupted: flipped routing
+		// means committed, anything else aborted; staging debris goes.
+		if err := jr.reconcileMigrations(*meta); err != nil {
+			return fail(err)
+		}
+	} else {
+		if err := j.Source.SeekTo(0); err != nil {
+			return fail(fmt.Errorf("spe: job: %w", err))
+		}
+		if err := jr.clearMigrationDebris(); err != nil {
+			return fail(err)
+		}
 	}
 
 	// Background self-healing, if configured.
-	var stops []func()
-	if j.SelfHeal != nil {
-		for _, js := range jr.stages {
-			js.eachBackend(func(b statebackend.Backend) {
-				if stop, ok := statebackend.StartSelfHeal(b, *j.SelfHeal); ok {
-					stops = append(stops, stop)
-				}
-			})
-		}
-	}
-	stopHealers := func() {
-		for _, s := range stops {
-			s()
-		}
-		stops = nil
-	}
+	jr.startHealers()
 
 	r.startWorkers()
 	var (
 		checkpoints int64
 		killed      bool
+		stopped     bool
 		srcDone     bool
 		runErr      error
 		fedThisRun  int64
@@ -420,6 +482,10 @@ loop:
 			}
 			if j.KillAfterTuples > 0 && fedThisRun >= j.KillAfterTuples {
 				killed = true
+				break loop
+			}
+			if j.stopReq.Load() {
+				stopped = true
 				break loop
 			}
 			t, ok := j.Source.Next()
@@ -440,6 +506,15 @@ loop:
 			close(b.resume)
 			break
 		}
+		// Drive any in-flight migration while the workers are parked:
+		// join its PREPARE phase, then commit the handoff in memory (or
+		// abort and continue unchanged). The JOB rename below persists a
+		// flipped routing table — the migration's single commit point.
+		if err := jr.migrateBarrier(); err != nil {
+			runErr = err
+			close(b.resume)
+			break
+		}
 		err := jr.commit(false)
 		close(b.resume)
 		if err != nil {
@@ -447,10 +522,24 @@ loop:
 			break
 		}
 		checkpoints++
+		if err := jr.finishMigration(); err != nil {
+			runErr = err
+			break
+		}
+		if err := jr.maybeStartPrepare(); err != nil {
+			runErr = err
+			break
+		}
 	}
 
+	// Join any still-running PREPARE clone before teardown; on the
+	// crash/kill paths it is left as a real crash would leave it (the
+	// journal and staging reconcile on resume).
+	if m := jr.inflight; m != nil {
+		<-m.done
+	}
 	final := false
-	if killed || runErr != nil || r.halted.Load() {
+	if killed || stopped || runErr != nil || r.halted.Load() {
 		// Abort without committing: drain unprocessed (no Finish).
 		r.halted.Store(true)
 		r.drain()
@@ -459,7 +548,9 @@ loop:
 		// then the post-Finish state commits as the final generation.
 		r.drain()
 		if r.res.Halted == nil {
-			if err := jr.commit(true); err != nil {
+			if err := jr.abandonInflight(); err != nil {
+				runErr = err
+			} else if err := jr.commit(true); err != nil {
 				runErr = err
 			} else {
 				checkpoints++
@@ -467,7 +558,7 @@ loop:
 			}
 		}
 	}
-	stopHealers()
+	jr.stopHealers()
 	res := r.collect(false)
 	lf.Close()
 
@@ -477,6 +568,7 @@ loop:
 		Checkpoints: checkpoints,
 		Final:       final,
 		Killed:      killed,
+		Stopped:     stopped,
 		LedgerLen:   jr.ledger,
 	}
 	switch {
@@ -548,8 +640,26 @@ func (jr *jobRun) commit(final bool) error {
 		return err
 	}
 	pars := make([]int64, len(jr.r.rts))
+	routed := false
 	for i, rt := range jr.r.rts {
 		pars[i] = int64(rt.par)
+		if rt.route != nil {
+			routed = true
+		}
+	}
+	var routing [][]int64
+	if routed {
+		routing = make([][]int64, len(jr.r.rts))
+		for i, rt := range jr.r.rts {
+			if rt.route == nil {
+				continue
+			}
+			tab := make([]int64, len(rt.route))
+			for b, w := range rt.route {
+				tab[b] = int64(w)
+			}
+			routing[i] = tab
+		}
 	}
 	m := JobMeta{
 		Gen:       gen,
@@ -560,6 +670,7 @@ func (jr *jobRun) commit(final bool) error {
 		SinceWM:   int64(jr.r.sinceWM),
 		LedgerLen: jr.ledger,
 		StagePars: pars,
+		Routing:   routing,
 	}
 	if err := writeJobMeta(jr.fsys, j.Dir, m); err != nil {
 		return err
@@ -572,6 +683,64 @@ func (jr *jobRun) commit(final bool) error {
 		j.OnCheckpoint(gen, final)
 	}
 	return nil
+}
+
+// startHealers starts a background self-healer on every backend (when
+// the job configures SelfHeal), tracked per worker so a single worker's
+// healer can be stopped and restarted around a migration backend swap.
+func (jr *jobRun) startHealers() {
+	if jr.j.SelfHeal == nil {
+		return
+	}
+	for _, js := range jr.stages {
+		if js.shared != nil {
+			if stop, ok := statebackend.StartSelfHeal(js.shared, *jr.j.SelfHeal); ok {
+				js.sharedHeal = stop
+			}
+			continue
+		}
+		js.heal = make([]func(), len(js.backends))
+		for w := range js.backends {
+			jr.startHeal(js, w)
+		}
+	}
+}
+
+// startHeal (re)starts one worker's self-healer over its current
+// backend.
+func (jr *jobRun) startHeal(js *jobStage, w int) {
+	if jr.j.SelfHeal == nil || js.shared != nil {
+		return
+	}
+	if js.heal == nil {
+		js.heal = make([]func(), len(js.backends))
+	}
+	jr.stopHeal(js, w)
+	if stop, ok := statebackend.StartSelfHeal(js.backends[w], *jr.j.SelfHeal); ok {
+		js.heal[w] = stop
+	}
+}
+
+// stopHeal stops one worker's self-healer, if running.
+func (jr *jobRun) stopHeal(js *jobStage, w int) {
+	if js.heal == nil || w >= len(js.heal) || js.heal[w] == nil {
+		return
+	}
+	js.heal[w]()
+	js.heal[w] = nil
+}
+
+// stopHealers stops every running self-healer.
+func (jr *jobRun) stopHealers() {
+	for _, js := range jr.stages {
+		if js.sharedHeal != nil {
+			js.sharedHeal()
+			js.sharedHeal = nil
+		}
+		for w := range js.heal {
+			jr.stopHeal(js, w)
+		}
+	}
 }
 
 // checkpointFailed shapes a checkpoint error. A degraded-wait deadline
@@ -853,6 +1022,13 @@ func encodeJobMeta(m JobMeta) []byte {
 	for _, sp := range m.StagePars {
 		p = binio.PutVarint(p, sp)
 	}
+	p = binio.PutUvarint(p, uint64(len(m.Routing)))
+	for _, rt := range m.Routing {
+		p = binio.PutUvarint(p, uint64(len(rt)))
+		for _, w := range rt {
+			p = binio.PutVarint(p, w)
+		}
+	}
 	return binio.AppendRecord(nil, p)
 }
 
@@ -861,18 +1037,17 @@ func decodeJobMeta(b []byte) (JobMeta, error) {
 	if err != nil {
 		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", err)
 	}
-	v1 := false
+	version := 3
 	switch {
 	case len(payload) >= len(jobMetaMagic) && string(payload[:len(jobMetaMagic)]) == jobMetaMagic:
+	case len(payload) >= len(jobMetaMagicV2) && string(payload[:len(jobMetaMagicV2)]) == jobMetaMagicV2:
+		version = 2
 	case len(payload) >= len(jobMetaMagicV1) && string(payload[:len(jobMetaMagicV1)]) == jobMetaMagicV1:
-		v1 = true
+		version = 1
 	default:
 		return JobMeta{}, fmt.Errorf("spe: not a JOB file (bad magic)")
 	}
-	d := snapDecoder{b: payload[len(jobMetaMagic):]}
-	if v1 {
-		d = snapDecoder{b: payload[len(jobMetaMagicV1):]}
-	}
+	d := snapDecoder{b: payload[len(jobMetaMagic):]} // all three magics have equal length
 	var m JobMeta
 	m.Gen = d.varint()
 	m.Final = d.varint() != 0
@@ -881,7 +1056,7 @@ func decodeJobMeta(b []byte) (JobMeta, error) {
 	m.MaxTS = d.varint()
 	m.SinceWM = d.varint()
 	m.LedgerLen = d.varint()
-	if !v1 {
+	if version >= 2 {
 		n := d.uvarint()
 		if n > maxShardSnaps {
 			return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %d stages", n)
@@ -890,10 +1065,56 @@ func decodeJobMeta(b []byte) (JobMeta, error) {
 			m.StagePars = append(m.StagePars, d.varint())
 		}
 	}
+	if version >= 3 {
+		n := d.uvarint()
+		if n > maxShardSnaps {
+			return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %d routing tables", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			rn := d.uvarint()
+			if rn > maxShardSnaps {
+				return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %d routing entries", rn)
+			}
+			var rt []int64
+			for k := uint64(0); k < rn; k++ {
+				rt = append(rt, d.varint())
+			}
+			m.Routing = append(m.Routing, rt)
+		}
+	}
 	if d.err != nil {
 		return JobMeta{}, fmt.Errorf("spe: corrupt JOB file: %w", d.err)
 	}
+	if err := m.validRouting(); err != nil {
+		return JobMeta{}, err
+	}
 	return m, nil
+}
+
+// validRouting rejects routing tables that name out-of-range workers —
+// a corrupt (bit-flipped but CRC-colliding) or hand-edited table must
+// fail decode, not index a worker slice out of bounds at dispatch time.
+func (m *JobMeta) validRouting() error {
+	if len(m.Routing) == 0 {
+		return nil
+	}
+	if len(m.Routing) != len(m.StagePars) {
+		return fmt.Errorf("spe: corrupt JOB file: %d routing tables for %d stages", len(m.Routing), len(m.StagePars))
+	}
+	for si, rt := range m.Routing {
+		if len(rt) == 0 {
+			continue
+		}
+		if int64(len(rt)) != m.StagePars[si] {
+			return fmt.Errorf("spe: corrupt JOB file: stage %d routing has %d buckets, parallelism %d", si, len(rt), m.StagePars[si])
+		}
+		for b, w := range rt {
+			if w < 0 || w >= m.StagePars[si] {
+				return fmt.Errorf("spe: corrupt JOB file: stage %d bucket %d routed to worker %d of %d", si, b, w, m.StagePars[si])
+			}
+		}
+	}
+	return nil
 }
 
 // writeJobMeta durably replaces the JOB file: write + fsync a temporary,

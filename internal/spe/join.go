@@ -106,6 +106,11 @@ func NewIntervalJoinOperator(spec IntervalJoinSpec, backend statebackend.Backend
 // Backend returns the operator's state backend.
 func (o *IntervalJoinOperator) Backend() statebackend.Backend { return o.backend }
 
+// setBackend replaces the operator's state backend. Live migration uses
+// it after rebuilding a worker's store under an aligned barrier; the
+// caller guarantees the worker goroutine is parked while it runs.
+func (o *IntervalJoinOperator) setBackend(b statebackend.Backend) { o.backend = b }
+
 func (o *IntervalJoinOperator) bucketOf(ts int64) window.Window {
 	b := o.spec.bucketMs()
 	start := ts / b * b

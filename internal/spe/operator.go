@@ -102,6 +102,11 @@ func NewWindowOperator(spec OperatorSpec, backend statebackend.Backend, emit fun
 // Backend returns the operator's state backend (for stats collection).
 func (o *WindowOperator) Backend() statebackend.Backend { return o.backend }
 
+// setBackend replaces the operator's state backend. Live migration uses
+// it after rebuilding a worker's store under an aligned barrier; the
+// caller guarantees the worker goroutine is parked while it runs.
+func (o *WindowOperator) setBackend(b statebackend.Backend) { o.backend = b }
+
 // OnTuple processes one input tuple.
 func (o *WindowOperator) OnTuple(t Tuple) error {
 	switch o.kind {

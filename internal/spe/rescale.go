@@ -45,6 +45,10 @@ type opSnapshotter interface {
 	statefulOperator
 	snapshotState() []byte
 	restoreState([]byte) error
+	// setBackend swaps the operator's state backend in place — the live
+	// migration path rebuilds a parked worker's store and re-points the
+	// operator at it without reconstructing the operator.
+	setBackend(statebackend.Backend)
 }
 
 var (

@@ -229,7 +229,14 @@ type stageRT struct {
 	par    int
 	in     []chan Message
 	ops    []statefulOperator
-	shared statebackend.Backend // non-nil in ShareBackend mode
+	shared statebackend.Backend
+
+	// route maps a key's hash bucket (routeKey(key, par)) to the worker
+	// that owns it. nil means identity — bucket w is owned by worker w.
+	// Live migration rewrites single entries while every worker is parked
+	// at an aligned barrier; the table is persisted in the JOB record so
+	// ownership survives restarts (see migrate.go).
+	route []int
 
 	// Holistic aligned windows over a shared backend: per-worker key-range
 	// views and the deferred whole-window drop tracker (see shared.go).
@@ -472,7 +479,7 @@ func (r *runtime) sender(stageIdx int) (func(Tuple), func(int64, int64)) {
 	}
 	next := r.rts[stageIdx+1]
 	emitTuple := func(t Tuple) {
-		next.in[routeKey(t.Key, next.par)] <- Message{Tuple: t, WallNS: t.WallNS}
+		next.in[next.workerFor(t.Key)] <- Message{Tuple: t, WallNS: t.WallNS}
 	}
 	emitWM := func(wm int64, wallNS int64) {
 		for _, ch := range next.in {
@@ -607,7 +614,7 @@ func (r *runtime) feed(t Tuple) {
 		r.maxTS = t.TS
 	}
 	first := r.rts[0]
-	first.in[routeKey(t.Key, first.par)] <- Message{Tuple: t, WallNS: t.WallNS}
+	first.in[first.workerFor(t.Key)] <- Message{Tuple: t, WallNS: t.WallNS}
 	r.tuplesIn++
 	r.sinceWM++
 	if r.sinceWM >= r.wmEvery {
@@ -754,6 +761,18 @@ func routeKey(key []byte, par int) int {
 	h := fnv.New32a()
 	h.Write(key)
 	return int(h.Sum32() % uint32(par))
+}
+
+// workerFor resolves a key to its owning worker: hash bucket first, then
+// the stage's routing table (identity when nil). Join stages route by
+// the tuple key, which is the user key — side tagging happens inside the
+// operator, below this dispatch.
+func (rt *stageRT) workerFor(key []byte) int {
+	w := routeKey(key, rt.par)
+	if rt.route != nil {
+		return rt.route[w]
+	}
+	return w
 }
 
 // watermarkForwarder forwards the minimum watermark across a stage's
