@@ -267,6 +267,52 @@ func BenchmarkAppendRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkScanRecordsFramed compares sequential scan cost across
+// frame versions: legacy v0, marker-prefixed v1, and the sniffing
+// scanner that accepts both. The v1 marker costs one byte and one
+// compare per record; the framing bump's acceptance bound is <= 5%
+// read overhead over v0.
+func BenchmarkScanRecordsFramed(b *testing.B) {
+	payload := bytes.Repeat([]byte("v"), 84)
+	for _, bench := range []struct {
+		name  string
+		ver   FrameVersion
+		sniff bool
+	}{
+		{"v0", FrameV0, false},
+		{"v1", FrameV1, false},
+		{"sniff-v1", FrameV1, true},
+	} {
+		var file bytes.Buffer
+		rw := NewRecordWriterV(&file, 0, bench.ver)
+		for i := 0; i < 10000; i++ {
+			if _, _, err := rw.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		data := file.Bytes()
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var sc *RecordScanner
+				if bench.sniff {
+					sc = NewRecordScannerSniff(bytes.NewReader(data), 0)
+				} else {
+					sc = NewRecordScannerV(bytes.NewReader(data), 0, bench.ver)
+				}
+				n := 0
+				for sc.Scan() {
+					n++
+				}
+				if err := sc.Err(); err != nil || n != 10000 {
+					b.Fatalf("records %d, err %v", n, err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkScanRecords(b *testing.B) {
 	var file bytes.Buffer
 	rw := NewRecordWriter(&file, 0)

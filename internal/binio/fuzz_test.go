@@ -2,6 +2,7 @@ package binio
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -91,8 +92,79 @@ func FuzzDecode(f *testing.F) {
 			}
 			prev = sc.Offset()
 		}
-		if sc.Err() != nil && sc.Err() != ErrCorrupt {
+		if sc.Err() != nil && !errors.Is(sc.Err(), ErrCorrupt) {
 			t.Fatalf("scanner error on in-memory input: %v", sc.Err())
+		}
+	})
+}
+
+// FuzzDecodeRecordFrame drives the v1 checksummed frame decoder and the
+// sniffing scanner with arbitrary bytes. The properties are the ones the
+// scrubber and recovery paths depend on:
+//
+//   - ReadRecordV never panics and never accepts a frame whose CRC does
+//     not cover its bytes (a successful decode must re-encode to a frame
+//     that decodes to the same payload);
+//   - every failure is either ErrShort (feed more bytes) or a typed
+//     corruption matching errors.Is(err, ErrCorrupt) — nothing else;
+//   - the sniffing scanner terminates with increasing offsets whatever
+//     version it picks, and only stops on EOF, a torn tail, or typed
+//     corruption.
+func FuzzDecodeRecordFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecordV(nil, []byte("hello"), FrameV1))
+	f.Add(AppendRecordV(AppendRecordV(nil, []byte("a"), FrameV1), bytes.Repeat([]byte("b"), 300), FrameV1))
+	// Marker present but CRC flipped.
+	bad := AppendRecordV(nil, []byte("flip"), FrameV1)
+	bad[1] ^= 0xff
+	f.Add(bad)
+	// Payload bit-flip after a clean first frame.
+	two := AppendRecordV(AppendRecordV(nil, []byte("ok"), FrameV1), []byte("rot"), FrameV1)
+	two[len(two)-1] ^= 0x01
+	f.Add(two)
+	// Truncated frame (torn tail) and zero tail after a clean frame.
+	whole := AppendRecordV(nil, []byte("torn"), FrameV1)
+	f.Add(whole[:len(whole)-2])
+	f.Add(append(AppendRecordV(nil, []byte("zeros"), FrameV1), make([]byte, 37)...))
+	// v1 marker byte leading legacy v0 bytes (the 1/256 collision).
+	v0 := AppendRecord(nil, []byte("legacy"))
+	f.Add(append([]byte{byte(FrameMarker)}, v0...))
+	// Huge claimed length.
+	f.Add(append([]byte{byte(FrameMarker), 1, 2, 3, 4}, PutUvarint(nil, 1<<62)...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, n, err := ReadRecordV(b, FrameV1)
+		switch {
+		case err == nil:
+			if n <= 0 || n > len(b) {
+				t.Fatalf("ReadRecordV consumed %d of %d bytes", n, len(b))
+			}
+			re := AppendRecordV(nil, payload, FrameV1)
+			p2, n2, err2 := ReadRecordV(re, FrameV1)
+			if err2 != nil || n2 != len(re) || !bytes.Equal(p2, payload) {
+				t.Fatalf("frame round trip: payload %x -> %x, n=%d/%d, err=%v",
+					payload, p2, n2, len(re), err2)
+			}
+		case errors.Is(err, ErrShortBuffer) || errors.Is(err, ErrCorrupt):
+		default:
+			t.Fatalf("ReadRecordV: untyped error %v", err)
+		}
+
+		for _, mk := range []func() *RecordScanner{
+			func() *RecordScanner { return NewRecordScannerV(bytes.NewReader(b), 0, FrameV1) },
+			func() *RecordScanner { return NewRecordScannerSniff(bytes.NewReader(b), 0) },
+		} {
+			sc := mk()
+			prev := int64(0)
+			for sc.Scan() {
+				if sc.Offset() <= prev {
+					t.Fatalf("scanner offset stuck at %d", sc.Offset())
+				}
+				prev = sc.Offset()
+			}
+			if sc.Err() != nil && !errors.Is(sc.Err(), ErrCorrupt) {
+				t.Fatalf("scanner error on in-memory input: %v", sc.Err())
+			}
 		}
 	})
 }

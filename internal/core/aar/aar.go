@@ -790,6 +790,31 @@ func (s *Store) Recover() error {
 	return first
 }
 
+// Scrub verifies every live window log's record frames against their
+// checksums under the instance I/O lock, healing rot confined to the
+// unsynced tail where the retained in-memory copy allows (see
+// logfile.Log.Scrub). It returns the per-instance summary and the first
+// unrepairable corruption.
+func (s *Store) Scrub() (logfile.ScrubSummary, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var sum logfile.ScrubSummary
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return sum, ErrClosed
+	}
+	for _, l := range s.files {
+		r, err := l.Scrub()
+		sum.Add(r)
+		if err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
+}
+
 // Close closes all open log files, leaving state on disk.
 func (s *Store) Close() error {
 	s.ioMu.Lock()

@@ -972,6 +972,7 @@ func (s *Store) loadSpansLocked(selected []*liveEntry, target id) ([][]byte, err
 		i = j + 1
 	}
 
+	frameVer := s.dataLog.Version()
 	loadRun := func(r loadRun, read func(off int64, n int) ([]byte, error)) error {
 		raw, err := read(r.base, int(r.end-r.base))
 		if err != nil {
@@ -980,9 +981,13 @@ func (s *Store) loadSpansLocked(selected []*liveEntry, target id) ([][]byte, err
 		for k := r.lo; k <= r.hi; k++ {
 			t := tasks[k]
 			rec := raw[t.sp.off-r.base : t.sp.off-r.base+int64(t.sp.n)]
-			payload, _, err := binio.ReadRecord(rec)
+			payload, used, err := binio.ReadRecordV(rec, frameVer)
 			if err != nil {
 				return fmt.Errorf("aur: data record at %d: %w", t.sp.off, err)
+			}
+			if used != len(rec) {
+				return fmt.Errorf("aur: data record at %d: frame spans %d of %d indexed bytes: %w",
+					t.sp.off, used, len(rec), binio.ErrCorrupt)
 			}
 			vals, err := decodeValues(payload)
 			if err != nil {
@@ -1312,6 +1317,31 @@ func (s *Store) Recover() error {
 		}
 	}
 	return first
+}
+
+// Scrub verifies the live data and index logs' record frames against
+// their checksums under the instance I/O lock, healing rot confined to
+// the unsynced tail where the retained in-memory copy allows (see
+// logfile.Log.Scrub). It returns the per-instance summary and the first
+// unrepairable corruption.
+func (s *Store) Scrub() (logfile.ScrubSummary, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var sum logfile.ScrubSummary
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return sum, ErrClosed
+	}
+	for _, l := range []*logfile.Log{s.dataLog, s.indexLog} {
+		r, err := l.Scrub()
+		sum.Add(r)
+		if err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
 }
 
 // HitRatio returns the prefetch buffer hit ratio (Figure 11b metric).

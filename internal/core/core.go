@@ -275,6 +275,15 @@ type Store struct {
 	// (new segments, copy fallbacks, and per-checkpoint snapshots).
 	ckptLinkedBytes metrics.Counter
 	ckptCopiedBytes metrics.Counter
+
+	// Scrub accounting (see scrub.go): files/bytes verified clean,
+	// corrupt targets found, live-log tails healed in place, and
+	// checkpoint directories under quarantine.
+	scrubFiles       metrics.Counter
+	scrubBytes       metrics.Counter
+	scrubCorrupt     metrics.Counter
+	scrubHealed      metrics.Counter
+	scrubQuarantined metrics.Counter
 }
 
 // windowDrain is an in-progress parallel GetWindow drain of one window:
@@ -769,6 +778,16 @@ type Stats struct {
 	// ratio is the delta saving.
 	CkptLinkedBytes int64
 	CkptCopiedBytes int64
+	// ScrubbedFiles and ScrubbedBytes total the data scrub sweeps have
+	// verified clean; ScrubCorrupt counts targets found corrupt,
+	// ScrubHealed counts live-log tails repaired in place, and
+	// ScrubQuarantined counts checkpoint directories seen under
+	// quarantine (cumulative across sweeps).
+	ScrubbedFiles    int64
+	ScrubbedBytes    int64
+	ScrubCorrupt     int64
+	ScrubHealed      int64
+	ScrubQuarantined int64
 }
 
 // Stats returns the store's aggregated evaluation metrics.
@@ -784,6 +803,11 @@ func (s *Store) Stats() Stats {
 	st.Recoveries = s.recoveries.Load()
 	st.CkptLinkedBytes = s.ckptLinkedBytes.Load()
 	st.CkptCopiedBytes = s.ckptCopiedBytes.Load()
+	st.ScrubbedFiles = s.scrubFiles.Load()
+	st.ScrubbedBytes = s.scrubBytes.Load()
+	st.ScrubCorrupt = s.scrubCorrupt.Load()
+	st.ScrubHealed = s.scrubHealed.Load()
+	st.ScrubQuarantined = s.scrubQuarantined.Load()
 	for _, a := range s.aars {
 		st.BufferedBytes += a.BufferedBytes()
 		if d, err := a.DiskUsage(); err == nil {

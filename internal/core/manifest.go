@@ -256,8 +256,14 @@ func writeManifestEncoded(fsys faultfs.FS, dir string, m *manifest) error {
 }
 
 // readManifest parses dir's MANIFEST, validating the magic and that the
-// checkpoint was taken with the same pattern and instance count.
+// checkpoint was taken with the same pattern and instance count. A
+// quarantined directory is rejected before its manifest is even read:
+// every consumer routed through here — Restore, delta-parent resolution
+// — therefore refuses quarantined checkpoints without further checks.
 func readManifest(fsys faultfs.FS, dir string, p Pattern, instances int) (*manifest, error) {
+	if reason, ok := QuarantineReason(fsys, dir); ok {
+		return nil, &CheckpointError{Dir: dir, Reason: "quarantined: " + reason}
+	}
 	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, &CheckpointError{Dir: dir, Reason: fmt.Sprintf("missing or unreadable MANIFEST: %v", err)}
@@ -311,7 +317,16 @@ func verifyContents(fsys faultfs.FS, dir string, want []manifestEntry) error {
 				Reason: fmt.Sprintf("size %d, manifest says %d", g.size, w.size)}
 		}
 		if g.crc != w.crc {
-			return &CheckpointError{Dir: dir, File: w.path, Reason: "checksum mismatch"}
+			// Name the exact damage: expected vs observed checksum, and
+			// for frame-structured files the offset of the first frame
+			// that no longer verifies.
+			reason := fmt.Sprintf("checksum mismatch: manifest %08x, file %08x", w.crc, g.crc)
+			if b, rerr := fsys.ReadFile(filepath.Join(dir, filepath.FromSlash(w.path))); rerr == nil {
+				if off := firstCorruptFrame(b); off >= 0 {
+					reason += fmt.Sprintf(", first corrupt frame at offset %d", off)
+				}
+			}
+			return &CheckpointError{Dir: dir, File: w.path, Reason: reason}
 		}
 		delete(byPath, w.path)
 	}

@@ -80,7 +80,11 @@ func ListCheckpoints(fsys faultfs.FS, parent string) ([]CheckpointInfo, error) {
 		for _, me := range m.entries {
 			ci.SizeBytes += me.size
 		}
-		ci.Err = verifyContents(fsys, dir, m.entries)
+		if reason, ok := QuarantineReason(fsys, dir); ok {
+			ci.Err = &CheckpointError{Dir: dir, Reason: "quarantined: " + reason}
+		} else {
+			ci.Err = verifyContents(fsys, dir, m.entries)
+		}
 		out = append(out, ci)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -98,6 +102,9 @@ func ListCheckpoints(fsys faultfs.FS, parent string) ([]CheckpointInfo, error) {
 func VerifyCheckpointDir(fsys faultfs.FS, dir string) (Pattern, int, error) {
 	if fsys == nil {
 		fsys = faultfs.OS
+	}
+	if reason, ok := QuarantineReason(fsys, dir); ok {
+		return 0, 0, &CheckpointError{Dir: dir, Reason: "quarantined: " + reason}
 	}
 	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -192,6 +199,13 @@ func gcCheckpoints(fsys faultfs.FS, just string, keep int, protected map[string]
 			continue
 		}
 		dir := filepath.Join(parent, e.Name())
+		// Quarantined checkpoints are outside the retention set entirely:
+		// they neither occupy a keep slot (a rotten generation must not
+		// shadow a restorable one) nor become removal candidates (the
+		// quarantined bytes are preserved for inspection).
+		if IsQuarantined(fsys, dir) {
+			continue
+		}
 		b, rerr := fsys.ReadFile(filepath.Join(dir, manifestName))
 		if rerr != nil {
 			continue

@@ -669,6 +669,25 @@ func (s *Store) Recover() error {
 	return s.log.ReopenAtDurable()
 }
 
+// Scrub verifies the live log's record frames against their checksums
+// under the instance I/O lock, healing rot confined to the unsynced tail
+// where the retained in-memory copy allows (see logfile.Log.Scrub). It
+// returns the per-instance summary and the first unrepairable corruption.
+func (s *Store) Scrub() (logfile.ScrubSummary, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var sum logfile.ScrubSummary
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return sum, ErrClosed
+	}
+	r, err := s.log.Scrub()
+	sum.Add(r)
+	return sum, err
+}
+
 // Compactions returns the number of compactions performed.
 func (s *Store) Compactions() int64 { return s.compactions.Load() }
 

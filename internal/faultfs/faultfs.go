@@ -186,6 +186,82 @@ func LinkOrCopy(fsys FS, src, dst string) (linked bool, err error) {
 	return false, out.Close()
 }
 
+// CorruptAtRest mutates the file at path in place, modelling bit rot
+// that happened while the bytes sat on disk. The file is rewritten
+// through an O_RDWR descriptor — never truncated or renamed — so the
+// inode survives and hard-linked siblings (checkpoint segments shared
+// across generations) observe the same rot. off addresses the byte to
+// damage; a negative off picks the middle of the file.
+//
+//   - CorruptBitFlip flips one bit of the byte at off.
+//   - CorruptZeroPage zeroes the 4 KiB-aligned page containing off
+//     (clamped to the file size).
+//   - CorruptStale overwrites the page containing off with the file's
+//     first page — plausible old bytes where new ones should be. When
+//     off lands in the first page (nothing older to serve), it degrades
+//     to CorruptZeroPage.
+//
+// Callers normally pass the base FS (or an unarmed injector): routing
+// the rewrite through an armed injector would consume mutating-op
+// counts that crash batteries key off. A nil fsys means the real OS
+// filesystem.
+func CorruptAtRest(fsys FS, path string, kind CorruptKind, off int64) error {
+	const pageSize = 4096
+	if fsys == nil {
+		fsys = OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	size := int64(len(data))
+	if size == 0 {
+		return fmt.Errorf("faultfs: corrupt at rest %s: file is empty", path)
+	}
+	if off < 0 {
+		off = size / 2
+	}
+	if off >= size {
+		off = size - 1
+	}
+	var start, end int64
+	var patch []byte
+	switch kind {
+	case CorruptBitFlip:
+		start, end = off, off+1
+		patch = []byte{data[off] ^ 0x40}
+	case CorruptZeroPage, CorruptStale:
+		start = off - off%pageSize
+		end = start + pageSize
+		if end > size {
+			end = size
+		}
+		patch = make([]byte, end-start)
+		if kind == CorruptStale && start >= pageSize {
+			copy(patch, data[:end-start])
+		}
+	default:
+		return fmt.Errorf("faultfs: corrupt at rest %s: kind %v does not mutate", path, kind)
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(patch); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // Op classifies a mutating filesystem operation for rule matching.
 type Op int
 
@@ -278,6 +354,43 @@ func (c Class) String() string {
 	}
 }
 
+// CorruptKind selects how a read's bytes are mangled by a corruption
+// rule. Corruption faults are orthogonal to the error classes: the read
+// SUCCEEDS — no error, full byte count — but the bytes are wrong, the
+// failure mode of bit rot, zeroed pages, and lying firmware that only
+// checksums can catch.
+type CorruptKind int
+
+const (
+	// CorruptNone disables corruption (the rule injects errors instead).
+	CorruptNone CorruptKind = iota
+	// CorruptBitFlip flips one bit in the middle of the returned bytes.
+	CorruptBitFlip
+	// CorruptZeroPage zeroes the returned bytes, the artifact of a read
+	// that hit a never-written or discarded page.
+	CorruptZeroPage
+	// CorruptStale serves bytes from file offset 0 instead of the
+	// requested offset — a misdirected or stale block read. Non-positional
+	// reads (whole-file) degrade to CorruptZeroPage.
+	CorruptStale
+)
+
+// String returns the corruption kind name.
+func (k CorruptKind) String() string {
+	switch k {
+	case CorruptNone:
+		return "none"
+	case CorruptBitFlip:
+		return "bit-flip"
+	case CorruptZeroPage:
+		return "zero-page"
+	case CorruptStale:
+		return "stale-block"
+	default:
+		return fmt.Sprintf("corrupt(%d)", int(k))
+	}
+}
+
 // Rule selects the operations to fail. Two addressing modes exist: AtOp
 // picks the trigger by the injector's global mutating-op index
 // (deterministic replay of "crash at operation N"); otherwise the rule
@@ -313,6 +426,14 @@ type Rule struct {
 	// Times bounds how many failures a ClassTransient rule serves
 	// before healing (0 means 1). Ignored for other classes.
 	Times int64
+	// Corrupt turns a matched OpRead rule into a silent-corruption
+	// fault: instead of returning Err, the read succeeds and the
+	// returned bytes are mangled per the kind. Only meaningful for
+	// rules with Op == OpRead; Err is ignored when Corrupt is set.
+	// Class and Times apply as usual, so a ClassOnce corruption models
+	// a transient flip (a retry reads clean bytes) while
+	// ClassPersistent models at-rest rot on the read path.
+	Corrupt CorruptKind
 }
 
 // Injector wraps an FS and fails one chosen mutating operation. The zero
@@ -412,14 +533,20 @@ func (i *Injector) check(op Op, path string) (torn int, err error) {
 // with different read patterns) and only fail when the armed rule
 // targets OpRead explicitly; a crashed filesystem still serves reads,
 // matching a kernel that lost writes but returns the bytes it has.
-func (i *Injector) checkRead(path string) error {
+// When the firing rule carries a CorruptKind the read must SUCCEED and
+// the caller mangles the returned bytes instead of erroring.
+func (i *Injector) checkRead(path string) (CorruptKind, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if !i.armed || i.rule.Op != OpRead {
-		return nil
+		return CorruptNone, nil
 	}
+	corrupt := i.rule.Corrupt
 	_, err := i.decide(OpRead, path)
-	return err
+	if err != nil && corrupt != CorruptNone {
+		return corrupt, nil
+	}
+	return CorruptNone, err
 }
 
 // decide applies the armed rule to one operation. Callers hold i.mu.
@@ -558,10 +685,20 @@ func (i *Injector) ReadDir(path string) ([]os.DirEntry, error) {
 }
 
 func (i *Injector) ReadFile(path string) ([]byte, error) {
-	if err := i.checkRead(path); err != nil {
+	kind, err := i.checkRead(path)
+	if err != nil {
 		return nil, err
 	}
-	return i.base.ReadFile(path)
+	b, err := i.base.ReadFile(path)
+	if err == nil && kind != CorruptNone {
+		// Whole-file reads have no "wrong offset" to misdirect to, so
+		// CorruptStale degrades to CorruptZeroPage here.
+		if kind == CorruptStale {
+			kind = CorruptZeroPage
+		}
+		mangle(kind, b, nil, 0)
+	}
+	return b, err
 }
 
 func (i *Injector) SyncDir(path string) error {
@@ -581,17 +718,52 @@ type injFile struct {
 }
 
 func (f *injFile) Read(p []byte) (int, error) {
-	if err := f.inj.checkRead(f.path); err != nil {
+	kind, err := f.inj.checkRead(f.path)
+	if err != nil {
 		return 0, err
 	}
-	return f.f.Read(p)
+	n, rerr := f.f.Read(p)
+	if n > 0 && kind != CorruptNone {
+		mangle(kind, p[:n], f.f, 0)
+	}
+	return n, rerr
 }
 
 func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.inj.checkRead(f.path); err != nil {
+	kind, err := f.inj.checkRead(f.path)
+	if err != nil {
 		return 0, err
 	}
-	return f.f.ReadAt(p, off)
+	n, rerr := f.f.ReadAt(p, off)
+	if n > 0 && kind != CorruptNone {
+		mangle(kind, p[:n], f.f, off)
+	}
+	return n, rerr
+}
+
+// mangle applies a corruption kind to bytes just read. For CorruptStale
+// the bytes are re-served from file offset 0 through src (a misdirected
+// block read); when the read already was at offset 0, or src is nil, or
+// the stale fetch fails, it degrades to zeroing — the read still lies.
+func mangle(kind CorruptKind, b []byte, src io.ReaderAt, off int64) {
+	if len(b) == 0 {
+		return
+	}
+	switch kind {
+	case CorruptBitFlip:
+		b[len(b)/2] ^= 0x40
+	case CorruptStale:
+		if src != nil && off != 0 {
+			if n, err := src.ReadAt(b, 0); n == len(b) && err == nil {
+				return
+			}
+		}
+		fallthrough
+	default: // CorruptZeroPage
+		for j := range b {
+			b[j] = 0
+		}
+	}
 }
 
 func (f *injFile) Seek(off int64, whence int) (int64, error) { return f.f.Seek(off, whence) }

@@ -1,0 +1,217 @@
+package faultfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSeed(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i%251 + 1) // never zero, so zeroing is always visible
+	}
+	return b
+}
+
+func TestCorruptBitFlipReadSucceedsWithWrongBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.log")
+	want := seedBytes(64)
+	writeSeed(t, path, want)
+
+	inj := NewInjector(OS)
+	inj.SetRule(Rule{Op: OpRead, Corrupt: CorruptBitFlip})
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := make([]byte, 64)
+	n, err := f.ReadAt(got, 0)
+	if err != nil || n != 64 {
+		t.Fatalf("ReadAt = %d, %v; corruption must not surface as an error", n, err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("bit-flip corruption returned pristine bytes")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bytes, want exactly 1", diff)
+	}
+	if !inj.Fired() {
+		t.Fatal("rule did not report firing")
+	}
+	// ClassOnce: the next read is clean again (transient flip).
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("second read still corrupt under ClassOnce")
+	}
+}
+
+func TestCorruptZeroPageAndStaleOnRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.log")
+	want := seedBytes(128)
+	writeSeed(t, path, want)
+
+	inj := NewInjector(OS)
+
+	inj.SetRule(Rule{Op: OpRead, Corrupt: CorruptZeroPage})
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if n, err := f.ReadAt(got, 16); err != nil || n != 32 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatalf("zero-page read returned nonzero bytes %x", got)
+	}
+	f.Close()
+
+	// Stale: a read at offset 64 serves the bytes that live at offset 0.
+	inj.SetRule(Rule{Op: OpRead, Corrupt: CorruptStale})
+	f, err = inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := f.ReadAt(got, 64); err != nil || n != 32 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, want[:32]) {
+		t.Fatalf("stale read = %x, want bytes from offset 0 %x", got, want[:32])
+	}
+}
+
+func TestCorruptReadFileDegradesStaleToZero(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta")
+	writeSeed(t, path, seedBytes(40))
+
+	inj := NewInjector(OS)
+	inj.SetRule(Rule{Op: OpRead, Corrupt: CorruptStale})
+	b, err := inj.ReadFile(path)
+	if err != nil {
+		t.Fatalf("corrupt ReadFile must succeed, got %v", err)
+	}
+	if !bytes.Equal(b, make([]byte, 40)) {
+		t.Fatalf("whole-file stale read = %x, want all zeros", b)
+	}
+}
+
+func TestCorruptPersistentUntilReset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.log")
+	want := seedBytes(16)
+	writeSeed(t, path, want)
+
+	inj := NewInjector(OS)
+	inj.SetRule(Rule{Op: OpRead, Corrupt: CorruptZeroPage, Class: ClassPersistent})
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := make([]byte, 16)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, make([]byte, 16)) {
+			t.Fatalf("read %d not corrupted under ClassPersistent", i)
+		}
+	}
+	inj.Reset()
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read after Reset still corrupt")
+	}
+}
+
+func TestCorruptAtRestKeepsInodeForHardLinks(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "seg")
+	link := filepath.Join(dir, "seg-link")
+	want := seedBytes(8192 + 100)
+	writeSeed(t, src, want)
+	if err := os.Link(src, link); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in the middle; both names must observe the rot, and the
+	// file size must not change.
+	if err := CorruptAtRest(OS, src, CorruptBitFlip, -1); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{src, link} {
+		got, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: size %d, want %d", p, len(got), len(want))
+		}
+		if bytes.Equal(got, want) {
+			t.Fatalf("%s: hard-linked sibling did not observe the rot", p)
+		}
+	}
+}
+
+func TestCorruptAtRestZeroPageAndStale(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	want := seedBytes(3*4096 + 17)
+	writeSeed(t, path, want)
+
+	// Zero the page containing offset 5000 (page 1: bytes 4096..8191).
+	if err := CorruptAtRest(OS, path, CorruptZeroPage, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got[:4096], want[:4096]) || !bytes.Equal(got[8192:], want[8192:]) {
+		t.Fatal("zero-page damaged bytes outside the target page")
+	}
+	if !bytes.Equal(got[4096:8192], make([]byte, 4096)) {
+		t.Fatal("target page not zeroed")
+	}
+
+	// Stale: page 2 becomes a copy of page 0.
+	writeSeed(t, path, want)
+	if err := CorruptAtRest(OS, path, CorruptStale, 2*4096+3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got[2*4096:3*4096], want[:4096]) {
+		t.Fatal("stale page is not a copy of the first page")
+	}
+	if !bytes.Equal(got[:2*4096], want[:2*4096]) {
+		t.Fatal("stale damaged bytes before the target page")
+	}
+
+	// Empty files cannot rot.
+	empty := filepath.Join(dir, "empty")
+	writeSeed(t, empty, nil)
+	if err := CorruptAtRest(OS, empty, CorruptBitFlip, -1); err == nil {
+		t.Fatal("CorruptAtRest on empty file succeeded")
+	}
+}

@@ -1,12 +1,17 @@
 package jobmanager
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"flowkv/internal/binio"
 	"flowkv/internal/core"
 	"flowkv/internal/faultfs"
 )
@@ -40,6 +45,11 @@ type SlotStatus struct {
 	// Heals counts how many times the prober returned this slot to
 	// rotation after it had failed.
 	Heals int64 `json:"heals"`
+	// Scrubs counts completed idle-slot scrub passes; ScrubCorrupt counts
+	// the passes that found corruption (each of which also failed the
+	// slot).
+	Scrubs       int64 `json:"scrubs"`
+	ScrubCorrupt int64 `json:"scrubCorrupt"`
 }
 
 type slotState struct {
@@ -53,6 +63,10 @@ type slotState struct {
 	// failed; the prober heals the slot once it reaches the
 	// confirmation threshold.
 	probeOK int
+	// scrubs / scrubCorrupt count idle-slot scrub passes and the ones
+	// that found corruption.
+	scrubs       int64
+	scrubCorrupt int64
 }
 
 // Pool is the backend registry: the fixed slot set, each slot's health,
@@ -182,6 +196,19 @@ type ProberOptions struct {
 	// Probe checks one slot's media; nil uses a write/read/remove probe
 	// file under the slot directory.
 	Probe func(Slot) error
+	// ScrubIdle makes each tick also scrub the IDLE healthy slots — the
+	// ones with no tenants placed, so nothing is appending while the
+	// scrub reads. Corruption fails the slot (and counts in SlotStatus),
+	// keeping new tenants off rotten media before a restore trips over
+	// it. With ScrubIdle set, healing a failed slot additionally
+	// requires a clean scrub: a media probe alone would return a slot to
+	// rotation while its data still carries the rot that failed it.
+	ScrubIdle bool
+	// Scrub checks one slot's at-rest data; nil uses scrubSlotFiles,
+	// which frame-verifies every log file and checks every checkpoint
+	// directory against its MANIFEST. Only consulted when ScrubIdle is
+	// set.
+	Scrub func(Slot) error
 }
 
 // StartProber watches failed slots and returns them to rotation once
@@ -201,6 +228,13 @@ func (p *Pool) StartProber(opts ProberOptions) (stop func()) {
 	if probe == nil {
 		probe = probeSlotMedia
 	}
+	var scrub func(Slot) error
+	if opts.ScrubIdle {
+		scrub = opts.Scrub
+		if scrub == nil {
+			scrub = scrubSlotFiles
+		}
+	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -215,7 +249,18 @@ func (p *Pool) StartProber(opts ProberOptions) (stop func()) {
 			}
 			for _, slot := range p.failedSlots() {
 				err := probe(slot)
+				if err == nil && scrub != nil {
+					// Rot does not heal with the media: a failed slot
+					// re-enters rotation only when its data scrubs clean.
+					err = scrub(slot)
+				}
 				p.noteProbe(slot.ID, err, opts.Confirmations)
+			}
+			if scrub == nil {
+				continue
+			}
+			for _, slot := range p.idleSlots() {
+				p.noteScrub(slot.ID, scrub(slot))
 			}
 		}
 	}()
@@ -236,6 +281,37 @@ func (p *Pool) failedSlots() []Slot {
 		}
 	}
 	return out
+}
+
+// idleSlots snapshots the healthy slots with no tenants placed — the
+// only slots the prober scrubs, so a scrub never races a live appender.
+func (p *Pool) idleSlots() []Slot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Slot
+	for _, id := range p.order {
+		if st := p.state[id]; st.healthy && len(st.tenants) == 0 {
+			out = append(out, st.slot)
+		}
+	}
+	return out
+}
+
+// noteScrub records one idle-slot scrub outcome; corruption fails the
+// slot.
+func (p *Pool) noteScrub(slotID string, err error) {
+	p.mu.Lock()
+	st, ok := p.state[slotID]
+	if ok {
+		st.scrubs++
+		if err != nil {
+			st.scrubCorrupt++
+		}
+	}
+	p.mu.Unlock()
+	if ok && err != nil {
+		p.MarkFailed(slotID, fmt.Errorf("jobmanager: slot scrub: %w", err))
+	}
 }
 
 // noteProbe records one probe outcome; the need'th consecutive success
@@ -293,6 +369,87 @@ func probeSlotMedia(s Slot) error {
 	return fsys.Remove(path)
 }
 
+// scrubSlotFiles is the default idle-slot scrub: it walks the slot
+// directory, frame-verifies every ".log" file (frame version sniffed per
+// file) and verifies every checkpoint directory against its MANIFEST. A
+// torn log tail is a crash artifact, not corruption. Quarantined
+// checkpoint directories were already detected and handled upstream, so
+// they are skipped rather than re-reported forever.
+func scrubSlotFiles(s Slot) error {
+	fsys := s.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	return scrubTree(fsys, s.Dir)
+}
+
+func scrubTree(fsys faultfs.FS, dir string) error {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	// A directory holding a MANIFEST is a checkpoint: verify it as a
+	// unit (the manifest's CRCs cover every file, log or not).
+	for _, e := range ents {
+		if !e.IsDir() && e.Name() == "MANIFEST" {
+			_, _, verr := core.VerifyCheckpointDir(fsys, dir)
+			return verr
+		}
+	}
+	for _, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		if e.IsDir() {
+			if core.IsQuarantined(fsys, path) {
+				continue
+			}
+			if err := scrubTree(fsys, path); err != nil {
+				return err
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".log") {
+			continue
+		}
+		if err := scrubLogFile(fsys, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrubLogFile frame-scans one log file end to end. A sniffed v1 scan
+// that hits corruption retries as legacy v0 before declaring rot — the
+// 1/256 marker collision where a v0 record's first CRC byte happens to
+// equal the v1 frame marker.
+func scrubLogFile(fsys faultfs.FS, path string) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := binio.NewRecordScannerSniff(f, 0)
+	for sc.Scan() {
+	}
+	err = sc.Err()
+	if err != nil && sc.Version() == binio.FrameV1 {
+		if _, serr := f.Seek(0, io.SeekStart); serr == nil {
+			sc0 := binio.NewRecordScanner(f, 0)
+			for sc0.Scan() {
+			}
+			if sc0.Err() == nil {
+				return nil
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("scrub %s: %w", path, err)
+	}
+	return nil
+}
+
 // Slots returns the slot set in registration order.
 func (p *Pool) Slots() []Slot {
 	p.mu.Lock()
@@ -311,7 +468,8 @@ func (p *Pool) Status() []SlotStatus {
 	out := make([]SlotStatus, 0, len(p.order))
 	for _, id := range p.order {
 		st := p.state[id]
-		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers, Heals: st.heals}
+		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers, Heals: st.heals,
+			Scrubs: st.scrubs, ScrubCorrupt: st.scrubCorrupt}
 		if st.err != nil {
 			s.Err = st.err.Error()
 		}

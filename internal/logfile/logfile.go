@@ -45,6 +45,44 @@ var ErrPoisoned = errors.New("logfile: poisoned by earlier write failure")
 // Failed instead of silently losing acked writes.
 var MaxTailBytes = 8 << 20
 
+// ErrCorruptRecord reports a record whose bytes came back from the disk
+// successfully but failed verification: a checksum mismatch, a mangled
+// frame, or a record whose decoded length disagrees with the index. It is
+// the typed face of silent corruption — distinct from ErrPoisoned (the
+// write path failed) and from I/O errors (the read itself failed).
+var ErrCorruptRecord = errors.New("logfile: corrupt record")
+
+// CorruptError carries the forensics of a corrupt record: which file, at
+// what offset, and the underlying frame failure (a *binio.FrameError with
+// the expected-vs-got checksums when the CRC mismatched). It matches both
+// ErrCorruptRecord and binio.ErrCorrupt under errors.Is.
+type CorruptError struct {
+	// Path is the log file containing the bad frame.
+	Path string
+	// Off is the file offset at which the bad frame starts.
+	Off int64
+	// Err is the underlying verification failure.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("logfile: %s: corrupt record at offset %d: %v", e.Path, e.Off, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is reports a match for the ErrCorruptRecord sentinel (the wrapped error
+// chain additionally matches binio.ErrCorrupt).
+func (e *CorruptError) Is(target error) bool { return target == ErrCorruptRecord }
+
+// corruptErr builds a CorruptError, normalizing a bare cause.
+func corruptErr(path string, off int64, cause error) error {
+	if cause == nil {
+		cause = binio.ErrCorrupt
+	}
+	return &CorruptError{Path: path, Off: off, Err: cause}
+}
+
 // Log is a single append-only file of framed records. A Log performs no
 // locking: it is owned by whichever goroutine holds its store instance's
 // I/O lock, and the only methods safe to call outside that ownership are
@@ -62,6 +100,7 @@ type Log struct {
 	w      *bufio.Writer
 	rw     *binio.RecordWriter
 	bd     *metrics.Breakdown
+	ver    binio.FrameVersion
 	closed bool
 
 	durable int64  // offset covered by the last successful Sync
@@ -77,13 +116,14 @@ func Create(path string, bd *metrics.Breakdown) (*Log, error) {
 }
 
 // CreateFS is Create against an explicit filesystem, the seam used by
-// fault-injection tests.
+// fault-injection tests. New logs always use the current (v1) record
+// frame.
 func CreateFS(fsys faultfs.FS, path string, bd *metrics.Breakdown) (*Log, error) {
 	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("logfile: create: %w", err)
 	}
-	return newLog(fsys, path, f, 0, bd), nil
+	return newLog(fsys, path, f, 0, binio.FrameV1, bd), nil
 }
 
 // Open opens an existing log for appending; new records go after any valid
@@ -92,13 +132,16 @@ func Open(path string, bd *metrics.Breakdown) (*Log, error) {
 	return OpenFS(faultfs.OS, path, bd)
 }
 
-// OpenFS is Open against an explicit filesystem.
+// OpenFS is Open against an explicit filesystem. The file's frame version
+// is sniffed from its first byte — new and current files use the v1 frame,
+// files written before the version bump keep the legacy v0 frame for both
+// reads and appends (per-file homogeneity: a file never mixes frames).
 func OpenFS(fsys faultfs.FS, path string, bd *metrics.Breakdown) (*Log, error) {
 	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logfile: open: %w", err)
 	}
-	end, err := recoverEnd(f)
+	end, ver, err := recoverEnd(path, f)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -111,30 +154,57 @@ func OpenFS(fsys faultfs.FS, path string, bd *metrics.Breakdown) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("logfile: seek: %w", err)
 	}
-	return newLog(fsys, path, f, end, bd), nil
+	return newLog(fsys, path, f, end, ver, bd), nil
 }
 
-// recoverEnd scans f and returns the offset one past its last valid record.
-func recoverEnd(f faultfs.File) (int64, error) {
+// recoverEnd scans f and returns the offset one past its last valid
+// record plus the file's sniffed frame version. Corruption before the
+// final record (a torn tail is fine; mid-file rot is not) fails the open
+// with a typed CorruptError, so a store never resumes over bytes it
+// cannot vouch for.
+func recoverEnd(path string, f faultfs.File) (int64, binio.FrameVersion, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	sc := binio.NewRecordScanner(bufio.NewReaderSize(f, 256*1024), 0)
+	sc := binio.NewRecordScannerSniff(bufio.NewReaderSize(f, 256*1024), 0)
+	records := 0
 	for sc.Scan() {
+		records++
 	}
+	ver := sc.Version()
 	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("logfile: recover: %w", err)
+		// A legacy v0 file can begin with the v1 marker byte when the low
+		// byte of its first record's CRC happens to equal it (~1/256 of
+		// legacy files). If the sniffed v1 scan found nothing valid, retry
+		// the whole file as v0 before declaring it corrupt.
+		if ver == binio.FrameV1 && records == 0 {
+			if _, serr := f.Seek(0, io.SeekStart); serr == nil {
+				sc0 := binio.NewRecordScanner(bufio.NewReaderSize(f, 256*1024), 0)
+				n0 := 0
+				for sc0.Scan() {
+					n0++
+				}
+				if sc0.Err() == nil && n0 > 0 {
+					return sc0.Offset(), binio.FrameV0, nil
+				}
+			}
+		}
+		return 0, 0, fmt.Errorf("logfile: recover: %w", corruptErr(path, sc.Offset(), err))
 	}
-	return sc.Offset(), nil
+	return sc.Offset(), ver, nil
 }
 
-func newLog(fsys faultfs.FS, path string, f faultfs.File, off int64, bd *metrics.Breakdown) *Log {
+func newLog(fsys faultfs.FS, path string, f faultfs.File, off int64, ver binio.FrameVersion, bd *metrics.Breakdown) *Log {
 	w := bufio.NewWriterSize(f, 256*1024)
 	// Bytes present at open are on disk already; treat them as the
 	// durable baseline a reopen may truncate back to.
-	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriter(w, off), bd: bd,
-		durable: off, tailOK: true}
+	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriterV(w, off, ver), bd: bd,
+		ver: ver, durable: off, tailOK: true}
 }
+
+// Version returns the log's frame version. Callers that decode raw byte
+// ranges themselves (ReadRangeAt / ReadRangeAtRaw) must decode with it.
+func (l *Log) Version() binio.FrameVersion { return l.ver }
 
 // Path returns the file path of the log.
 func (l *Log) Path() string { return l.path }
@@ -194,7 +264,7 @@ func (l *Log) Append(payload []byte) (off int64, n int, err error) {
 		return 0, 0, err
 	}
 	if l.tailOK {
-		l.tail = binio.AppendRecord(l.tail, payload)
+		l.tail = binio.AppendRecordV(l.tail, payload, l.ver)
 		if len(l.tail) > MaxTailBytes {
 			l.tail = nil
 			l.tailOK = false
@@ -361,7 +431,7 @@ func (l *Log) ReopenAtDurable() error {
 	}
 	l.f = f
 	l.w = w
-	l.rw = binio.NewRecordWriter(w, l.durable+int64(len(l.tail)))
+	l.rw = binio.NewRecordWriterV(w, l.durable+int64(len(l.tail)), l.ver)
 	l.perr = nil
 	return nil
 }
@@ -423,8 +493,27 @@ func (l *Log) preadStitched(buf []byte, off int64) error {
 	return nil
 }
 
+// decodeRecord verifies and decodes the single framed record occupying
+// exactly buf (read from offset off). Beyond the checksum it checks that
+// the frame consumes the whole buffer: an index entry said n bytes, so a
+// valid-looking shorter frame at that offset means the read was stale or
+// misdirected, which is corruption, not a decode quirk.
+func (l *Log) decodeRecord(buf []byte, off int64) ([]byte, error) {
+	payload, used, err := binio.ReadRecordV(buf, l.ver)
+	if err != nil {
+		return nil, corruptErr(l.path, off, err)
+	}
+	if used != len(buf) {
+		return nil, corruptErr(l.path, off,
+			fmt.Errorf("frame spans %d of %d indexed bytes (stale or misdirected read)", used, len(buf)))
+	}
+	return payload, nil
+}
+
 // ReadRecordAt reads the framed record at offset off, whose total on-disk
 // length is n, and returns its payload. The payload is a fresh allocation.
+// Bytes that read back mangled (bit rot, zeroed pages) fail verification
+// with a CorruptError (errors.Is ErrCorruptRecord).
 func (l *Log) ReadRecordAt(off int64, n int) ([]byte, error) {
 	if l.closed {
 		return nil, ErrClosed
@@ -436,11 +525,7 @@ func (l *Log) ReadRecordAt(off int64, n int) ([]byte, error) {
 	if l.bd != nil {
 		l.bd.AddBytesRead(int64(n))
 	}
-	payload, _, err := binio.ReadRecord(buf)
-	if err != nil {
-		return nil, fmt.Errorf("logfile: record at %d: %w", off, err)
-	}
-	return payload, nil
+	return l.decodeRecord(buf, off)
 }
 
 // ReadRangeAt reads n raw bytes starting at off. Used by batch reads that
@@ -489,11 +574,7 @@ func (l *Log) ReadRecordAtRaw(off int64, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, _, err := binio.ReadRecord(buf)
-	if err != nil {
-		return nil, fmt.Errorf("logfile: record at %d: %w", off, err)
-	}
-	return payload, nil
+	return l.decodeRecord(buf, off)
 }
 
 // Scanner returns a sequential scanner over the log's records from offset
@@ -506,8 +587,9 @@ func (l *Log) Scanner(base int64) (*Scanner, error) {
 	if l.perr == nil && l.flush() == nil {
 		sr := io.NewSectionReader(l.f, base, l.Size()-base)
 		return &Scanner{
-			sc: binio.NewRecordScanner(bufio.NewReaderSize(sr, 256*1024), base),
-			bd: l.bd,
+			sc:   binio.NewRecordScannerV(bufio.NewReaderSize(sr, 256*1024), base, l.ver),
+			path: l.path,
+			bd:   l.bd,
 		}, nil
 	}
 	// Poisoned (possibly by the flush just above): stitch durable file
@@ -528,8 +610,9 @@ func (l *Log) Scanner(base int64) (*Scanner, error) {
 		parts = append(parts, bytes.NewReader(l.tail[tstart:]))
 	}
 	return &Scanner{
-		sc: binio.NewRecordScanner(bufio.NewReaderSize(io.MultiReader(parts...), 256*1024), base),
-		bd: l.bd,
+		sc:   binio.NewRecordScannerV(bufio.NewReaderSize(io.MultiReader(parts...), 256*1024), base, l.ver),
+		path: l.path,
+		bd:   l.bd,
 	}, nil
 }
 
@@ -540,6 +623,17 @@ func (l *Log) Scanner(base int64) (*Scanner, error) {
 func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
 	if l.closed || dst.closed {
 		return ErrClosed
+	}
+	// The frames are copied verbatim, so the destination must speak the
+	// source's frame version. A fresh (empty) destination simply adopts
+	// it; a non-empty one with a different version would become a mixed
+	// file no reader could verify.
+	if dst.ver != l.ver {
+		if dst.rw.Offset() != 0 {
+			return fmt.Errorf("logfile: transfer: frame version mismatch (src v%d, dst v%d)", l.ver, dst.ver)
+		}
+		dst.ver = l.ver
+		dst.rw = binio.NewRecordWriterV(dst.w, 0, l.ver)
 	}
 	if err := l.flush(); err != nil {
 		return err
@@ -565,12 +659,127 @@ func (l *Log) TransferTo(dst *Log, off int64, n int64) error {
 	// record writer's logical offset in step. The transferred bytes are
 	// not captured in dst's tail, so dst stops retaining one until its
 	// next successful Sync re-establishes a durable baseline.
-	dst.rw = binio.NewRecordWriter(dst.w, dst.rw.Offset()+n)
+	dst.rw = binio.NewRecordWriterV(dst.w, dst.rw.Offset()+n, dst.ver)
 	if n > 0 {
 		dst.tail = nil
 		dst.tailOK = false
 	}
 	return nil
+}
+
+// ScrubSummary aggregates ScrubResults across the logs of one store
+// instance.
+type ScrubSummary struct {
+	// Files is the number of logs scrubbed.
+	Files int
+	// Records and Bytes total the verified frames across those logs.
+	Records int
+	Bytes   int64
+	// Healed counts logs whose unsynced tail was repaired in place.
+	Healed int
+}
+
+// Add folds one log's scrub result into the summary.
+func (s *ScrubSummary) Add(r ScrubResult) {
+	s.Files++
+	s.Records += r.Records
+	s.Bytes += r.Bytes
+	if r.Healed {
+		s.Healed++
+	}
+}
+
+// Merge folds another summary into s.
+func (s *ScrubSummary) Merge(o ScrubSummary) {
+	s.Files += o.Files
+	s.Records += o.Records
+	s.Bytes += o.Bytes
+	s.Healed += o.Healed
+}
+
+// ScrubResult reports one log's scrub outcome.
+type ScrubResult struct {
+	// Records is the number of frames that verified cleanly.
+	Records int
+	// Bytes is the number of bytes covered by verified frames.
+	Bytes int64
+	// Healed reports that corruption was found past the durable offset
+	// and repaired in place by rewriting the retained tail (the
+	// durable-offset truncate path). The log is healthy afterwards.
+	Healed bool
+}
+
+// Scrub verifies every record frame currently in the log against its
+// checksum, reading the file itself (not the in-memory tail), so at-rest
+// rot is detected even for bytes a degraded read would serve from memory.
+// The caller must hold the store's I/O lock, like any other mutating
+// method.
+//
+// Corruption strictly below the durable offset is unrepairable from this
+// log alone and is returned as a CorruptError. Corruption at or past the
+// durable offset sits in the unsynced suffix, which the log still holds
+// in its retained tail: Scrub heals it by the same poison + reopen path a
+// failed sync uses (truncate to durable, rewrite the tail) and re-verifies.
+// A poisoned log is scrubbed over its stitched durable+tail view without
+// attempting repair — ReopenAtDurable already owns that transition.
+func (l *Log) Scrub() (ScrubResult, error) {
+	var res ScrubResult
+	if l.closed {
+		return res, ErrClosed
+	}
+	healed := false
+	for attempt := 0; ; attempt++ {
+		records, bytes, err := l.scrubPass()
+		if err == nil {
+			res.Records, res.Bytes, res.Healed = records, bytes, healed
+			return res, nil
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) || ce.Off < l.durable || l.perr != nil || attempt > 0 {
+			return res, err
+		}
+		// Unsynced suffix is rotten on disk but intact in the retained
+		// tail: poison and reopen rewrites it, then one re-verify pass
+		// confirms the heal took.
+		l.poison(fmt.Errorf("scrub: %w", err))
+		if rerr := l.ReopenAtDurable(); rerr != nil {
+			return res, fmt.Errorf("logfile: scrub repair: %w (corruption: %v)", rerr, err)
+		}
+		if ferr := l.flush(); ferr != nil {
+			return res, ferr
+		}
+		healed = true
+	}
+}
+
+// scrubPass verifies the log's frames once. On a healthy log it scans the
+// file bytes; on a poisoned one, the stitched durable+tail view.
+func (l *Log) scrubPass() (int, int64, error) {
+	if l.perr == nil {
+		if err := l.flush(); err != nil {
+			return 0, 0, err
+		}
+	}
+	sc, err := l.Scanner(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	records := 0
+	for sc.Scan() {
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return records, sc.Offset(), err
+	}
+	// A live log never legitimately ends mid-frame (appends are whole
+	// frames; torn tails exist only in files recovered after a crash,
+	// and open-time recovery truncates those). A trailing partial frame
+	// here is rot that zeroed or shortened the suffix.
+	if sc.Offset() != l.Size() {
+		return records, sc.Offset(), corruptErr(l.path, sc.Offset(),
+			fmt.Errorf("trailing %d bytes are not a whole frame", l.Size()-sc.Offset()))
+	}
+	return records, sc.Offset(), nil
 }
 
 // Close flushes and closes the log file. The file remains on disk. A
@@ -613,9 +822,10 @@ func (l *Log) Remove() error {
 
 // Scanner iterates a log's framed records sequentially.
 type Scanner struct {
-	sc *binio.RecordScanner
-	bd *metrics.Breakdown
-	n  int64
+	sc   *binio.RecordScanner
+	path string
+	bd   *metrics.Breakdown
+	n    int64
 }
 
 // Scan advances to the next record, reporting false at end of log.
@@ -634,13 +844,19 @@ func (s *Scanner) Record() []byte { return s.sc.Record() }
 // Offset returns the offset one byte past the current record.
 func (s *Scanner) Offset() int64 { return s.sc.Offset() }
 
-// Err returns the first non-EOF error encountered.
+// Err returns the first non-EOF error encountered. Corrupt frames are
+// wrapped in a CorruptError naming the file and the offset of the last
+// valid record before the rot.
 func (s *Scanner) Err() error {
 	if s.bd != nil && s.n > 0 {
 		s.bd.AddBytesRead(s.n)
 		s.n = 0
 	}
-	return s.sc.Err()
+	err := s.sc.Err()
+	if err != nil && errors.Is(err, binio.ErrCorrupt) {
+		return corruptErr(s.path, s.sc.Offset(), err)
+	}
+	return err
 }
 
 // Dir manages a directory of named log files for one store instance: file

@@ -98,11 +98,11 @@ func TestReadRangeAtCoversAdjacentRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p0, used, err := binio.ReadRecord(raw)
+	p0, used, err := binio.ReadRecordV(raw, l.Version())
 	if err != nil || string(p0) != "first" {
 		t.Fatalf("first record: %q %v", p0, err)
 	}
-	p1, _, err := binio.ReadRecord(raw[used:])
+	p1, _, err := binio.ReadRecordV(raw[used:], l.Version())
 	if err != nil || string(p1) != "second" {
 		t.Fatalf("second record: %q %v", p1, err)
 	}
@@ -121,12 +121,14 @@ func TestOpenRecoversTornTail(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Append garbage simulating a torn write.
+	// Append the prefix of a real frame, simulating a torn write (a crash
+	// cuts the stream mid-frame, so the tail is a valid-frame prefix).
+	full := binio.AppendRecordV(nil, []byte("torn-away-record"), binio.FrameV1)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+	if _, err := f.Write(full[:len(full)-5]); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

@@ -61,6 +61,7 @@ import (
 // Job file names inside Job.Dir.
 const (
 	jobMetaName = "JOB"      // committed progress record (atomic rename)
+	genMetaName = "GENMETA"  // per-generation copy of the progress record
 	ledgerName  = "SINK.log" // CRC-framed committed sink results
 	genPrefix   = "gen-"     // checkpoint generation directories
 )
@@ -104,6 +105,14 @@ type Job struct {
 	// CheckpointEvery is the number of source tuples between barrier
 	// checkpoints. Default 1000.
 	CheckpointEvery int
+	// RetainGenerations is how many committed checkpoint generations to
+	// keep on disk (default 1, the latest). Values >= 2 give Resume a
+	// fallback: when the committed tip fails checksum verification at
+	// restore, it is quarantined and the job restarts from the newest
+	// older generation's own GENMETA record — replaying further back but
+	// still producing a byte-identical ledger. Each retained generation
+	// costs only its delta (hard links share unchanged segment bytes).
+	RetainGenerations int
 	// KillAfterTuples, when positive, aborts the run after that many
 	// tuples have been fed this run — a simulated crash for the recovery
 	// battery: no commit happens after the kill, and the job must be
@@ -245,12 +254,74 @@ func (j *Job) Run() (*JobResult, error) {
 // uncommitted ledger suffix discarded. Resume is idempotent — a crash
 // during recovery leaves the committed state untouched, and Resume can
 // simply be called again.
+//
+// When the committed tip fails checksum verification during restore
+// (silent corruption, surfacing as core.ErrCheckpointInvalid), the
+// rotten generation is quarantined and Resume falls back to the newest
+// older generation that RetainGenerations kept alive, restarting from
+// that generation's own GENMETA progress record: source offset, ledger
+// length and routing all rewind together, so the replayed ledger stays
+// byte-identical to an uninterrupted run. With nothing to fall back to
+// (RetainGenerations 1, or every retained generation rotten) the
+// original verification error is returned.
 func (j *Job) Resume() (*JobResult, error) {
-	meta, err := ReadJobMeta(j.fs(), j.Dir)
+	fsys := j.fs()
+	meta, err := ReadJobMeta(fsys, j.Dir)
 	if err != nil {
 		return nil, err
 	}
-	return j.run(&meta)
+	res, err := j.run(&meta)
+	for err != nil && errors.Is(err, core.ErrCheckpointInvalid) {
+		tip := filepath.Join(j.Dir, genDirName(meta.Gen))
+		if qerr := core.QuarantineCheckpoint(fsys, tip, err.Error()); qerr != nil {
+			return res, err
+		}
+		fb, ok := j.fallbackMeta(meta.Gen)
+		if !ok {
+			return res, err
+		}
+		meta = fb
+		res, err = j.run(&meta)
+	}
+	return res, err
+}
+
+// fallbackMeta locates the newest committed generation older than gen
+// that is not quarantined and still carries a decodable GENMETA record,
+// returning its progress record.
+func (j *Job) fallbackMeta(gen int64) (JobMeta, bool) {
+	fsys := j.fs()
+	gens, err := ListGenerations(fsys, j.Dir)
+	if err != nil {
+		return JobMeta{}, false
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		if gens[i] >= gen {
+			continue
+		}
+		dir := filepath.Join(j.Dir, genDirName(gens[i]))
+		if core.IsQuarantined(fsys, dir) {
+			continue
+		}
+		b, err := fsys.ReadFile(filepath.Join(dir, genMetaName))
+		if err != nil {
+			continue
+		}
+		m, err := decodeJobMeta(b)
+		if err != nil || m.Gen != gens[i] {
+			continue
+		}
+		return m, true
+	}
+	return JobMeta{}, false
+}
+
+// retain is the effective generation-retention count (at least 1).
+func (j *Job) retain() int64 {
+	if j.RetainGenerations > 1 {
+		return int64(j.RetainGenerations)
+	}
+	return 1
 }
 
 // jobStage is one stateful stage of a running job: its operators plus
@@ -331,7 +402,7 @@ func (j *Job) run(meta *JobMeta) (*JobResult, error) {
 	if meta != nil {
 		keepGen, commitLen = meta.Gen, meta.LedgerLen
 	}
-	if err := clearGens(fsys, j.Dir, keepGen); err != nil {
+	if err := clearGens(fsys, j.Dir, keepGen, j.retain()); err != nil {
 		return nil, err
 	}
 	lf, err := openLedger(fsys, j.Dir, commitLen)
@@ -672,13 +743,21 @@ func (jr *jobRun) commit(final bool) error {
 		StagePars: pars,
 		Routing:   routing,
 	}
+	// The generation carries its own copy of the progress record: when a
+	// newer generation rots and is quarantined, Resume restores from this
+	// one using its committed offset, ledger length and routing — without
+	// trusting the JOB file that points at the rotten tip. Written before
+	// the JOB rename so the commit point covers it.
+	if err := writeGenMeta(jr.fsys, genDir, m); err != nil {
+		return err
+	}
 	if err := writeJobMeta(jr.fsys, j.Dir, m); err != nil {
 		return err
 	}
 	jr.gen = gen
 	// GC failures do not invalidate the commit; stale generations are
 	// re-cleared on the next run.
-	clearGens(jr.fsys, j.Dir, gen)
+	clearGens(jr.fsys, j.Dir, gen, j.retain())
 	if j.OnCheckpoint != nil {
 		j.OnCheckpoint(gen, final)
 	}
@@ -958,9 +1037,16 @@ func (jr *jobRun) appendSegment() error {
 	return nil
 }
 
-// clearGens removes every generation directory except keep (-1 removes
-// all).
-func clearGens(fsys faultfs.FS, dir string, keep int64) error {
+// clearGens removes stale generation directories, keeping the newest
+// retain committed generations ending at keep (keep -1 removes all).
+// Anything newer than keep is uncommitted debris and always goes.
+// Quarantined generations are skipped either way: they are preserved
+// evidence of detected rot, never restored from and never silently
+// reclaimed.
+func clearGens(fsys faultfs.FS, dir string, keep, retain int64) error {
+	if retain < 1 {
+		retain = 1
+	}
 	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -973,10 +1059,18 @@ func clearGens(fsys faultfs.FS, dir string, keep int64) error {
 		if !strings.HasPrefix(name, genPrefix) {
 			continue
 		}
-		if keep >= 0 && name == genDirName(keep) {
+		if keep >= 0 {
+			var n int64
+			if _, serr := fmt.Sscanf(strings.TrimPrefix(name, genPrefix), "%d", &n); serr == nil &&
+				name == genDirName(n) && n <= keep && n > keep-retain {
+				continue // inside the retained window
+			}
+		}
+		path := filepath.Join(dir, name)
+		if e.IsDir() && core.IsQuarantined(fsys, path) {
 			continue
 		}
-		if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
+		if err := fsys.RemoveAll(path); err != nil {
 			return fmt.Errorf("spe: job: clear stale generation: %w", err)
 		}
 	}
@@ -1115,6 +1209,30 @@ func (m *JobMeta) validRouting() error {
 		}
 	}
 	return nil
+}
+
+// writeGenMeta drops the progress record into the generation directory
+// itself (same encoding as the JOB file). No rename dance: the sidecar
+// only ever becomes meaningful once the JOB rename commits the
+// generation, and a torn GENMETA fails decode and is simply not a
+// fallback candidate.
+func writeGenMeta(fsys faultfs.FS, genDir string, m JobMeta) error {
+	f, err := fsys.Create(filepath.Join(genDir, genMetaName))
+	if err != nil {
+		return fmt.Errorf("spe: job commit: gen meta: %w", err)
+	}
+	if _, err := f.Write(encodeJobMeta(m)); err != nil {
+		f.Close()
+		return fmt.Errorf("spe: job commit: gen meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("spe: job commit: gen meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spe: job commit: gen meta: %w", err)
+	}
+	return fsys.SyncDir(genDir)
 }
 
 // writeJobMeta durably replaces the JOB file: write + fsync a temporary,
