@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-core bench-delta
+.PHONY: all build vet test race fuzz bench bench-core bench-delta gray
 
 all: vet build test
 
@@ -28,6 +28,18 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzParseDeltaManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spe/ -fuzz FuzzDecodeJobRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spe/ -fuzz FuzzDecodeMigrationRecord -fuzztime $(FUZZTIME)
+
+# Gray-failure battery: stall injection, deadline-bounded I/O, progress
+# watchdogs, and the manager hung-fsync failover + latency-driven
+# rebalancing legs, under -race. Raise GRAY_ITERS to deepen the
+# randomized failover battery (CI's nightly schedule runs 20).
+GRAY_ITERS ?=
+gray:
+	$(GO) test -race -count=1 ./internal/faultfs/ -run 'TestStall' -timeout 5m
+	$(GO) test -race -count=1 ./internal/logfile/ -run 'TestDeadline' -timeout 5m
+	$(GO) test -race -count=1 ./internal/core/ -run 'TestPureSlowDiskDegradesOnLatency|TestHungSyncDegradesWithStallReason' -timeout 10m
+	$(GO) test -race -count=1 ./internal/spe/ -run 'TestJobProgressWatchdog' -timeout 10m
+	FLOWKV_GRAY_ITERS=$(GRAY_ITERS) $(GO) test -race -count=1 ./internal/jobmanager/ -run 'TestGrayFailure|TestAutoRebalance|TestRebalanceTick|TestPoolAcquire|TestPoolAwaitStatus' -timeout 20m
 
 # One testing.B benchmark per paper figure lives in bench_test.go;
 # store microbenchmarks live under the internal packages.

@@ -568,26 +568,36 @@ func cmdTenants(dir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %-14s %-8s %-7s %9s %9s %8s %10s %10s %7s %9s %6s\n",
+	fmt.Printf("%-10s %-14s %-8s %-7s %9s %9s %8s %10s %10s %7s %9s %8s %9s %6s\n",
 		"tenant", "strategy", "state", "slot", "admitted", "throttled", "shed",
-		"admit-p50", "admit-p99", "stalls", "failovers", "ckpts")
+		"admit-p50", "admit-p99", "stalls", "io-stalls", "write-p99", "failovers", "ckpts")
 	for _, s := range doc.Tenants {
-		fmt.Printf("%-10s %-14s %-8s %-7s %9d %9d %8d %10v %10v %7d %9d %6d\n",
+		fmt.Printf("%-10s %-14s %-8s %-7s %9d %9d %8d %10v %10v %7d %9d %8v %9d %6d\n",
 			s.Tenant, s.Strategy, s.State, s.Slot, s.Admitted, s.Throttled, s.Shed,
 			s.AdmitP50.Round(time.Microsecond), s.AdmitP99.Round(time.Microsecond),
-			s.WriteStalls, s.Failovers, s.Checkpoints)
+			s.WriteStalls, s.StoreStalls, s.StoreWriteP99.Round(time.Microsecond),
+			s.Failovers, s.Checkpoints)
 		if s.Err != "" {
 			fmt.Printf("  error: %s\n", s.Err)
 		}
 	}
 	fmt.Println()
-	fmt.Printf("%-8s %-9s %9s  %s\n", "slot", "health", "failovers", "tenants")
+	fmt.Printf("%-8s %-9s %-8s %10s %9s %11s  %s\n",
+		"slot", "health", "reason", "probe-lat", "failovers", "rebalances", "tenants")
 	for _, s := range doc.Slots {
 		health := "healthy"
-		if !s.Healthy {
+		switch {
+		case !s.Healthy:
 			health = "FAILED"
+		case s.Slow:
+			health = "SLOW"
 		}
-		fmt.Printf("%-8s %-9s %9d  %s\n", s.ID, health, s.Failovers, strings.Join(s.Tenants, ","))
+		probe := "-"
+		if s.ProbeLatency > 0 {
+			probe = s.ProbeLatency.Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-8s %-9s %-8s %10s %9d %11d  %s\n",
+			s.ID, health, s.Reason, probe, s.Failovers, s.Rebalances, strings.Join(s.Tenants, ","))
 		if s.Err != "" {
 			fmt.Printf("  cause: %s\n", s.Err)
 		}

@@ -1,0 +1,162 @@
+// Package clock is the time seam used by watchdogs, pacers and probers:
+// production code runs against System (the real time package), while
+// tests substitute a Fake whose Advance method fires timers
+// deterministically — stall and deadline tests then run on virtual time
+// instead of wall-clock sleeps.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the subset of the time package the repository's
+// background loops and deadlines use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// NewTicker returns a ticker delivering on every d interval until
+	// stopped.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the Clock-level view of time.Ticker.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop halts deliveries. It does not close the channel.
+	Stop()
+}
+
+// System is the production clock, a direct passthrough to the time
+// package.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (systemClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (systemClock) NewTicker(d time.Duration) Ticker       { return systemTicker{time.NewTicker(d)} }
+
+type systemTicker struct{ t *time.Ticker }
+
+func (t systemTicker) C() <-chan time.Time { return t.t.C }
+func (t systemTicker) Stop()               { t.t.Stop() }
+
+// Or returns c, or System when c is nil — the one-line default every
+// option struct with an optional Clock field uses.
+func Or(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}
+
+// Fake is a manually advanced clock for deterministic tests. Timers
+// (After, Sleep, tickers) fire only when Advance moves the virtual time
+// across their deadline; there is no background goroutine, so a test
+// that never advances never fires anything.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	when   time.Time
+	ch     chan time.Time
+	period time.Duration // 0 for one-shot
+	stop   bool
+}
+
+// NewFake returns a Fake starting at a fixed, arbitrary epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel that fires when Advance crosses now+d.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{when: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- f.now
+		return t.ch
+	}
+	f.timers = append(f.timers, t)
+	return t.ch
+}
+
+// Sleep blocks until Advance crosses now+d. A Sleep on a Fake must have
+// a concurrent Advance, or it blocks forever — which is the point: a
+// test owns every instant.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+// NewTicker returns a ticker firing every period of virtual time.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{when: f.now.Add(d), ch: make(chan time.Time, 1), period: d}
+	f.timers = append(f.timers, t)
+	return t
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() { t.stop = true }
+
+// Advance moves the virtual time forward by d, firing every timer and
+// ticker whose deadline is crossed, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range f.timers {
+			if t.stop || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		f.now = next.when
+		select {
+		case next.ch <- f.now:
+		default: // ticker tick not yet consumed; drop, like time.Ticker
+		}
+		if next.period > 0 {
+			next.when = next.when.Add(next.period)
+		} else {
+			next.stop = true
+		}
+	}
+	f.now = target
+	live := f.timers[:0]
+	for _, t := range f.timers {
+		if !t.stop {
+			live = append(live, t)
+		}
+	}
+	f.timers = live
+	f.mu.Unlock()
+}

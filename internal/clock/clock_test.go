@@ -1,0 +1,134 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemBasics(t *testing.T) {
+	t0 := System.Now()
+	System.Sleep(time.Millisecond)
+	if !System.Now().After(t0) {
+		t.Fatalf("system clock did not advance across Sleep")
+	}
+	select {
+	case <-System.After(0):
+	case <-time.After(time.Second):
+		t.Fatalf("System.After(0) never fired")
+	}
+	tk := System.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatalf("system ticker never ticked")
+	}
+	if Or(nil) != System {
+		t.Fatalf("Or(nil) != System")
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake()
+	ch := f.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatalf("After fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatalf("After fired before its deadline")
+	default:
+	}
+	f.Advance(time.Millisecond)
+	select {
+	case at := <-ch:
+		if got := at.Sub(NewFake().Now()); got != 10*time.Millisecond {
+			t.Fatalf("fired at +%v, want +10ms", got)
+		}
+	default:
+		t.Fatalf("After did not fire once Advance crossed the deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake()
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatalf("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer, then release it.
+	for {
+		f.mu.Lock()
+		n := len(f.timers)
+		f.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Sleep did not unblock after Advance")
+	}
+	wg.Wait()
+}
+
+func TestFakeTickerFiresEveryPeriod(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(3 * time.Millisecond)
+	defer tk.Stop()
+	ticks := 0
+	for i := 0; i < 3; i++ {
+		f.Advance(3 * time.Millisecond)
+		select {
+		case <-tk.C():
+			ticks++
+		default:
+			t.Fatalf("ticker missed period %d", i)
+		}
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	tk.Stop()
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatalf("stopped ticker still ticked")
+	default:
+	}
+}
+
+func TestFakeAdvanceFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	late := f.After(10 * time.Millisecond)
+	early := f.After(2 * time.Millisecond)
+	f.Advance(20 * time.Millisecond)
+	e := <-early
+	l := <-late
+	if !e.Before(l) {
+		t.Fatalf("timers fired out of order: early at %v, late at %v", e, l)
+	}
+	if got := f.Now().Sub(NewFake().Now()); got != 20*time.Millisecond {
+		t.Fatalf("Now after Advance = +%v, want +20ms", got)
+	}
+}

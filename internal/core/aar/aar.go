@@ -68,6 +68,10 @@ type Options struct {
 	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
+	// Policy bounds and observes the store's log I/O (deadline sentinel
+	// + latency monitor); nil is a passthrough. Shared by reference: the
+	// composite store installs one policy across its instances.
+	Policy *logfile.Policy
 }
 
 func (o *Options) fill() {
@@ -157,6 +161,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir.SetPolicy(opts.Policy)
 	return &Store{
 		opts:   opts,
 		dir:    dir,

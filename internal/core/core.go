@@ -32,6 +32,7 @@ import (
 	"flowkv/internal/core/aur"
 	"flowkv/internal/core/rmw"
 	"flowkv/internal/faultfs"
+	"flowkv/internal/logfile"
 	"flowkv/internal/metrics"
 	"flowkv/internal/window"
 )
@@ -172,6 +173,19 @@ type Options struct {
 	FS faultfs.FS
 	// Breakdown receives per-operation CPU time and I/O accounting.
 	Breakdown *metrics.Breakdown
+	// OpDeadline bounds each log write and fsync: an operation still
+	// running at the deadline is abandoned (its descriptor is never
+	// touched again), the log poisons through the failed-sync path, and
+	// the store degrades with ReasonStall. 0 disables the sentinel —
+	// a hung syscall then hangs its caller, the pre-gray-failure
+	// behaviour.
+	OpDeadline time.Duration
+	// SlowOpThreshold degrades the store (ReasonLatency) when the EWMA
+	// of write/fsync latency crosses it — the disk that never errors
+	// but answers 100x slower than it should. Nothing is poisoned;
+	// Recover returns straight to Healthy with a reset baseline. 0
+	// disables the latency signal.
+	SlowOpThreshold time.Duration
 }
 
 func (o *Options) fill() {
@@ -236,18 +250,25 @@ type Store struct {
 	drains map[window.Window]*windowDrain
 
 	// health is the failure-handling state machine (see health.go);
-	// herr retains the first error that left Healthy.
-	health atomic.Int32
-	herrMu sync.Mutex
-	herr   error
+	// herr retains the first error that left Healthy and healthReason
+	// its typed classification (error / stall / latency).
+	health       atomic.Int32
+	healthReason atomic.Int32
+	herrMu       sync.Mutex
+	herr         error
 
 	// healthSubs are the NotifyHealth subscribers, invoked on every
 	// health transition; lastNotified dedups repeats of the same state
 	// (a healer retrying Recover must not spam Failed), re-armed by the
 	// next actual state change.
 	subsMu       sync.Mutex
-	healthSubs   []func(Health, error)
+	healthSubs   []func(Health, HealthReason, error)
 	lastNotified atomic.Int32
+
+	// mon observes per-op latency at the logfile descriptors (see
+	// latency.go): write/read/sync histograms for Stats, plus the EWMA
+	// that drives the ReasonLatency degrade.
+	mon *latencyMonitor
 
 	// retryCaps holds each instance's escalated read-retry starting
 	// backoff in nanoseconds (0 = Options.ReadRetryBackoff). An instance
@@ -269,6 +290,7 @@ type Store struct {
 	readRetries metrics.Counter
 	recoveries  metrics.Counter
 	healthGauge metrics.Gauge
+	stalls      metrics.Counter
 
 	// Incremental-checkpoint byte accounting: bytes carried into
 	// committed delta checkpoints by hard link vs physically rewritten
@@ -333,6 +355,11 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 	if pred == nil && opts.Assigner != nil {
 		pred = window.PredictorFor(wk, opts.Assigner)
 	}
+	// Every instance's logs share one I/O policy: the deadline sentinel
+	// plus the latency monitor feeding the store's histograms and the
+	// EWMA degrade signal.
+	s.mon = newLatencyMonitor(s, opts.SlowOpThreshold)
+	policy := &logfile.Policy{Deadline: opts.OpDeadline, Monitor: s.mon}
 	for i := 0; i < opts.Instances; i++ {
 		dir := filepath.Join(opts.Dir, fmt.Sprintf("inst-%02d", i))
 		switch p {
@@ -344,6 +371,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				FineGrained:        opts.FineGrainedAAR,
 				FS:                 opts.FS,
 				Breakdown:          opts.Breakdown,
+				Policy:             policy,
 			})
 			if err != nil {
 				s.Close()
@@ -361,6 +389,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				SeparateCompactionScan: opts.SeparateCompactionScan,
 				FS:                     opts.FS,
 				Breakdown:              opts.Breakdown,
+				Policy:                 policy,
 			})
 			if err != nil {
 				s.Close()
@@ -374,6 +403,7 @@ func OpenPattern(p Pattern, wk window.Kind, opts Options) (*Store, error) {
 				MaxSpaceAmplification: opts.MaxSpaceAmplification,
 				FS:                    opts.FS,
 				Breakdown:             opts.Breakdown,
+				Policy:                policy,
 			})
 			if err != nil {
 				s.Close()
@@ -761,6 +791,9 @@ type Stats struct {
 	LiveStates int
 	// Health is the failure-handling state (see health.go).
 	Health Health
+	// HealthReason classifies the departure from Healthy: error, stall,
+	// or latency (ReasonNone while Healthy).
+	HealthReason HealthReason
 	// HealthErr describes the first error that left Healthy, "" if none.
 	HealthErr string
 	// WriteErrors counts write-path I/O failures (each degrades the store).
@@ -788,14 +821,30 @@ type Stats struct {
 	ScrubCorrupt     int64
 	ScrubHealed      int64
 	ScrubQuarantined int64
+	// Per-op I/O latency quantiles, measured at the logfile descriptors
+	// (buffered-write flushes, positional reads, fsyncs) across every
+	// instance since open.
+	WriteP50, WriteP99 time.Duration
+	ReadP50, ReadP99   time.Duration
+	SyncP50, SyncP99   time.Duration
+	// LatencyEWMA is the rolling write+fsync latency average that
+	// drives the ReasonLatency degrade (0 until the first sample).
+	LatencyEWMA time.Duration
+	// Stalls counts operations abandoned at Options.OpDeadline.
+	Stalls int64
 }
 
 // Stats returns the store's aggregated evaluation metrics.
 func (s *Store) Stats() Stats {
 	st := Stats{Pattern: s.pattern}
 	st.Health = s.Health()
+	st.HealthReason = s.HealthReason()
 	if err := s.Err(); err != nil {
 		st.HealthErr = err.Error()
+	}
+	st.Stalls = s.stalls.Load()
+	if s.mon != nil {
+		s.mon.fillStats(&st)
 	}
 	st.WriteErrors = s.writeErrs.Load()
 	st.ReadErrors = s.readErrs.Load()

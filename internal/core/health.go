@@ -57,6 +57,64 @@ func (h Health) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + h.String() + `"`), nil
 }
 
+// HealthReason classifies what drove the store out of Healthy, so
+// subscribers (pool registries, self-healers) can distinguish a disk
+// that errored from one that hung or merely slowed down — three faults
+// with the same state machine but different remediation.
+type HealthReason int32
+
+const (
+	// ReasonNone: the store is Healthy (or was never unhealthy).
+	ReasonNone HealthReason = iota
+	// ReasonError: an explicit write-path I/O error.
+	ReasonError
+	// ReasonStall: an operation ran past Options.OpDeadline and its
+	// descriptor was abandoned (logfile.ErrStalled).
+	ReasonStall
+	// ReasonLatency: no operation failed, but the per-op latency EWMA
+	// crossed Options.SlowOpThreshold — the pure-slow gray failure.
+	// Nothing is poisoned; Recover returns the store to Healthy.
+	ReasonLatency
+)
+
+// String returns the reason name.
+func (r HealthReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonError:
+		return "error"
+	case ReasonStall:
+		return "stall"
+	case ReasonLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("reason(%d)", int32(r))
+	}
+}
+
+// MarshalJSON renders the reason name.
+func (r HealthReason) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + r.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the reason name (registry snapshots round-trip
+// through JSON). Unknown names decode as ReasonNone rather than
+// failing a whole snapshot parse.
+func (r *HealthReason) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"error"`:
+		*r = ReasonError
+	case `"stall"`:
+		*r = ReasonStall
+	case `"latency"`:
+		*r = ReasonLatency
+	default:
+		*r = ReasonNone
+	}
+	return nil
+}
+
 // ErrDegraded rejects writes while the store is in the Degraded state.
 // The wrapped message carries the original failure; call Recover to
 // attempt the transition back to Healthy.
@@ -67,6 +125,10 @@ var ErrFailed = errors.New("flowkv: store failed, recovery unsuccessful")
 
 // Health returns the store's current failure-handling state.
 func (s *Store) Health() Health { return Health(s.health.Load()) }
+
+// HealthReason returns what drove the store out of Healthy (ReasonNone
+// while Healthy).
+func (s *Store) HealthReason() HealthReason { return HealthReason(s.healthReason.Load()) }
 
 // Err returns the first error that moved the store out of Healthy, or
 // nil. The error is retained across Degraded→Failed; Recover clears it.
@@ -84,11 +146,14 @@ func (s *Store) setHealth(h Health) {
 
 // NotifyHealth subscribes fn to health transitions: it is invoked once
 // per state change (Healthy→Degraded, Degraded→Failed, →Healthy on
-// recovery) with the new state and the error that caused the departure
-// from Healthy (nil on return to Healthy). Callbacks run synchronously
-// on the transitioning goroutine — a pool registry flipping a flag, not
-// slow work — and must not call back into the store.
-func (s *Store) NotifyHealth(fn func(Health, error)) {
+// recovery) with the new state, the typed reason for the departure from
+// Healthy (ReasonNone on return to Healthy), and the error that caused
+// it (nil on return to Healthy; for a pure-latency degrade, where no
+// operation failed, a synthesized description of the slow medium).
+// Callbacks run synchronously on the
+// transitioning goroutine — a pool registry flipping a flag, not slow
+// work — and must not call back into the store.
+func (s *Store) NotifyHealth(fn func(Health, HealthReason, error)) {
 	s.subsMu.Lock()
 	s.healthSubs = append(s.healthSubs, fn)
 	s.subsMu.Unlock()
@@ -111,18 +176,44 @@ func (s *Store) notifyHealth(h Health) {
 		return
 	}
 	err := s.Err()
+	reason := s.HealthReason()
 	for _, fn := range subs {
-		fn(h, err)
+		fn(h, reason, err)
 	}
 }
 
 // degrade records err and moves Healthy→Degraded. Failed is sticky; a
-// later write error never moves the store back to merely Degraded.
+// later write error never moves the store back to merely Degraded. The
+// reason is derived from the error: a deadline stall (the descriptor
+// hung and was abandoned) is distinguished from an explicit I/O error.
 func (s *Store) degrade(err error) {
+	reason := ReasonError
+	if errors.Is(err, logfile.ErrStalled) {
+		// The stall counter is maintained by the latency monitor's
+		// ObserveStall (which also sees stalls whose errors are
+		// swallowed); only classify here.
+		reason = ReasonStall
+	}
 	s.writeErrs.Inc()
+	s.degradeReason(err, reason)
+}
+
+// degradeLatency moves Healthy→Degraded on the latency signal alone: no
+// operation failed, nothing is poisoned, and Recover (with nothing to
+// reopen) flips straight back to Healthy — which is exactly what lets a
+// health-aware manager route load away and retry later. The synthesized
+// error carries the numbers for operators.
+func (s *Store) degradeLatency(ewma, threshold time.Duration) {
+	s.degradeReason(fmt.Errorf("flowkv: slow media: per-op latency EWMA %v exceeds threshold %v", ewma, threshold), ReasonLatency)
+}
+
+// degradeReason is the shared Healthy→Degraded edge: latch the first
+// cause (error and reason travel together), then CAS the state.
+func (s *Store) degradeReason(err error, reason HealthReason) {
 	s.herrMu.Lock()
 	if s.herr == nil {
 		s.herr = err
+		s.healthReason.Store(int32(reason))
 	}
 	s.herrMu.Unlock()
 	if s.health.CompareAndSwap(int32(Healthy), int32(Degraded)) {
@@ -318,7 +409,12 @@ func (s *Store) Recover() error {
 	s.recoveries.Inc()
 	s.herrMu.Lock()
 	s.herr = nil
+	s.healthReason.Store(int32(ReasonNone))
 	s.herrMu.Unlock()
+	// A fresh Healthy episode starts with a fresh latency baseline; the
+	// EWMA of the degraded episode must not instantly re-degrade a
+	// recovered (or relocated) store.
+	s.resetLatencyBaseline()
 	// The Degraded episode's pessimism dies with it: recovered media
 	// answers reads at the configured backoff again.
 	s.resetRetryCaps()

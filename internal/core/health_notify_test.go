@@ -17,12 +17,13 @@ func TestNotifyHealthSubscription(t *testing.T) {
 	s := openBatteryStore(t, PatternAUR, inj)
 
 	type event struct {
-		h   Health
-		err error
+		h      Health
+		reason HealthReason
+		err    error
 	}
 	var events []event
-	s.NotifyHealth(func(h Health, err error) {
-		events = append(events, event{h, err})
+	s.NotifyHealth(func(h Health, reason HealthReason, err error) {
+		events = append(events, event{h, reason, err})
 	})
 
 	degradeStore(t, PatternAUR, inj, s)
@@ -31,6 +32,9 @@ func TestNotifyHealthSubscription(t *testing.T) {
 	}
 	if events[0].err == nil || !errors.Is(events[0].err, faultfs.ErrDiskIO) {
 		t.Fatalf("degraded notification error = %v, want ErrDiskIO cause", events[0].err)
+	}
+	if events[0].reason != ReasonError {
+		t.Fatalf("degraded notification reason = %v, want ReasonError", events[0].reason)
 	}
 
 	// Recovery faults (reopen-at-durable truncate fails): Failed fires.
@@ -50,6 +54,9 @@ func TestNotifyHealthSubscription(t *testing.T) {
 	}
 	if len(events) != 3 || events[2].h != Healthy || events[2].err != nil {
 		t.Fatalf("after recovery: events = %+v, want trailing Healthy with nil error", events)
+	}
+	if events[2].reason != ReasonNone {
+		t.Fatalf("healthy notification reason = %v, want ReasonNone", events[2].reason)
 	}
 
 	// Repeat write errors while already Degraded must not re-notify.

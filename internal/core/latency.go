@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"flowkv/internal/logfile"
+	"flowkv/internal/metrics"
+)
+
+// latencyEWMAMinSamples is how many write/fsync observations the EWMA
+// needs before it may degrade the store: a single cold-cache outlier at
+// startup must not condemn a healthy disk.
+const latencyEWMAMinSamples = 16
+
+// latencyEWMAAlphaShift sets the EWMA smoothing factor to 1/2^3 = 1/8:
+// new = old + (sample-old)/8. Heavy enough to ride out one slow op,
+// light enough that a disk that truly degraded 100x crosses any sane
+// threshold within a couple of dozen operations.
+const latencyEWMAAlphaShift = 3
+
+// latencyMonitor implements logfile.Monitor for one Store: it is shared
+// by every instance's logs (each descriptor's guard calls it), feeds the
+// per-op histograms surfaced in Stats, and maintains the write+fsync
+// latency EWMA that drives the ReasonLatency health degrade — the
+// signal that fires for a disk that answers slowly but never errors.
+// All methods are safe for concurrent use.
+type latencyMonitor struct {
+	s         *Store
+	threshold time.Duration
+
+	write *metrics.Histogram
+	read  *metrics.Histogram
+	sync  *metrics.Histogram
+
+	ewma    atomic.Int64 // ns; EWMA over write+fsync latencies
+	samples atomic.Int64
+}
+
+func newLatencyMonitor(s *Store, threshold time.Duration) *latencyMonitor {
+	return &latencyMonitor{
+		s:         s,
+		threshold: threshold,
+		write:     metrics.NewHistogram(),
+		read:      metrics.NewHistogram(),
+		sync:      metrics.NewHistogram(),
+	}
+}
+
+// ObserveOp records one completed operation. Reads feed only their
+// histogram; writes and fsyncs additionally move the EWMA, and once the
+// EWMA has enough samples and sits above the threshold the store
+// degrades with ReasonLatency.
+func (m *latencyMonitor) ObserveOp(kind logfile.MonKind, d time.Duration) {
+	switch kind {
+	case logfile.MonWrite:
+		m.write.Observe(d)
+	case logfile.MonRead:
+		m.read.Observe(d)
+		return // reads do not drive the degrade signal
+	case logfile.MonSync:
+		m.sync.Observe(d)
+	default:
+		return
+	}
+	var cur int64
+	for {
+		cur = m.ewma.Load()
+		next := cur + (int64(d)-cur)>>latencyEWMAAlphaShift
+		if m.ewma.CompareAndSwap(cur, next) {
+			cur = next
+			break
+		}
+	}
+	n := m.samples.Add(1)
+	if m.threshold > 0 && n >= latencyEWMAMinSamples && time.Duration(cur) > m.threshold {
+		m.s.degradeLatency(time.Duration(cur), m.threshold)
+	}
+}
+
+// ObserveStall records an operation abandoned at the deadline. The
+// stall also surfaces as logfile.ErrStalled through the failing call
+// and degrades the store via writeDone with ReasonStall; counting here
+// instead of there covers the paths that swallow the error (a
+// superseded split sync, a scrub heal).
+func (m *latencyMonitor) ObserveStall(kind logfile.MonKind, deadline time.Duration) {
+	m.s.stalls.Inc()
+}
+
+// fillStats copies the latency view into a Stats snapshot.
+func (m *latencyMonitor) fillStats(st *Stats) {
+	if m.write.Count() > 0 {
+		st.WriteP50, st.WriteP99 = m.write.P50(), m.write.P99()
+	}
+	if m.read.Count() > 0 {
+		st.ReadP50, st.ReadP99 = m.read.P50(), m.read.P99()
+	}
+	if m.sync.Count() > 0 {
+		st.SyncP50, st.SyncP99 = m.sync.P50(), m.sync.P99()
+	}
+	st.LatencyEWMA = time.Duration(m.ewma.Load())
+}
+
+// reset drops the EWMA and its sample count (the Recover path). The
+// histograms keep accumulating — they describe history, not health.
+func (m *latencyMonitor) reset() {
+	m.ewma.Store(0)
+	m.samples.Store(0)
+}
+
+// resetLatencyBaseline clears the latency-degrade signal after a
+// successful Recover.
+func (s *Store) resetLatencyBaseline() {
+	if s.mon != nil {
+		s.mon.reset()
+	}
+}

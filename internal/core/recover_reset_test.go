@@ -108,7 +108,7 @@ func TestFailedRecoverNotifiesOnce(t *testing.T) {
 	s := openBatteryStore(t, PatternAUR, inj)
 
 	var events []Health
-	s.NotifyHealth(func(h Health, err error) { events = append(events, h) })
+	s.NotifyHealth(func(h Health, _ HealthReason, err error) { events = append(events, h) })
 
 	degradeStore(t, PatternAUR, inj, s)
 	inj.SetRule(faultfs.Rule{Op: faultfs.OpTruncate, Class: faultfs.ClassPersistent, Err: faultfs.ErrDiskIO})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/clock"
 	"flowkv/internal/faultfs"
 	"flowkv/internal/logfile"
 )
@@ -96,6 +97,9 @@ type ScrubOptions struct {
 	// sweep sleeps long enough that the cumulative scan rate stays at or
 	// below the budget. 0 scans at full speed.
 	BytesPerSec int64
+	// Clock paces the rate limit; nil uses the system clock. Tests
+	// inject a fake to verify pacing without real sleeps.
+	Clock clock.Clock
 }
 
 // ScrubVerdict is one scrubbed target's outcome: an instance directory
@@ -152,12 +156,14 @@ func (r *ScrubReport) add(v ScrubVerdict) {
 // fit under the configured rate.
 type scrubPacer struct {
 	bps   int64
+	clk   clock.Clock
 	start time.Time
 	done  int64
 }
 
-func newScrubPacer(bps int64) *scrubPacer {
-	return &scrubPacer{bps: bps, start: time.Now()}
+func newScrubPacer(bps int64, clk clock.Clock) *scrubPacer {
+	clk = clock.Or(clk)
+	return &scrubPacer{bps: bps, clk: clk, start: clk.Now()}
 }
 
 func (p *scrubPacer) pace(n int64) {
@@ -166,8 +172,8 @@ func (p *scrubPacer) pace(n int64) {
 	}
 	p.done += n
 	budget := time.Duration(float64(p.done) / float64(p.bps) * float64(time.Second))
-	if sleep := budget - time.Since(p.start); sleep > 0 {
-		time.Sleep(sleep)
+	if sleep := budget - p.clk.Now().Sub(p.start); sleep > 0 {
+		p.clk.Sleep(sleep)
 	}
 }
 
@@ -190,7 +196,7 @@ func (p *scrubPacer) pace(n int64) {
 // not produce a sweep error.
 func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
 	rep := &ScrubReport{}
-	pacer := newScrubPacer(opts.BytesPerSec)
+	pacer := newScrubPacer(opts.BytesPerSec, opts.Clock)
 	var firstErr error
 	for i := 0; i < s.opts.Instances; i++ {
 		var sum logfile.ScrubSummary
@@ -315,6 +321,8 @@ type ScrubberOptions struct {
 	// OnSweep, when non-nil, is called after every sweep with its report
 	// and error. Called from the scrubber goroutine; keep it cheap.
 	OnSweep func(*ScrubReport, error)
+	// Clock paces the sweep interval; nil uses the system clock.
+	Clock clock.Clock
 }
 
 // Scrubber is a background integrity sweeper: at every interval it runs
@@ -349,11 +357,12 @@ func (s *Store) StartScrubber(opts ScrubberOptions) *Scrubber {
 
 func (sc *Scrubber) run() {
 	defer close(sc.done)
+	clk := clock.Or(sc.opts.Clock)
 	for {
 		select {
 		case <-sc.stop:
 			return
-		case <-time.After(sc.opts.Interval):
+		case <-clk.After(sc.opts.Interval):
 		}
 		rep, err := sc.s.Scrub(sc.opts.Scrub)
 		sc.sweeps.Add(1)

@@ -18,6 +18,12 @@
 // single operation (the historical behaviour), ClassTransient fails a
 // bounded run of matching operations then heals, and ClassPersistent
 // keeps failing matching operations until the rule is cleared.
+//
+// Orthogonal to the error and corruption classes, a rule with
+// Delay/DelayRamp/Hang set is a stall fault — the gray-failure mode of
+// a disk that answers slowly (or not at all) but never errors. Matched
+// operations sleep (deterministically jittered and optionally ramping)
+// or park until Release, then succeed.
 package faultfs
 
 import (
@@ -27,7 +33,9 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 )
 
 // ErrInjected is the default error returned by an Injector's target op.
@@ -434,6 +442,34 @@ type Rule struct {
 	// a transient flip (a retry reads clean bytes) while
 	// ClassPersistent models at-rest rot on the read path.
 	Corrupt CorruptKind
+	// Delay turns the rule into a stall fault: a matched operation
+	// sleeps for Delay and then SUCCEEDS — no error, no corruption —
+	// the gray-failure mode of a slow disk. Stall faults are orthogonal
+	// to the error classes the way Corrupt is: Err, Crash and TornBytes
+	// are ignored when the rule stalls. Class and Times apply as usual,
+	// so ClassPersistent+Delay models a uniformly slow device while
+	// ClassOnce+Hang models one hung syscall.
+	Delay time.Duration
+	// DelayJitter adds a deterministic pseudo-random extra delay in
+	// [0, DelayJitter) derived from the rule's hit count — jittered
+	// latency without wall-clock or rand dependence, so replays stall
+	// identically.
+	DelayJitter time.Duration
+	// DelayRamp adds DelayRamp*(hit-1) on each successive hit — the
+	// slow-ramp profile of a failing disk that degrades a little more
+	// with every operation.
+	DelayRamp time.Duration
+	// Hang parks the matched operation indefinitely: it blocks until
+	// the test calls Release (or Reset), then SUCCEEDS. Hang composes
+	// with Delay/DelayRamp (the delay is served after release). The
+	// model for a hung fsync that only a deadline can detect.
+	Hang bool
+}
+
+// stalls reports whether the rule is a stall fault (delay/hang) rather
+// than an error fault.
+func (r Rule) stalls() bool {
+	return r.Delay > 0 || r.DelayRamp > 0 || r.Hang
 }
 
 // Injector wraps an FS and fails one chosen mutating operation. The zero
@@ -452,6 +488,9 @@ type Injector struct {
 	fired   bool
 	tripped bool
 	crashed bool
+	release chan struct{} // closed by Release to unpark Hang'd operations
+
+	parked atomic.Int64 // operations currently inside a stall
 }
 
 // NewInjector returns a transparent, counting injector over base.
@@ -460,17 +499,43 @@ func NewInjector(base FS) *Injector {
 }
 
 // SetRule arms the injector with r, clearing any fired state; the global
-// op counter keeps running.
+// op counter keeps running. Arming a Hang rule creates a fresh release
+// gate; any operations still parked on a previous gate are released.
 func (i *Injector) SetRule(r Rule) {
 	i.mu.Lock()
-	defer i.mu.Unlock()
+	old := i.release
 	i.rule = r
 	i.armed = true
 	i.fired = false
 	i.tripped = false
 	i.matched = 0
 	i.hits = 0
+	i.release = nil
+	if r.Hang {
+		i.release = make(chan struct{})
+	}
+	i.mu.Unlock()
+	if old != nil {
+		close(old)
+	}
 }
+
+// Release unparks every operation blocked by a Hang rule and lets future
+// matches of the same rule pass without blocking. Idempotent.
+func (i *Injector) Release() {
+	i.mu.Lock()
+	ch := i.release
+	i.release = nil
+	i.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// Stalled returns how many operations are currently parked inside a
+// stall (hung or sleeping). Tests poll this to learn that a victim is
+// provably stuck before acting on it.
+func (i *Injector) Stalled() int64 { return i.parked.Load() }
 
 // Ops returns the number of mutating operations observed so far.
 func (i *Injector) Ops() int64 {
@@ -501,11 +566,11 @@ func (i *Injector) Crashed() bool {
 	return i.crashed
 }
 
-// Reset disarms the rule and thaws a crashed filesystem. The op counter
-// is preserved.
+// Reset disarms the rule and thaws a crashed filesystem, releasing any
+// operations parked by a Hang rule. The op counter is preserved.
 func (i *Injector) Reset() {
 	i.mu.Lock()
-	defer i.mu.Unlock()
+	old := i.release
 	i.rule = Rule{}
 	i.armed = false
 	i.fired = false
@@ -513,19 +578,53 @@ func (i *Injector) Reset() {
 	i.crashed = false
 	i.matched = 0
 	i.hits = 0
+	i.release = nil
+	i.mu.Unlock()
+	if old != nil {
+		close(old)
+	}
 }
 
 // check records one mutating operation and decides its fate. A negative
 // torn value means no partial write; err non-nil means the operation must
-// fail with err after writing torn bytes (OpWrite only).
+// fail with err after writing torn bytes (OpWrite only). Stall faults
+// are decided under the lock but served after it, so a hung operation
+// never wedges the injector itself.
 func (i *Injector) check(op Op, path string) (torn int, err error) {
 	i.mu.Lock()
-	defer i.mu.Unlock()
 	if i.crashed {
+		i.mu.Unlock()
 		return -1, ErrCrashed
 	}
 	i.ops++
-	return i.decide(op, path)
+	torn, st, err := i.decide(op, path)
+	release := i.release
+	i.mu.Unlock()
+	i.serveStall(st, release)
+	return torn, err
+}
+
+// stallSpec is the stall a decided operation must serve: sleep for delay
+// and/or block on the release gate.
+type stallSpec struct {
+	delay time.Duration
+	hang  bool
+}
+
+// serveStall parks the calling operation per st. Must be called without
+// i.mu held.
+func (i *Injector) serveStall(st stallSpec, release chan struct{}) {
+	if !st.hang && st.delay <= 0 {
+		return
+	}
+	i.parked.Add(1)
+	defer i.parked.Add(-1)
+	if st.hang && release != nil {
+		<-release
+	}
+	if st.delay > 0 {
+		time.Sleep(st.delay)
+	}
 }
 
 // checkRead decides the fate of a read operation. Reads never touch the
@@ -537,22 +636,26 @@ func (i *Injector) check(op Op, path string) (torn int, err error) {
 // the caller mangles the returned bytes instead of erroring.
 func (i *Injector) checkRead(path string) (CorruptKind, error) {
 	i.mu.Lock()
-	defer i.mu.Unlock()
 	if !i.armed || i.rule.Op != OpRead {
+		i.mu.Unlock()
 		return CorruptNone, nil
 	}
 	corrupt := i.rule.Corrupt
-	_, err := i.decide(OpRead, path)
+	_, st, err := i.decide(OpRead, path)
+	release := i.release
+	i.mu.Unlock()
+	i.serveStall(st, release)
 	if err != nil && corrupt != CorruptNone {
 		return corrupt, nil
 	}
 	return CorruptNone, err
 }
 
-// decide applies the armed rule to one operation. Callers hold i.mu.
-func (i *Injector) decide(op Op, path string) (torn int, err error) {
+// decide applies the armed rule to one operation. Callers hold i.mu; the
+// returned stallSpec must be served by the caller after unlocking.
+func (i *Injector) decide(op Op, path string) (torn int, st stallSpec, err error) {
 	if !i.armed || i.fired {
-		return -1, nil
+		return -1, st, nil
 	}
 	kindMatch := (i.rule.Op == OpAny || i.rule.Op == op) &&
 		(i.rule.PathContains == "" || strings.Contains(path, i.rule.PathContains))
@@ -595,9 +698,21 @@ func (i *Injector) decide(op Op, path string) (torn int, err error) {
 		}
 	}
 	if !fail {
-		return -1, nil
+		return -1, st, nil
 	}
 	i.hits++
+	if i.rule.stalls() {
+		// Stall fault: the operation succeeds after the stall. The
+		// delay is fully determined by the hit ordinal — ramp grows it
+		// linearly, jitter perturbs it via a fixed hash — so a replayed
+		// run stalls identically.
+		st.delay = i.rule.Delay + time.Duration(i.hits-1)*i.rule.DelayRamp
+		if i.rule.DelayJitter > 0 {
+			st.delay += time.Duration(uint64(i.hits) * 0x9E3779B97F4A7C15 % uint64(i.rule.DelayJitter))
+		}
+		st.hang = i.rule.Hang
+		return -1, st, nil
+	}
 	if i.rule.Crash {
 		i.crashed = true
 	}
@@ -606,9 +721,9 @@ func (i *Injector) decide(op Op, path string) (torn int, err error) {
 		err = ErrInjected
 	}
 	if op == OpWrite && i.rule.TornBytes > 0 {
-		return i.rule.TornBytes, err
+		return i.rule.TornBytes, st, err
 	}
-	return -1, err
+	return -1, st, err
 }
 
 func (i *Injector) Create(path string) (File, error) {

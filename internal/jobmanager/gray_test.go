@@ -1,0 +1,189 @@
+package jobmanager
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"flowkv/internal/core"
+	"flowkv/internal/faultfs"
+	"flowkv/internal/spe"
+	"flowkv/internal/window"
+)
+
+// The gray-failure battery: a slot whose disk hangs (fsync never
+// returns) without ever erroring must not wedge its tenant forever. The
+// store-level op deadline turns the hang into a typed stall, the store
+// degrades, the job halts with a backend-named Halt, and the manager
+// fails the tenant over to a clean slot — with the final ledger still
+// byte-identical to an unfaulted golden run, and a healthy co-tenant's
+// admission SLO intact.
+
+// grayIters returns the battery iteration count. FLOWKV_GRAY_ITERS
+// overrides (the CI schedule runs more).
+func grayIters(t *testing.T) int {
+	if s := os.Getenv("FLOWKV_GRAY_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad FLOWKV_GRAY_ITERS %q", s)
+		}
+		return n
+	}
+	return 1
+}
+
+func TestGrayFailureHungSyncFailover(t *testing.T) {
+	iters := grayIters(t)
+	tuples := batteryTuples(600)
+	const every = 100
+	golden := goldenLedger(t, tuples, every)
+
+	// Baseline admission SLO: the co-tenant running alone, same quota,
+	// no faults anywhere. The gray run must not blow this up.
+	baseP99 := func() time.Duration {
+		m := newBatteryManager(t, 1, nil, 0)
+		if err := m.Submit(Tenant{
+			ID:              "bystander",
+			Quota:           Quota{IngestEPS: 20000},
+			Source:          spe.NewSliceSource(tuples),
+			Pipeline:        batteryPipeline(),
+			MakeBackend:     batteryBackend("bystander"),
+			CheckpointEvery: every,
+		}); err != nil {
+			t.Fatalf("baseline submit: %v", err)
+		}
+		res := m.Wait()["bystander"]
+		if res.Err != nil || !res.Result.Final {
+			t.Fatalf("baseline run: final=%v err=%v", res.Result != nil && res.Result.Final, res.Err)
+		}
+		return res.Stats.AdmitP99
+	}()
+
+	for i := 0; i < iters; i++ {
+		t.Run(fmt.Sprintf("iter%02d", i), func(t *testing.T) {
+			runGrayHungSync(t, tuples, every, golden, baseP99)
+		})
+	}
+}
+
+func runGrayHungSync(t *testing.T, tuples []spe.Tuple, every int, golden []byte, baseP99 time.Duration) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	base := t.TempDir()
+	slots := make([]Slot, 0, 3)
+	for i := 0; i < 3; i++ {
+		s := Slot{ID: fmt.Sprintf("slot%d", i), Dir: filepath.Join(base, fmt.Sprintf("slot%d", i))}
+		if i == 0 {
+			s.FS = inj
+		}
+		slots = append(slots, s)
+	}
+	// ProgressDeadline is the load-bearing option: checkpoint-file syncs
+	// are not logfile-guarded, so only the job-level watchdog bounds a
+	// checkpoint wedged on the hung disk.
+	m, err := New(Options{
+		Dir:                       filepath.Join(base, "mgr"),
+		Slots:                     slots,
+		DegradedCheckpointTimeout: 500 * time.Millisecond,
+		ProgressDeadline:          2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+
+	// The victim's stores run with an op deadline: the sentinel that
+	// converts an indefinitely hung fsync into a typed ErrStalled.
+	victimBackend := FlowKVBackend("victim", core.AggHolistic, window.Fixed, window.FixedAssigner{Size: 64},
+		core.Options{Instances: 2, WriteBufferBytes: 1 << 10, OpDeadline: 250 * time.Millisecond})
+	if err := m.Submit(Tenant{
+		ID:              "victim",
+		Source:          spe.NewSliceSource(tuples),
+		Pipeline:        batteryPipeline(),
+		MakeBackend:     victimBackend,
+		CheckpointEvery: every,
+	}); err != nil {
+		t.Fatalf("submit victim: %v", err)
+	}
+	// Deterministic placement: the victim lands on slot0 (the faulted
+	// disk) before the bystander is submitted.
+	if !m.Pool().AwaitStatus("slot0", func(s SlotStatus) bool {
+		return len(s.Tenants) == 1 && s.Tenants[0] == "victim"
+	}, 10*time.Second) {
+		t.Fatalf("victim never placed on slot0: %+v", m.Pool().Status())
+	}
+	// Every fsync under the victim's state directory hangs forever; the
+	// disk returns no error — the defining gray failure.
+	inj.SetRule(faultfs.Rule{Op: faultfs.OpSync, Class: faultfs.ClassPersistent, Hang: true, PathContains: "victim"})
+	defer inj.Release()
+
+	if err := m.Submit(Tenant{
+		ID:              "bystander",
+		Quota:           Quota{IngestEPS: 20000},
+		Source:          spe.NewSliceSource(tuples),
+		Pipeline:        batteryPipeline(),
+		MakeBackend:     batteryBackend("bystander"),
+		CheckpointEvery: every,
+	}); err != nil {
+		t.Fatalf("submit bystander: %v", err)
+	}
+
+	results := m.Wait()
+
+	victim := results["victim"]
+	if victim.Err != nil {
+		t.Fatalf("victim failed terminally: %v", victim.Err)
+	}
+	if !victim.Result.Final {
+		t.Fatal("victim did not reach final state")
+	}
+	if victim.Stats.Failovers == 0 {
+		t.Fatal("victim finished without failing over — the hung disk was never detected")
+	}
+	if victim.Stats.Slot == "slot0" {
+		t.Fatal("victim finished on the hung slot")
+	}
+	if got := tenantLedger(t, m, "victim"); !bytes.Equal(got, golden) {
+		t.Fatalf("victim ledger diverges from golden after stall failover: %d bytes vs %d", len(got), len(golden))
+	}
+
+	bystander := results["bystander"]
+	if bystander.Err != nil {
+		t.Fatalf("bystander failed: %v", bystander.Err)
+	}
+	if !bystander.Result.Final {
+		t.Fatal("bystander did not reach final state")
+	}
+	if bystander.Stats.Failovers != 0 {
+		t.Fatalf("bystander failovers = %d, want 0", bystander.Stats.Failovers)
+	}
+	if got := tenantLedger(t, m, "bystander"); !bytes.Equal(got, golden) {
+		t.Fatalf("bystander ledger diverges from golden: %d bytes vs %d", len(got), len(golden))
+	}
+	// The co-tenant's admission SLO must hold through the neighbor's
+	// gray failure: within 2x the uncontended baseline, floored so
+	// scheduler noise on tiny baselines cannot flake the assertion.
+	bound := 2 * baseP99
+	if floor := 20 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if p99 := bystander.Stats.AdmitP99; p99 > bound {
+		t.Fatalf("bystander admit p99 = %v, want ≤ %v (2x baseline %v)", p99, bound, baseP99)
+	}
+
+	// The hung slot is out of rotation, with the typed stall reason on
+	// record.
+	for _, s := range m.Pool().Status() {
+		if s.ID != "slot0" {
+			continue
+		}
+		if s.Healthy {
+			t.Fatal("hung slot still in rotation")
+		}
+		if s.Reason != core.ReasonStall {
+			t.Fatalf("slot0 reason = %v, want stall", s.Reason)
+		}
+	}
+}

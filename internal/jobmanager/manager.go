@@ -30,6 +30,7 @@ import (
 
 	"flowkv/internal/core"
 	"flowkv/internal/jobmanager/limit"
+	"flowkv/internal/logfile"
 	"flowkv/internal/spe"
 	"flowkv/internal/statebackend"
 	"flowkv/internal/window"
@@ -136,6 +137,10 @@ type Tenant struct {
 	// DegradedCheckpointTimeout overrides the manager default for this
 	// tenant.
 	DegradedCheckpointTimeout time.Duration
+	// ProgressDeadline overrides the manager default for this tenant
+	// (see Options.ProgressDeadline). Negative disables the watchdog for
+	// this tenant even when the manager sets a default.
+	ProgressDeadline time.Duration
 }
 
 // Options configures a Manager.
@@ -151,6 +156,12 @@ type Options struct {
 	// DegradedCheckpointTimeout is the default degraded-wait deadline
 	// applied to every tenant job (see spe.Job). Default 2s.
 	DegradedCheckpointTimeout time.Duration
+	// ProgressDeadline is the default progress-watchdog deadline applied
+	// to every tenant job (see spe.Job.ProgressDeadline): a barrier or
+	// checkpoint that makes no progress for this long halts the job with
+	// a typed stall Halt, which rides the ordinary failover path onto a
+	// replacement slot. 0 leaves the watchdog off.
+	ProgressDeadline time.Duration
 }
 
 // TenantResult is one tenant's terminal outcome.
@@ -186,23 +197,46 @@ type tenantRun struct {
 	// failover rebuilds them on the new slot, so the previous run's
 	// totals are folded into the stats gauges' base first (see buildJob).
 	backends []statebackend.Backend
+	// linkedBase/copiedBase/stallsBase are the gauge bases frozen by
+	// buildJob for the current run, kept here so the end-of-run poll in
+	// runTenant can fold in counters from a run whose last checkpoint
+	// never committed (a stall detected mid-checkpoint would otherwise
+	// vanish with the run's backends).
+	linkedBase, copiedBase, stallsBase int64
 }
 
-// pollCkptBytes folds the current backends' linked/copied checkpoint
-// byte counters into the tenant's stats gauges on top of base values
-// carried over from earlier runs.
-func (tr *tenantRun) pollCkptBytes(linkedBase, copiedBase int64) {
-	var linked, copied int64
+// pollStoreStats folds the current backends' counters into the
+// tenant's stats gauges: linked/copied checkpoint bytes and abandoned-
+// op stall counts accumulate on top of base values carried over from
+// earlier runs; the per-op latency gauges take the worst store's
+// current value (a tenant is as slow as its slowest shard).
+func (tr *tenantRun) pollStoreStats(linkedBase, copiedBase, stallsBase int64) {
+	var linked, copied, stalls int64
+	var wp99, sp99, ewma time.Duration
 	tr.mu.Lock()
 	for _, b := range tr.backends {
 		if st, ok := statebackend.FlowKVStats(b); ok {
 			linked += st.CkptLinkedBytes
 			copied += st.CkptCopiedBytes
+			stalls += st.Stalls
+			if st.WriteP99 > wp99 {
+				wp99 = st.WriteP99
+			}
+			if st.SyncP99 > sp99 {
+				sp99 = st.SyncP99
+			}
+			if st.LatencyEWMA > ewma {
+				ewma = st.LatencyEWMA
+			}
 		}
 	}
 	tr.mu.Unlock()
 	tr.stats.ckptLinked.Set(linkedBase + linked)
 	tr.stats.ckptCopied.Set(copiedBase + copied)
+	tr.stats.storeStalls.Set(stallsBase + stalls)
+	tr.stats.storeWriteP99.Set(int64(wp99))
+	tr.stats.storeSyncP99.Set(int64(sp99))
+	tr.stats.storeEWMA.Set(int64(ewma))
 }
 
 func (tr *tenantRun) setSlot(id string) {
@@ -371,7 +405,15 @@ func (m *Manager) runTenant(tr *tenantRun, ingest, writeLim limit.Limiter) {
 		tr.job = nil
 		reb := tr.rebalance
 		tr.rebalance = false
+		linkedBase, copiedBase, stallsBase := tr.linkedBase, tr.copiedBase, tr.stallsBase
 		tr.mu.Unlock()
+		// End-of-run poll: a stall counted during a checkpoint that never
+		// committed would otherwise vanish with the run's backends.
+		// Abandoned runtimes are skipped — their wedged instances could
+		// block a stats read forever.
+		if !errors.Is(err, spe.ErrProgressStalled) {
+			tr.pollStoreStats(linkedBase, copiedBase, stallsBase)
+		}
 		m.pool.Release(t.ID, slot.ID)
 		leaving = ""
 		if err == nil && res.Final {
@@ -394,7 +436,11 @@ func (m *Manager) runTenant(tr *tenantRun, ingest, writeLim limit.Limiter) {
 		// a slot failure, and the tenant fails over. Anything else (bad
 		// pipeline, job-dir I/O) is the tenant's own problem.
 		if halt := haltOf(res, err); halt != nil && attempt < m.opts.MaxFailovers {
-			m.pool.MarkFailed(slot.ID, halt)
+			// Observe (rather than MarkFailed directly) records WHY the
+			// slot was retired: a stall-flavored halt leaves ReasonStall
+			// in the registry for operators to distinguish hung media
+			// from erroring media.
+			m.pool.Observe(slot.ID, core.Failed, haltReason(halt.Err), halt)
 			m.pool.noteFailover(slot.ID)
 			exclude[slot.ID] = true
 			tr.stats.failovers.Inc()
@@ -428,6 +474,16 @@ func (m *Manager) Rebalance(tenantID string) error {
 	return nil
 }
 
+// haltReason classifies a halt's error into the typed health-reason
+// taxonomy: progress-watchdog expiries and deadline-abandoned I/O are
+// stalls (the disk hung), everything else is an ordinary error.
+func haltReason(err error) core.HealthReason {
+	if errors.Is(err, spe.ErrProgressStalled) || errors.Is(err, logfile.ErrStalled) {
+		return core.ReasonStall
+	}
+	return core.ReasonError
+}
+
 // haltOf extracts the backend-failure halt from a run outcome, nil when
 // the failure was not tied to a state backend.
 func haltOf(res *spe.JobResult, err error) *spe.Halt {
@@ -454,8 +510,10 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 	// new base and start collecting the new run's backends.
 	linkedBase := tr.stats.ckptLinked.Load()
 	copiedBase := tr.stats.ckptCopied.Load()
+	stallsBase := tr.stats.storeStalls.Load()
 	tr.mu.Lock()
 	tr.backends = nil
+	tr.linkedBase, tr.copiedBase, tr.stallsBase = linkedBase, copiedBase, stallsBase
 	tr.mu.Unlock()
 	for i := range p.Stages {
 		st := &p.Stages[i]
@@ -468,8 +526,8 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 			if err != nil {
 				return nil, err
 			}
-			statebackend.SubscribeHealth(b, func(h core.Health, herr error) {
-				m.pool.Observe(slot.ID, h, herr)
+			statebackend.SubscribeHealth(b, func(h core.Health, reason core.HealthReason, herr error) {
+				m.pool.Observe(slot.ID, h, reason, herr)
 			})
 			tr.mu.Lock()
 			tr.backends = append(tr.backends, b)
@@ -484,6 +542,13 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 	if dct <= 0 {
 		dct = m.opts.DegradedCheckpointTimeout
 	}
+	pd := t.ProgressDeadline
+	if pd == 0 {
+		pd = m.opts.ProgressDeadline
+	}
+	if pd < 0 {
+		pd = 0
+	}
 	return &spe.Job{
 		Pipeline:                  &p,
 		Source:                    src,
@@ -492,9 +557,10 @@ func (m *Manager) buildJob(tr *tenantRun, slot Slot, src spe.SeekableSource, wri
 		Migrations:                t.Migrations,
 		SelfHeal:                  t.SelfHeal,
 		DegradedCheckpointTimeout: dct,
+		ProgressDeadline:          pd,
 		OnCheckpoint: func(int64, bool) {
 			tr.stats.ckpts.Inc()
-			tr.pollCkptBytes(linkedBase, copiedBase)
+			tr.pollStoreStats(linkedBase, copiedBase, stallsBase)
 		},
 	}
 }

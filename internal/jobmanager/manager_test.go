@@ -424,11 +424,11 @@ func TestPoolPlacement(t *testing.T) {
 	}
 	// Observe(Failed) retires; Observe(Degraded) does not.
 	p.MarkHealthy(s1.ID)
-	p.Observe(s1.ID, core.Degraded, fmt.Errorf("soft"))
+	p.Observe(s1.ID, core.Degraded, core.ReasonError, fmt.Errorf("soft"))
 	if _, err := p.Acquire("t6", map[string]bool{s2.ID: true}); err != nil {
 		t.Fatalf("degraded slot should still place: %v", err)
 	}
-	p.Observe(s1.ID, core.Failed, fmt.Errorf("hard"))
+	p.Observe(s1.ID, core.Failed, core.ReasonError, fmt.Errorf("hard"))
 	if _, err := p.Acquire("t7", map[string]bool{s2.ID: true}); err == nil {
 		t.Fatal("failed slot placed a tenant")
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/clock"
 	"flowkv/internal/core"
 	"flowkv/internal/faultfs"
 )
@@ -50,6 +51,20 @@ type SlotStatus struct {
 	// slot).
 	Scrubs       int64 `json:"scrubs"`
 	ScrubCorrupt int64 `json:"scrubCorrupt"`
+	// Reason is the typed health reason from the slot's most recent store
+	// health transition ("none" if never observed unhealthy).
+	Reason core.HealthReason `json:"reason"`
+	// Slow reports the slot is healthy but serving I/O slowly — a gray
+	// failure. Slow slots stay in rotation (they work) but Acquire avoids
+	// them when a faster slot exists, and the auto-rebalancer drains them.
+	Slow bool `json:"slow,omitempty"`
+	// ProbeLatency is the EWMA of recent media-probe round trips (0 until
+	// a latency probe has run).
+	ProbeLatency time.Duration `json:"probeLatency,omitempty"`
+	// Rebalances counts tenants moved OFF this slot by latency-driven
+	// rebalancing (distinct from Failovers, which count moves off a
+	// failed slot).
+	Rebalances int64 `json:"rebalances,omitempty"`
 }
 
 type slotState struct {
@@ -67,6 +82,16 @@ type slotState struct {
 	// that found corruption.
 	scrubs       int64
 	scrubCorrupt int64
+	// lastReason is the typed reason from the most recent health
+	// observation (ReasonNone until a store on the slot leaves Healthy).
+	lastReason core.HealthReason
+	// slow marks a gray slot: healthy, but its stores degraded on the
+	// latency signal or its probes run far above the pool median.
+	slow bool
+	// probeEWMA smooths media-probe round-trip latency (0 = no sample).
+	probeEWMA time.Duration
+	// rebalances counts tenants moved off by the auto-rebalancer.
+	rebalances int64
 }
 
 // Pool is the backend registry: the fixed slot set, each slot's health,
@@ -79,6 +104,9 @@ type Pool struct {
 	mu    sync.Mutex
 	order []string
 	state map[string]*slotState
+	// wait is closed and replaced on every registry mutation; AwaitStatus
+	// blocks on it instead of polling.
+	wait chan struct{}
 }
 
 // NewPool builds a registry over the slot set; every slot starts
@@ -87,7 +115,7 @@ func NewPool(slots []Slot) (*Pool, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("jobmanager: pool needs at least one slot")
 	}
-	p := &Pool{state: make(map[string]*slotState, len(slots))}
+	p := &Pool{state: make(map[string]*slotState, len(slots)), wait: make(chan struct{})}
 	for _, s := range slots {
 		if s.ID == "" {
 			return nil, fmt.Errorf("jobmanager: slot with empty ID")
@@ -104,18 +132,67 @@ func NewPool(slots []Slot) (*Pool, error) {
 	return p, nil
 }
 
+// changed broadcasts a registry mutation to AwaitStatus waiters. Must
+// be called with p.mu held.
+func (p *Pool) changed() {
+	close(p.wait)
+	p.wait = make(chan struct{})
+}
+
+// AwaitStatus blocks until pred is true of slotID's status (checked
+// immediately and after every registry mutation) or the timeout
+// expires, and reports which. Event-driven: waiters wake on mutation
+// broadcasts rather than polling a snapshot in a sleep loop.
+func (p *Pool) AwaitStatus(slotID string, pred func(SlotStatus) bool, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		p.mu.Lock()
+		st, ok := p.state[slotID]
+		var snap SlotStatus
+		if ok {
+			snap = p.statusLocked(slotID, st)
+		}
+		wait := p.wait
+		p.mu.Unlock()
+		if ok && pred(snap) {
+			return true
+		}
+		select {
+		case <-wait:
+		case <-deadline.C:
+			return false
+		}
+	}
+}
+
 // Acquire places tenant on the least-loaded healthy slot not in
-// exclude (the tenant's own failover history) and returns it.
+// exclude (the tenant's own failover history) and returns it. Slow
+// (gray) slots are used only when every fast slot is excluded or
+// unhealthy; among equally loaded candidates the lower probe-latency
+// EWMA wins, so placement drifts toward the fastest media.
 func (p *Pool) Acquire(tenant string, exclude map[string]bool) (Slot, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	better := func(a, b *slotState) bool {
+		if b == nil {
+			return true
+		}
+		if a.slow != b.slow {
+			return !a.slow
+		}
+		if len(a.tenants) != len(b.tenants) {
+			return len(a.tenants) < len(b.tenants)
+		}
+		return a.probeEWMA < b.probeEWMA
+	}
 	var best *slotState
 	for _, id := range p.order {
 		st := p.state[id]
 		if !st.healthy || exclude[id] {
 			continue
 		}
-		if best == nil || len(st.tenants) < len(best.tenants) {
+		if better(st, best) {
 			best = st
 		}
 	}
@@ -124,6 +201,7 @@ func (p *Pool) Acquire(tenant string, exclude map[string]bool) (Slot, error) {
 			tenant, len(p.order), len(exclude))
 	}
 	best.tenants[tenant] = struct{}{}
+	p.changed()
 	return best.slot, nil
 }
 
@@ -134,6 +212,7 @@ func (p *Pool) Release(tenant, slotID string) {
 	defer p.mu.Unlock()
 	if st, ok := p.state[slotID]; ok {
 		delete(st.tenants, tenant)
+		p.changed()
 	}
 }
 
@@ -152,6 +231,7 @@ func (p *Pool) MarkFailed(slotID string, err error) {
 		st.err = err
 	}
 	st.probeOK = 0
+	p.changed()
 }
 
 // MarkHealthy returns a repaired slot to rotation.
@@ -161,18 +241,72 @@ func (p *Pool) MarkHealthy(slotID string) {
 	if st, ok := p.state[slotID]; ok {
 		st.healthy = true
 		st.err = nil
+		st.lastReason = core.ReasonNone
+		st.slow = false
+		p.changed()
 	}
 }
 
 // Observe is the health-subscription sink: a store on slotID
-// transitioned to h. Failed retires the slot immediately — before the
-// job even halts — so concurrent Acquires already steer clear.
-// Degraded does not retire the slot: degraded stores heal in place
-// (self-heal, checkpoint retry) and the job layer decides when degraded
-// becomes fatal.
-func (p *Pool) Observe(slotID string, h core.Health, err error) {
+// transitioned to h for the given typed reason. Failed retires the
+// slot immediately — before the job even halts — so concurrent
+// Acquires already steer clear. Degraded does not retire the slot:
+// degraded stores heal in place (self-heal, checkpoint retry) and the
+// job layer decides when degraded becomes fatal. A ReasonLatency
+// degrade, though, is direct evidence of gray media: the slot is
+// marked slow so Acquire avoids it and the auto-rebalancer drains it,
+// even though the slot itself stays in rotation.
+func (p *Pool) Observe(slotID string, h core.Health, reason core.HealthReason, err error) {
+	p.mu.Lock()
+	if st, ok := p.state[slotID]; ok {
+		st.lastReason = reason
+		if h != core.Healthy && reason == core.ReasonLatency {
+			st.slow = true
+		}
+		p.changed()
+	}
+	p.mu.Unlock()
 	if h == core.Failed {
 		p.MarkFailed(slotID, err)
+	}
+}
+
+// noteLatency folds one probe round trip into the slot's latency EWMA
+// (alpha 1/4 — probes are sparse, so weight new samples heavily).
+func (p *Pool) noteLatency(slotID string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[slotID]
+	if !ok {
+		return
+	}
+	if st.probeEWMA == 0 {
+		st.probeEWMA = d
+	} else {
+		st.probeEWMA += (d - st.probeEWMA) / 4
+	}
+	p.changed()
+}
+
+// markSlow flips the slot's gray flag (the auto-rebalancer's verdict
+// from comparing probe EWMAs across the pool).
+func (p *Pool) markSlow(slotID string, slow bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[slotID]; ok && st.slow != slow {
+		st.slow = slow
+		p.changed()
+	}
+}
+
+// noteRebalance counts one tenant drained off slotID by the
+// auto-rebalancer.
+func (p *Pool) noteRebalance(slotID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[slotID]; ok {
+		st.rebalances++
+		p.changed()
 	}
 }
 
@@ -182,6 +316,7 @@ func (p *Pool) noteFailover(slotID string) {
 	defer p.mu.Unlock()
 	if st, ok := p.state[slotID]; ok {
 		st.failovers++
+		p.changed()
 	}
 }
 
@@ -209,6 +344,15 @@ type ProberOptions struct {
 	// directory against its MANIFEST. Only consulted when ScrubIdle is
 	// set.
 	Scrub func(Slot) error
+	// MeasureHealthy makes each tick also probe the HEALTHY slots,
+	// timing the round trip into the slot's latency EWMA (SlotStatus.
+	// ProbeLatency) — the signal latency-driven rebalancing scores
+	// against. Off by default: probing healthy media is extra I/O that
+	// only pays off when an auto-rebalancer consumes the scores.
+	MeasureHealthy bool
+	// Clock paces the prober; nil uses the system clock. Tests inject a
+	// fake to step ticks without real sleeps.
+	Clock clock.Clock
 }
 
 // StartProber watches failed slots and returns them to rotation once
@@ -235,17 +379,21 @@ func (p *Pool) StartProber(opts ProberOptions) (stop func()) {
 			scrub = scrubSlotFiles
 		}
 	}
+	clk := clock.Or(opts.Clock)
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	// Ticker registration happens before the goroutine starts so tests
+	// advancing a fake clock immediately after StartProber cannot race
+	// it.
+	tick := clk.NewTicker(opts.Interval)
 	go func() {
 		defer close(finished)
-		tick := time.NewTicker(opts.Interval)
 		defer tick.Stop()
 		for {
 			select {
 			case <-done:
 				return
-			case <-tick.C:
+			case <-tick.C():
 			}
 			for _, slot := range p.failedSlots() {
 				err := probe(slot)
@@ -255,6 +403,14 @@ func (p *Pool) StartProber(opts ProberOptions) (stop func()) {
 					err = scrub(slot)
 				}
 				p.noteProbe(slot.ID, err, opts.Confirmations)
+			}
+			if opts.MeasureHealthy {
+				for _, slot := range p.healthySlots() {
+					start := time.Now()
+					if probe(slot) == nil {
+						p.noteLatency(slot.ID, time.Since(start))
+					}
+				}
 			}
 			if scrub == nil {
 				continue
@@ -277,6 +433,19 @@ func (p *Pool) failedSlots() []Slot {
 	var out []Slot
 	for _, id := range p.order {
 		if st := p.state[id]; !st.healthy {
+			out = append(out, st.slot)
+		}
+	}
+	return out
+}
+
+// healthySlots snapshots the currently healthy slots.
+func (p *Pool) healthySlots() []Slot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Slot
+	for _, id := range p.order {
+		if st := p.state[id]; st.healthy {
 			out = append(out, st.slot)
 		}
 	}
@@ -307,6 +476,7 @@ func (p *Pool) noteScrub(slotID string, err error) {
 		if err != nil {
 			st.scrubCorrupt++
 		}
+		p.changed()
 	}
 	p.mu.Unlock()
 	if ok && err != nil {
@@ -331,8 +501,11 @@ func (p *Pool) noteProbe(slotID string, err error, need int) {
 	if st.probeOK >= need {
 		st.healthy = true
 		st.err = nil
+		st.lastReason = core.ReasonNone
+		st.slow = false
 		st.probeOK = 0
 		st.heals++
+		p.changed()
 	}
 }
 
@@ -467,17 +640,23 @@ func (p *Pool) Status() []SlotStatus {
 	defer p.mu.Unlock()
 	out := make([]SlotStatus, 0, len(p.order))
 	for _, id := range p.order {
-		st := p.state[id]
-		s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers, Heals: st.heals,
-			Scrubs: st.scrubs, ScrubCorrupt: st.scrubCorrupt}
-		if st.err != nil {
-			s.Err = st.err.Error()
-		}
-		for t := range st.tenants {
-			s.Tenants = append(s.Tenants, t)
-		}
-		sort.Strings(s.Tenants)
-		out = append(out, s)
+		out = append(out, p.statusLocked(id, p.state[id]))
 	}
 	return out
+}
+
+// statusLocked builds one slot's snapshot. Must be called with p.mu
+// held.
+func (p *Pool) statusLocked(id string, st *slotState) SlotStatus {
+	s := SlotStatus{ID: id, Healthy: st.healthy, Failovers: st.failovers, Heals: st.heals,
+		Scrubs: st.scrubs, ScrubCorrupt: st.scrubCorrupt,
+		Reason: st.lastReason, Slow: st.slow, ProbeLatency: st.probeEWMA, Rebalances: st.rebalances}
+	if st.err != nil {
+		s.Err = st.err.Error()
+	}
+	for t := range st.tenants {
+		s.Tenants = append(s.Tenants, t)
+	}
+	sort.Strings(s.Tenants)
+	return s
 }

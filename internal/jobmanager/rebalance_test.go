@@ -228,30 +228,23 @@ func TestPoolProberHealsSlot(t *testing.T) {
 	stop := p.StartProber(ProberOptions{Interval: time.Millisecond, Confirmations: 2, Probe: probe})
 	defer stop()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		var a SlotStatus
-		for _, s := range p.Status() {
-			if s.ID == "a" {
-				a = s
-			}
+	if !p.AwaitStatus("a", func(s SlotStatus) bool { return s.Healthy }, 10*time.Second) {
+		t.Fatalf("slot never healed (%d probes)", calls.Load())
+	}
+	var a SlotStatus
+	for _, s := range p.Status() {
+		if s.ID == "a" {
+			a = s
 		}
-		if a.Healthy {
-			if a.Heals != 1 {
-				t.Fatalf("heals = %d, want 1", a.Heals)
-			}
-			if n := calls.Load(); n < 5 {
-				t.Fatalf("slot healed after only %d probes (flap must reset the streak)", n)
-			}
-			if a.Err != "" {
-				t.Fatalf("healed slot still carries error %q", a.Err)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("slot never healed (%d probes)", calls.Load())
-		}
-		time.Sleep(time.Millisecond)
+	}
+	if a.Heals != 1 {
+		t.Fatalf("heals = %d, want 1", a.Heals)
+	}
+	if n := calls.Load(); n < 5 {
+		t.Fatalf("slot healed after only %d probes (flap must reset the streak)", n)
+	}
+	if a.Err != "" {
+		t.Fatalf("healed slot still carries error %q", a.Err)
 	}
 }
 
@@ -265,14 +258,7 @@ func TestPoolProberDefaultProbe(t *testing.T) {
 	p.MarkFailed("a", errors.New("transient"))
 	stop := p.StartProber(ProberOptions{Interval: time.Millisecond, Confirmations: 1})
 	defer stop()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if p.Status()[0].Healthy {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("writable slot never healed under the default probe")
-		}
-		time.Sleep(time.Millisecond)
+	if !p.AwaitStatus("a", func(s SlotStatus) bool { return s.Healthy }, 10*time.Second) {
+		t.Fatal("writable slot never healed under the default probe")
 	}
 }

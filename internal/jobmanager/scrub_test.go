@@ -40,18 +40,16 @@ func writeSlotLog(t *testing.T, dir, name string, n int) string {
 
 func waitStatus(t *testing.T, p *Pool, id string, want func(SlotStatus) bool, what string) SlotStatus {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		for _, st := range p.Status() {
-			if st.ID == id && want(st) {
-				return st
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("timeout waiting for %s on slot %s: %+v", what, id, p.Status())
-		}
-		time.Sleep(2 * time.Millisecond)
+	if !p.AwaitStatus(id, want, 10*time.Second) {
+		t.Fatalf("timeout waiting for %s on slot %s: %+v", what, id, p.Status())
 	}
+	for _, st := range p.Status() {
+		if st.ID == id {
+			return st
+		}
+	}
+	t.Fatalf("slot %s vanished from the pool", id)
+	return SlotStatus{}
 }
 
 // The prober's idle-slot scrub: at-rest rot in a log file on a healthy,

@@ -26,6 +26,14 @@ type tenantStats struct {
 	// every committed checkpoint, on a base carried across failovers).
 	ckptLinked metrics.Gauge
 	ckptCopied metrics.Gauge
+	// storeStalls mirrors the stores' deadline-abandoned-op counters
+	// (base carried across failovers, like the checkpoint bytes);
+	// storeWriteP99/storeSyncP99/storeEWMA are the worst per-op latency
+	// quantiles across the tenant's current backends, in nanoseconds.
+	storeStalls   metrics.Gauge
+	storeWriteP99 metrics.Gauge
+	storeSyncP99  metrics.Gauge
+	storeEWMA     metrics.Gauge
 }
 
 func newTenantStats() *tenantStats {
@@ -70,6 +78,16 @@ type Stats struct {
 	// bytes physically rewritten since the tenant started.
 	CkptLinkedBytes int64 `json:"ckpt_linked_bytes"`
 	CkptCopiedBytes int64 `json:"ckpt_copied_bytes"`
+	// StoreStalls counts store operations abandoned at the op deadline
+	// (hung I/O) across the tenant's stores, cumulative over failovers.
+	StoreStalls int64 `json:"store_stalls"`
+	// StoreWriteP99/StoreSyncP99 are the worst per-op write/fsync p99
+	// across the tenant's current stores; StoreLatencyEWMA is the worst
+	// rolling write+fsync average — the signal that drives a
+	// ReasonLatency degrade.
+	StoreWriteP99    time.Duration `json:"store_write_p99_ns"`
+	StoreSyncP99     time.Duration `json:"store_sync_p99_ns"`
+	StoreLatencyEWMA time.Duration `json:"store_latency_ewma_ns"`
 	// Err is the terminal error for State=="failed".
 	Err string `json:"err,omitempty"`
 }
@@ -77,18 +95,22 @@ type Stats struct {
 // snapshot freezes the live counters into a Stats.
 func (ts *tenantStats) snapshot() Stats {
 	return Stats{
-		Admitted:        ts.admitted.Load(),
-		Throttled:       ts.throttled.Load(),
-		Shed:            ts.shed.Load(),
-		WriteBytes:      ts.bytesIn.Load(),
-		WriteStalls:     ts.bytesSlow.Load(),
-		QueueDepth:      ts.queueDepth.Load(),
-		AdmitP50:        ts.admitLat.P50(),
-		AdmitP99:        ts.admitLat.P99(),
-		Failovers:       ts.failovers.Load(),
-		Rebalances:      ts.rebalances.Load(),
-		Checkpoints:     ts.ckpts.Load(),
-		CkptLinkedBytes: ts.ckptLinked.Load(),
-		CkptCopiedBytes: ts.ckptCopied.Load(),
+		Admitted:         ts.admitted.Load(),
+		Throttled:        ts.throttled.Load(),
+		Shed:             ts.shed.Load(),
+		WriteBytes:       ts.bytesIn.Load(),
+		WriteStalls:      ts.bytesSlow.Load(),
+		QueueDepth:       ts.queueDepth.Load(),
+		AdmitP50:         ts.admitLat.P50(),
+		AdmitP99:         ts.admitLat.P99(),
+		Failovers:        ts.failovers.Load(),
+		Rebalances:       ts.rebalances.Load(),
+		Checkpoints:      ts.ckpts.Load(),
+		CkptLinkedBytes:  ts.ckptLinked.Load(),
+		CkptCopiedBytes:  ts.ckptCopied.Load(),
+		StoreStalls:      ts.storeStalls.Load(),
+		StoreWriteP99:    time.Duration(ts.storeWriteP99.Load()),
+		StoreSyncP99:     time.Duration(ts.storeSyncP99.Load()),
+		StoreLatencyEWMA: time.Duration(ts.storeEWMA.Load()),
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowkv/internal/binio"
@@ -107,6 +108,8 @@ type Log struct {
 	tail    []byte // framed bytes appended past durable, if tailOK
 	tailOK  bool
 	perr    error // first write-path error; non-nil means poisoned
+
+	pol atomic.Pointer[Policy] // I/O deadline + latency observation; nil = passthrough
 }
 
 // Create creates (or truncates) an append-only log at path. The breakdown
@@ -195,11 +198,16 @@ func recoverEnd(path string, f faultfs.File) (int64, binio.FrameVersion, error) 
 }
 
 func newLog(fsys faultfs.FS, path string, f faultfs.File, off int64, ver binio.FrameVersion, bd *metrics.Breakdown) *Log {
-	w := bufio.NewWriterSize(f, 256*1024)
 	// Bytes present at open are on disk already; treat them as the
 	// durable baseline a reopen may truncate back to.
-	return &Log{fs: fsys, path: path, f: f, w: w, rw: binio.NewRecordWriterV(w, off, ver), bd: bd,
-		ver: ver, durable: off, tailOK: true}
+	l := &Log{fs: fsys, path: path, bd: bd, ver: ver, durable: off, tailOK: true}
+	// Every descriptor is wrapped in the policy guard so deadlines and
+	// latency observation apply uniformly; with no policy installed the
+	// guard is a passthrough.
+	l.f = &guard{lg: l, f: f}
+	l.w = bufio.NewWriterSize(l.f, 256*1024)
+	l.rw = binio.NewRecordWriterV(l.w, off, ver)
+	return l
 }
 
 // Version returns the log's frame version. Callers that decode raw byte
@@ -410,6 +418,7 @@ func (l *Log) ReopenAtDurable() error {
 			l.path, l.rw.Offset()-l.durable, l.perr)
 	}
 	l.f.Close() // fd is suspect; close errors carry no extra information
+	// (a guard stalled past its deadline skips the close entirely)
 	f, err := l.fs.OpenFile(l.path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("logfile: reopen: %w", err)
@@ -422,14 +431,15 @@ func (l *Log) ReopenAtDurable() error {
 		f.Close()
 		return fmt.Errorf("logfile: reopen seek: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 256*1024)
+	g := &guard{lg: l, f: f}
+	w := bufio.NewWriterSize(g, 256*1024)
 	if len(l.tail) > 0 {
 		if _, err := w.Write(l.tail); err != nil {
 			f.Close()
 			return fmt.Errorf("logfile: reopen rewrite tail: %w", err)
 		}
 	}
-	l.f = f
+	l.f = g
 	l.w = w
 	l.rw = binio.NewRecordWriterV(w, l.durable+int64(len(l.tail)), l.ver)
 	l.perr = nil
@@ -869,6 +879,8 @@ type Dir struct {
 	root string
 	bd   *metrics.Breakdown
 	seq  int64
+
+	pol atomic.Pointer[Policy] // inherited by every log this Dir opens
 }
 
 // OpenDir creates (if needed) and opens a log directory rooted at root.
@@ -897,14 +909,26 @@ func (d *Dir) FS() faultfs.FS { return d.fs }
 // Breakdown returns the directory's metrics sink (may be nil).
 func (d *Dir) Breakdown() *metrics.Breakdown { return d.bd }
 
-// Create creates a log with the exact name within the directory.
+// Create creates a log with the exact name within the directory. The
+// new log inherits the directory's I/O policy.
 func (d *Dir) Create(name string) (*Log, error) {
-	return CreateFS(d.fs, filepath.Join(d.root, name), d.bd)
+	l, err := CreateFS(d.fs, filepath.Join(d.root, name), d.bd)
+	if err != nil {
+		return nil, err
+	}
+	l.pol.Store(d.pol.Load())
+	return l, nil
 }
 
-// Open opens an existing named log, recovering its tail.
+// Open opens an existing named log, recovering its tail. The log
+// inherits the directory's I/O policy.
 func (d *Dir) Open(name string) (*Log, error) {
-	return OpenFS(d.fs, filepath.Join(d.root, name), d.bd)
+	l, err := OpenFS(d.fs, filepath.Join(d.root, name), d.bd)
+	if err != nil {
+		return nil, err
+	}
+	l.pol.Store(d.pol.Load())
+	return l, nil
 }
 
 // NextName returns a fresh "<prefix>-<seq>.log" name, unique within this

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"flowkv/internal/binio"
+	"flowkv/internal/clock"
 	"flowkv/internal/core"
 	"flowkv/internal/faultfs"
 	"flowkv/internal/metrics"
@@ -86,6 +87,13 @@ var ErrJobKilled = errors.New("spe: job killed (simulated crash)")
 // resumable from the previous committed generation.
 var ErrCheckpointTimeout = errors.New("spe: checkpoint degraded-wait deadline exceeded")
 
+// ErrProgressStalled reports the progress watchdog firing: a barrier
+// failed to align, or a checkpoint snapshot made no progress, within
+// Job.ProgressDeadline. The run halts with a typed *Halt naming the
+// stuck stage, worker and backend; the job stays resumable from the
+// previous committed generation — the gray-failure analogue of a crash.
+var ErrProgressStalled = errors.New("spe: progress watchdog deadline exceeded")
+
 // Job configures a checkpointed pipeline run.
 type Job struct {
 	// Pipeline is the dataflow; every stateful backend must support
@@ -144,6 +152,19 @@ type Job struct {
 	// hash bucket of a private stateful stage to another worker while
 	// the job runs, via the crash-safe two-phase protocol in migrate.go.
 	Migrations []Migration
+	// ProgressDeadline, when positive, arms the progress watchdog: every
+	// barrier must align, and every checkpoint snapshot must return,
+	// within this bound. A run that blows the deadline halts with a
+	// typed *Halt wrapping ErrProgressStalled (naming the stuck stage,
+	// worker and backend — the failover signal for a disk that hangs
+	// without erroring), abandons the wedged goroutines, and stays
+	// resumable from the previous committed generation. Set it well
+	// above the worst healthy barrier interval; it is a last line of
+	// defense behind the store-level core.Options.OpDeadline. 0 disables.
+	ProgressDeadline time.Duration
+	// Clock drives the watchdog and degraded-wait timers; nil uses the
+	// system clock.
+	Clock clock.Clock
 
 	// stopReq is armed by RequestStop; the run loop honors it between
 	// tuples.
@@ -570,7 +591,12 @@ loop:
 		if srcDone || r.halted.Load() {
 			break
 		}
-		b := r.injectBarrier()
+		b, berr := r.injectBarrier(clock.Or(j.Clock), j.ProgressDeadline)
+		if berr != nil {
+			// Watchdog expiry: the halt is latched, the runtime abandoned.
+			runErr = berr
+			break
+		}
 		if r.halted.Load() {
 			// A worker failed while the barrier was aligning; committing
 			// now would checkpoint past a lost state update.
@@ -605,12 +631,17 @@ loop:
 
 	// Join any still-running PREPARE clone before teardown; on the
 	// crash/kill paths it is left as a real crash would leave it (the
-	// journal and staging reconcile on resume).
-	if m := jr.inflight; m != nil {
+	// journal and staging reconcile on resume). An abandoned runtime
+	// skips the join — the clone may be wedged on the same hung store.
+	if m := jr.inflight; m != nil && !r.abandoned.Load() {
 		<-m.done
 	}
 	final := false
-	if killed || stopped || runErr != nil || r.halted.Load() {
+	if r.abandoned.Load() {
+		// Watchdog expiry: drain what exits within the grace period and
+		// leak the rest; nothing commits past the wedged worker.
+		r.abandonDrain(clock.Or(j.Clock), j.ProgressDeadline)
+	} else if killed || stopped || runErr != nil || r.halted.Load() {
 		// Abort without committing: drain unprocessed (no Finish).
 		r.halted.Store(true)
 		r.drain()
@@ -828,7 +859,7 @@ func (jr *jobRun) stopHealers() {
 // the run result exactly as a worker-side halt would be (the workers
 // are parked at the barrier, so the coordinator owns the result).
 func (jr *jobRun) checkpointFailed(js *jobStage, worker int, b statebackend.Backend, gen int64, err error) error {
-	if !errors.Is(err, ErrCheckpointTimeout) {
+	if !errors.Is(err, ErrCheckpointTimeout) && !errors.Is(err, ErrProgressStalled) {
 		return fmt.Errorf("spe: job checkpoint gen %d: %w", gen, err)
 	}
 	h := &Halt{Stage: js.name, Worker: worker, Backend: b.Name(), Err: err}
@@ -852,6 +883,7 @@ func (jr *jobRun) checkpointFailed(js *jobStage, worker int, b statebackend.Back
 // (confined to the snapshot directory), aborts the attempt; the run ends
 // uncommitted and stays resumable.
 func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend.Backend, dir, parent string, meta []byte) error {
+	clk := clock.Or(jr.j.Clock)
 	// Backends with the incremental capability always go through the
 	// delta path — with an empty or unusable parent it writes a full
 	// base in the segmented format, so later generations can link
@@ -862,7 +894,29 @@ func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend
 		}
 		return cp.CheckpointMeta(dir, meta)
 	}
+	if pd := jr.j.ProgressDeadline; pd > 0 {
+		// Checkpoint-side progress watchdog: a snapshot wedged in a hung
+		// syscall (no store-level OpDeadline to bound it) is abandoned at
+		// the deadline rather than wedging the coordinator. The leaked
+		// goroutine finishes into an abandoned runtime — teardown will
+		// not touch its backend.
+		bounded := snap
+		snap = func() error {
+			done := make(chan error, 1)
+			go func() { done <- bounded() }()
+			select {
+			case err := <-done:
+				return err
+			case <-clk.After(pd):
+				jr.r.abandoned.Store(true)
+				return fmt.Errorf("%w: checkpoint snapshot of %s made no progress in %v", ErrProgressStalled, b.Name(), pd)
+			}
+		}
+	}
 	err := snap()
+	if errors.Is(err, ErrProgressStalled) {
+		return err // the snapshot goroutine is wedged; never retry into it
+	}
 	typedDeadline := jr.j.DegradedCheckpointTimeout > 0
 	if err == nil || (jr.j.SelfHeal == nil && !typedDeadline) {
 		return err
@@ -874,20 +928,23 @@ func (jr *jobRun) checkpointBackend(cp statebackend.Checkpointer, b statebackend
 	if wait <= 0 {
 		wait = 5 * time.Second
 	}
-	deadline := time.Now().Add(wait)
+	deadline := clk.Now().Add(wait)
 	wasDegraded := false
-	for time.Now().Before(deadline) {
+	for clk.Now().Before(deadline) {
 		h, ok := statebackend.FlowKVHealth(b)
 		if !ok || h == core.Failed {
 			return err
 		}
 		if h != core.Healthy {
 			wasDegraded = true
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 			continue
 		}
 		if err = snap(); err == nil {
 			return nil
+		}
+		if errors.Is(err, ErrProgressStalled) {
+			return err
 		}
 		if !wasDegraded {
 			// The store never left Healthy, so the failure is confined

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowkv/internal/clock"
 	"flowkv/internal/core"
 	"flowkv/internal/metrics"
 	"flowkv/internal/statebackend"
@@ -249,6 +250,14 @@ type stageRT struct {
 
 	barMu sync.Mutex
 	barN  int
+
+	// beats counts messages each worker has processed — the progress
+	// heartbeat the watchdog reports when a barrier fails to align.
+	// atBar marks workers currently parked at a barrier, so the watchdog
+	// can name the worker that never arrived (the one wedged in an
+	// operator call).
+	beats []atomic.Int64
+	atBar []atomic.Bool
 }
 
 // runtime is a constructed pipeline: channels wired, backends opened,
@@ -265,6 +274,13 @@ type runtime struct {
 
 	errMu  sync.Mutex
 	halted atomic.Bool
+
+	// abandoned marks a runtime the progress watchdog gave up on: some
+	// goroutine (a wedged worker, a hung checkpoint) may still hold its
+	// backends, so teardown must not close or destroy them, and collect
+	// must not touch operator state. The leaked goroutines die when the
+	// hung I/O finally returns (into a poisoned, abandoned descriptor).
+	abandoned atomic.Bool
 
 	sink      func(Tuple)
 	sinkMu    sync.Mutex
@@ -309,7 +325,8 @@ func newRuntime(p *Pipeline, sink func(Tuple), haltAll bool) (*runtime, error) {
 		if par <= 0 {
 			par = 1
 		}
-		rt := &stageRT{stage: st, par: par, in: make([]chan Message, par)}
+		rt := &stageRT{stage: st, par: par, in: make([]chan Message, par),
+			beats: make([]atomic.Int64, par), atBar: make([]atomic.Bool, par)}
 		for w := 0; w < par; w++ {
 			rt.in[w] = make(chan Message, r.depth)
 		}
@@ -494,8 +511,10 @@ func (r *runtime) sender(stageIdx int) (func(Tuple), func(int64, int64)) {
 // downstream (all stage emissions are already enqueued, so FIFO order
 // keeps the barrier behind them) or declare global alignment at the last
 // stage. Then park until the coordinator finishes its cut.
-func (r *runtime) arriveBarrier(stageIdx int, b *barrier) {
+func (r *runtime) arriveBarrier(stageIdx, w int, b *barrier) {
 	rt := r.rts[stageIdx]
+	rt.atBar[w].Store(true)
+	defer rt.atBar[w].Store(false)
 	rt.barMu.Lock()
 	rt.barN++
 	last := rt.barN == rt.par
@@ -518,13 +537,113 @@ func (r *runtime) arriveBarrier(stageIdx int, b *barrier) {
 // injectBarrier broadcasts a fresh barrier into stage 0 and blocks until
 // every worker of every stage is parked on it. The caller then owns a
 // consistent cut; release it with close(b.resume).
-func (r *runtime) injectBarrier() *barrier {
+//
+// With a positive deadline it is the progress watchdog: alignment (and
+// the injection sends themselves, which block when a wedged worker has
+// let its channel fill) must complete within the deadline, or the run
+// halts with a typed *Halt naming the worker that never arrived,
+// wrapping ErrProgressStalled. On that path the runtime is marked
+// abandoned — the wedged worker may wake later and still owns its
+// backend — and a release goroutine unparks the aligned workers if the
+// barrier ever completes.
+func (r *runtime) injectBarrier(clk clock.Clock, deadline time.Duration) (*barrier, error) {
 	b := newBarrier()
-	for _, ch := range r.rts[0].in {
-		ch <- Message{barrier: b}
+	if deadline <= 0 {
+		for _, ch := range r.rts[0].in {
+			ch <- Message{barrier: b}
+		}
+		<-b.aligned
+		return b, nil
 	}
-	<-b.aligned
-	return b
+	expired := clk.After(deadline)
+	for _, ch := range r.rts[0].in {
+		select {
+		case ch <- Message{barrier: b}:
+		case <-expired:
+			return nil, r.progressStalled(deadline, b)
+		}
+	}
+	select {
+	case <-b.aligned:
+		return b, nil
+	case <-expired:
+		// Alignment may have raced the timer; a completed barrier wins.
+		select {
+		case <-b.aligned:
+			return b, nil
+		default:
+		}
+		return nil, r.progressStalled(deadline, b)
+	}
+}
+
+// progressStalled latches the watchdog halt: the runtime is abandoned,
+// the stuck worker named, and a release goroutine armed so workers
+// parked at the half-aligned barrier unpark if it ever completes.
+func (r *runtime) progressStalled(deadline time.Duration, b *barrier) error {
+	h := r.stuckWorkerHalt(deadline)
+	r.errMu.Lock()
+	if r.res.Halted == nil {
+		r.res.Halted = h
+	}
+	r.errMu.Unlock()
+	r.halted.Store(true)
+	r.abandoned.Store(true)
+	r.fail(h)
+	go func() {
+		<-b.aligned
+		close(b.resume)
+	}()
+	return h
+}
+
+// stuckWorkerHalt names the first worker not parked at the barrier —
+// the one wedged inside an operator call — with its heartbeat count for
+// the report. The backend name is what lets a job manager treat the
+// stall as a slot failure.
+func (r *runtime) stuckWorkerHalt(deadline time.Duration) *Halt {
+	for _, rt := range r.rts {
+		for w := 0; w < rt.par; w++ {
+			if rt.atBar[w].Load() {
+				continue
+			}
+			name := ""
+			if op := rt.ops[w]; op != nil {
+				name = op.Backend().Name()
+			}
+			return &Halt{Stage: rt.stage.Name, Worker: w, Backend: name,
+				Err: fmt.Errorf("%w: stage %s worker %d never reached the barrier (%d messages processed) within %v",
+					ErrProgressStalled, rt.stage.Name, w, rt.beats[w].Load(), deadline)}
+		}
+	}
+	return &Halt{Worker: -1, Err: fmt.Errorf("%w after %v", ErrProgressStalled, deadline)}
+}
+
+// abandonDrain tears down an abandoned runtime as far as it safely can:
+// stages are closed front to back, each given grace to exit; the first
+// stage that fails to drain stops the sweep, leaving its goroutines —
+// and every channel downstream of them — alive. Closing further
+// channels would turn the wedged worker's eventual wake-up into a send
+// on a closed channel; leaking them keeps its recovery path harmless.
+func (r *runtime) abandonDrain(clk clock.Clock, grace time.Duration) {
+	if grace <= 0 {
+		grace = time.Second
+	}
+	for i, rt := range r.rts {
+		for _, ch := range rt.in {
+			close(ch)
+		}
+		exited := make(chan struct{})
+		go func(wg *sync.WaitGroup) {
+			wg.Wait()
+			close(exited)
+		}(r.wgs[i])
+		select {
+		case <-exited:
+		case <-clk.After(grace):
+			return
+		}
+	}
 }
 
 // startWorkers launches the worker goroutines and starts the run clock.
@@ -551,10 +670,11 @@ func (r *runtime) worker(stageIdx, w int, rt *stageRT, op statefulOperator, fw *
 	emitTuple, _ := r.sender(stageIdx)
 	var lastWM int64 = -1 << 62
 	for msg := range rt.in[w] {
+		rt.beats[w].Add(1)
 		if msg.barrier != nil {
 			// Barriers align even while halted, so a coordinator waiting
 			// on one is never deadlocked by a concurrent failure.
-			r.arriveBarrier(stageIdx, msg.barrier)
+			r.arriveBarrier(stageIdx, w, msg.barrier)
 			continue
 		}
 		if r.halted.Load() {
@@ -678,9 +798,17 @@ func (r *runtime) collect(destroy bool) *RunResult {
 	res := r.res
 	res.Elapsed = time.Since(r.start)
 	res.TuplesIn = r.tuplesIn
+	r.sinkMu.Lock()
 	res.Results = r.sinkCount
+	r.sinkMu.Unlock()
 	if res.Elapsed > 0 {
 		res.ThroughputTPS = float64(r.tuplesIn) / res.Elapsed.Seconds()
+	}
+	if r.abandoned.Load() {
+		// A wedged goroutine may still own operators and backends:
+		// touching either (stats, Close, Destroy) would race its eventual
+		// wake-up. The halt in res carries everything the caller needs.
+		return res
 	}
 	res.Backends = r.backendStatuses()
 

@@ -1,0 +1,232 @@
+package spe
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"flowkv/internal/core"
+	"flowkv/internal/faultfs"
+	"flowkv/internal/statebackend"
+	"flowkv/internal/window"
+)
+
+// The progress watchdog battery: a worker wedged inside an operator (or
+// a checkpoint snapshot wedged in a hung syscall) must not hang the run
+// forever. Job.ProgressDeadline bounds barrier alignment and checkpoint
+// snapshots; expiry halts the run with a typed *Halt wrapping
+// ErrProgressStalled that names the stuck stage/worker, and the wedged
+// goroutine is abandoned rather than joined.
+
+// wedgePipeline builds a two-stage pipeline whose map stage parks on
+// gate for every tuple of key k00 — a worker wedged in user code, the
+// shape the store-level OpDeadline cannot see.
+func wedgePipeline(t *testing.T, stateDir string, gate chan struct{}) *Pipeline {
+	t.Helper()
+	assigner := window.FixedAssigner{Size: 64}
+	return &Pipeline{
+		WatermarkEvery: 25,
+		Stages: []Stage{
+			{
+				Name: "tag", Parallelism: 2,
+				Map: func(tp Tuple, emit func(Tuple)) {
+					if string(tp.Key) == "k00" {
+						<-gate
+					}
+					emit(tp)
+				},
+			},
+			{
+				Name: "win", Parallelism: 2,
+				Window: &OperatorSpec{Assigner: assigner, Holistic: crashHolistic},
+				NewBackend: func(w int) (statebackend.Backend, error) {
+					return statebackend.Open(statebackend.Config{
+						Kind:       statebackend.KindFlowKV,
+						Dir:        filepath.Join(stateDir, fmt.Sprintf("w%02d", w)),
+						Agg:        core.AggHolistic,
+						WindowKind: window.Fixed,
+						Assigner:   assigner,
+						FlowKV:     core.Options{Instances: 2, WriteBufferBytes: 1 << 20},
+					})
+				},
+			},
+		},
+	}
+}
+
+// TestJobProgressWatchdogStuckMapWorker wedges a map-stage worker in
+// user code. The barrier can never align, so the watchdog must expire,
+// name that exact worker with its heartbeat count, and leave the job
+// dir without a committed JOB record (nothing reached a commit point).
+func TestJobProgressWatchdogStuckMapWorker(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate) // let the abandoned worker drain before process exit
+	base := t.TempDir()
+	job := &Job{
+		Pipeline:         wedgePipeline(t, filepath.Join(base, "state"), gate),
+		Source:           NewSliceSource(crashTuples(600)),
+		Dir:              filepath.Join(base, "job"),
+		CheckpointEvery:  8,
+		ProgressDeadline: 150 * time.Millisecond,
+	}
+	start := time.Now()
+	res, err := job.Run()
+	if !errors.Is(err, ErrProgressStalled) {
+		t.Fatalf("run error = %v, want ErrProgressStalled", err)
+	}
+	// The run must end promptly: one deadline for the barrier, one grace
+	// for the abandon drain, plus slack — not a hang.
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("stalled run took %v to return", took)
+	}
+	h := res.Halted
+	if h == nil {
+		t.Fatal("no Halt latched for watchdog expiry")
+	}
+	if h.Stage != "tag" {
+		t.Fatalf("Halt.Stage = %q, want the wedged map stage", h.Stage)
+	}
+	if !errors.Is(h.Err, ErrProgressStalled) {
+		t.Fatalf("Halt.Err = %v, want ErrProgressStalled", h.Err)
+	}
+	if !strings.Contains(h.Err.Error(), "never reached the barrier") {
+		t.Fatalf("Halt.Err = %v, want stuck-worker description", h.Err)
+	}
+	if res.Final {
+		t.Fatal("stalled run reported Final")
+	}
+	if _, err := ReadJobMeta(nil, job.Dir); err == nil {
+		t.Fatal("stalled run committed a JOB record before its first checkpoint")
+	}
+}
+
+// TestJobProgressWatchdogNamesWindowWorker wedges a window-stage worker
+// inside its holistic trigger: the Halt must name the window stage and
+// carry the backend name, which is what lets a job manager route the
+// stall into slot failover.
+func TestJobProgressWatchdogNamesWindowWorker(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	base := t.TempDir()
+	assigner := window.FixedAssigner{Size: 64}
+	wedgeHolistic := HolisticFunc(func(key []byte, values [][]byte) []byte {
+		if string(key) == "k00" {
+			<-gate
+		}
+		return crashHolistic(key, values)
+	})
+	pipe := &Pipeline{
+		WatermarkEvery: 25,
+		Stages: []Stage{{
+			Name: "win", Parallelism: 2,
+			Window: &OperatorSpec{Assigner: assigner, Holistic: wedgeHolistic},
+			NewBackend: func(w int) (statebackend.Backend, error) {
+				return statebackend.Open(statebackend.Config{
+					Kind:       statebackend.KindFlowKV,
+					Dir:        filepath.Join(base, "state", fmt.Sprintf("w%02d", w)),
+					Agg:        core.AggHolistic,
+					WindowKind: window.Fixed,
+					Assigner:   assigner,
+					FlowKV:     core.Options{Instances: 2, WriteBufferBytes: 1 << 20},
+				})
+			},
+		}},
+	}
+	job := &Job{
+		Pipeline:         pipe,
+		Source:           NewSliceSource(crashTuples(600)),
+		Dir:              filepath.Join(base, "job"),
+		CheckpointEvery:  200,
+		ProgressDeadline: 150 * time.Millisecond,
+	}
+	res, err := job.Run()
+	if !errors.Is(err, ErrProgressStalled) {
+		t.Fatalf("run error = %v, want ErrProgressStalled", err)
+	}
+	h := res.Halted
+	if h == nil {
+		t.Fatal("no Halt latched for watchdog expiry")
+	}
+	if h.Stage != "win" {
+		t.Fatalf("Halt.Stage = %q, want the wedged window stage", h.Stage)
+	}
+	if h.Backend == "" {
+		t.Fatal("Halt.Backend empty — a manager cannot key failover on this stall")
+	}
+}
+
+// TestJobProgressWatchdogStuckCheckpoint hangs the first filesystem
+// operation of a checkpoint snapshot. The coordinator itself is the
+// wedged party — no worker ever misses the barrier — so the
+// checkpoint-side watchdog must abandon the snapshot at the deadline
+// with a typed Halt naming the backend, without committing.
+func TestJobProgressWatchdogStuckCheckpoint(t *testing.T) {
+	// The hung op is never released: the abandoned snapshot goroutine
+	// stays parked in the injector for the life of the process, exactly
+	// like a thread wedged in a real hung syscall. Releasing it here
+	// would have it resume writing checkpoint files while TempDir
+	// cleanup deletes them.
+	inj := faultfs.NewInjector(faultfs.OS)
+	base := t.TempDir()
+	pat := crashPatterns()[0] // AAR
+	job := &Job{
+		Pipeline:         crashPipeline(pat, filepath.Join(base, "state"), inj, 1<<20),
+		Source:           NewSliceSource(crashTuples(600)),
+		Dir:              filepath.Join(base, "job"),
+		CheckpointEvery:  50,
+		ProgressDeadline: 150 * time.Millisecond,
+	}
+	// Hang the first mutating op under a checkpoint generation dir: the
+	// snapshot wedges exactly the way a checkpoint onto dying media does.
+	inj.SetRule(faultfs.Rule{Class: faultfs.ClassOnce, Hang: true, PathContains: genPrefix})
+	res, err := job.Run()
+	if !errors.Is(err, ErrProgressStalled) {
+		t.Fatalf("run error = %v, want ErrProgressStalled", err)
+	}
+	h := res.Halted
+	if h == nil {
+		t.Fatal("no Halt latched for checkpoint stall")
+	}
+	if h.Backend == "" {
+		t.Fatal("Halt.Backend empty for a backend checkpoint stall")
+	}
+	if !strings.Contains(h.Err.Error(), "checkpoint snapshot") {
+		t.Fatalf("Halt.Err = %v, want checkpoint-snapshot description", h.Err)
+	}
+	if _, err := ReadJobMeta(nil, job.Dir); err == nil {
+		t.Fatal("stalled checkpoint still committed a JOB record")
+	}
+	if res.Checkpoints != 0 {
+		t.Fatalf("Checkpoints = %d, want 0", res.Checkpoints)
+	}
+}
+
+// TestJobProgressWatchdogCleanRunUnaffected proves the watchdog is
+// inert on a healthy run: with a generous deadline armed, the job
+// completes normally and its ledger matches the unwatched golden run
+// byte for byte.
+func TestJobProgressWatchdogCleanRunUnaffected(t *testing.T) {
+	pat := crashPatterns()[0]
+	tuples := crashTuples(600)
+	golden := goldenLedger(t, pat, tuples, 50, 1<<20)
+
+	base := t.TempDir()
+	job := &Job{
+		Pipeline:         crashPipeline(pat, filepath.Join(base, "state"), nil, 1<<20),
+		Source:           NewSliceSource(tuples),
+		Dir:              filepath.Join(base, "job"),
+		CheckpointEvery:  50,
+		ProgressDeadline: 30 * time.Second,
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatalf("watched run: %v", err)
+	}
+	if !res.Final {
+		t.Fatal("watched run did not finish")
+	}
+	checkLedger(t, job.Dir, golden)
+}

@@ -275,8 +275,11 @@ func FlowKVHealth(b Backend) (core.Health, bool) {
 // SubscribeHealth registers fn for health-transition notifications on
 // b's FlowKV store (looking through wrappers), reporting ok=false for
 // backend kinds without a health machine. The callback contract is
-// core.Store.NotifyHealth's: synchronous, cheap, no re-entry.
-func SubscribeHealth(b Backend, fn func(core.Health, error)) bool {
+// core.Store.NotifyHealth's: synchronous, cheap, no re-entry. The
+// reason classifies the departure from Healthy (error, stall, or
+// latency) so subscribers can treat a slow slot differently from a
+// broken one.
+func SubscribeHealth(b Backend, fn func(core.Health, core.HealthReason, error)) bool {
 	fb, ok := unwrap(b).(*flowkvBackend)
 	if !ok {
 		return false
